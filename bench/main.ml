@@ -1,0 +1,169 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (the same rows/series, model + simulator) — run with no arguments, or
+   pass figure ids ("fig5 fig9") to regenerate a subset, or --quick for
+   shorter simulations.
+
+   Part 2 (skipped by --figures-only; alone with --bench-only) is a
+   Bechamel microbenchmark suite: one Test.make per figure/table
+   measuring the cost of the model work that backs it, plus
+   core-primitive benches. These quantify the paper's "analytical model
+   instead of a cycle-level simulator" speed pitch: estimating a graph
+   takes microseconds. *)
+
+module U = Lognic.Units
+module G = Lognic.Graph
+module D = Lognic_devices
+open Bechamel
+open Toolkit
+
+let flag name = Array.exists (fun a -> a = name) Sys.argv
+let quick = flag "--quick"
+let bench_only = flag "--bench-only"
+let figures_only = flag "--figures-only"
+
+let requested =
+  Array.to_list Sys.argv |> List.tl
+  |> List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--"))
+
+let speed = if quick then Lognic_apps.Figures.Quick else Lognic_apps.Figures.Full
+
+let render_figures () =
+  match requested with
+  | [] -> Lognic_apps.Figures.all ~speed Fmt.stdout
+  | names ->
+    List.iter
+      (fun name ->
+        match Lognic_apps.Figures.render ~speed name Fmt.stdout with
+        | Ok () -> ()
+        | Error e -> Fmt.epr "error: %s@." e)
+      names
+
+(* --- Bechamel microbenches --- *)
+
+let md5_graph = D.Liquidio.inline_accel_graph ~spec:D.Accel_spec.md5 ~packet_size:U.mtu ()
+let md5_traffic = Lognic.Traffic.make ~rate:D.Liquidio.line_rate ~packet_size:U.mtu
+let nvme_graph = D.Stingray.nvme_of_graph ~io:D.Ssd.rrd_4k ()
+let nvme_traffic = Lognic.Traffic.make ~rate:2e9 ~packet_size:(4. *. U.kib)
+let panic_profile = List.hd Lognic_apps.Panic_scenarios.profiles
+
+let model_benches =
+  [
+    Test.make ~name:"table2:parameter-glossary"
+      (Staged.stage (fun () -> List.length Lognic.Params.table2));
+    (* one bench per figure: the model-side evaluation that figure needs *)
+    Test.make ~name:"fig5:granularity-point"
+      (Staged.stage (fun () ->
+           let g =
+             D.Liquidio.inline_accel_graph ~granularity:8192. ~spec:D.Accel_spec.crc
+               ~packet_size:1024. ()
+           in
+           Lognic.Throughput.evaluate g ~hw:D.Liquidio.hardware
+             ~traffic:
+               (Lognic.Traffic.make ~rate:D.Liquidio.line_rate ~packet_size:1024.)));
+    Test.make ~name:"fig6:nvmeof-estimate"
+      (Staged.stage (fun () ->
+           Lognic.Estimate.run ~queue_model:Lognic.Latency.Mmcn_model nvme_graph
+             ~hw:D.Stingray.hardware ~traffic:nvme_traffic));
+    Test.make ~name:"fig7:gc-gap-point"
+      (Staged.stage (fun () ->
+           let io = D.Ssd.mixed_4k ~read_fraction:0.5 in
+           let g = D.Stingray.nvme_of_graph ~gc:D.Ssd.Gc_worst_case ~io () in
+           Lognic.Throughput.evaluate g ~hw:D.Stingray.hardware
+             ~traffic:(Lognic.Traffic.make ~rate:3e9 ~packet_size:io.D.Ssd.io_size)));
+    Test.make ~name:"fig9:parallelism-point"
+      (Staged.stage (fun () ->
+           let g =
+             D.Liquidio.inline_accel_graph ~cores:9 ~spec:D.Accel_spec.md5
+               ~packet_size:U.mtu ()
+           in
+           Lognic.Throughput.evaluate g ~hw:D.Liquidio.hardware ~traffic:md5_traffic));
+    Test.make ~name:"fig10:size-sweep-model"
+      (Staged.stage (fun () ->
+           List.map
+             (fun size ->
+               let g =
+                 D.Liquidio.inline_accel_graph ~spec:D.Accel_spec.md5
+                   ~packet_size:size ()
+               in
+               Lognic.Throughput.capacity g ~hw:D.Liquidio.hardware)
+             [ 64.; 256.; 1024.; U.mtu ]));
+    Test.make ~name:"fig11-12:microservice-allocation"
+      (Staged.stage (fun () ->
+           Lognic_apps.Microservices.allocation Lognic_apps.Microservices.Lognic_opt
+             Lognic_apps.Microservices.rta_shm));
+    Test.make ~name:"fig13-14:placement-search"
+      (Staged.stage (fun () ->
+           Lognic_apps.Nf_chain.placement_for Lognic_apps.Nf_chain.Lognic_opt
+             ~packet_size:512.));
+    Test.make ~name:"fig15:credit-suggestion"
+      (Staged.stage (fun () ->
+           Lognic_apps.Panic_scenarios.suggest_credits ~profile:panic_profile ()));
+    Test.make ~name:"fig16-17:steering-optimum"
+      (Staged.stage (fun () ->
+           Lognic_apps.Panic_scenarios.optimal_split ~packet_size:512.
+             ~offered:(80. *. U.gbps)));
+    Test.make ~name:"fig18-19:parallelism-suggestion"
+      (Staged.stage (fun () ->
+           Lognic_apps.Panic_scenarios.suggest_parallelism ~split:(80., 20.) ()));
+  ]
+
+let primitive_benches =
+  [
+    Test.make ~name:"core:throughput-eval"
+      (Staged.stage (fun () ->
+           Lognic.Throughput.evaluate md5_graph ~hw:D.Liquidio.hardware
+             ~traffic:md5_traffic));
+    Test.make ~name:"core:latency-eval"
+      (Staged.stage (fun () ->
+           Lognic.Latency.evaluate md5_graph ~hw:D.Liquidio.hardware
+             ~traffic:md5_traffic));
+    Test.make ~name:"core:mm1n-closed-form"
+      (Staged.stage (fun () ->
+           Lognic_queueing.Mm1n.mean_waiting_time
+             (Lognic_queueing.Mm1n.create ~lambda:0.9 ~mu:1. ~capacity:32)));
+    Test.make ~name:"sim:1ms-simulated"
+      (Staged.stage (fun () ->
+           Lognic_sim.Netsim.run_single
+             ~config:
+               {
+                 Lognic_sim.Netsim.default_config with
+                 duration = 1e-3;
+                 warmup = 1e-4;
+               }
+             md5_graph ~hw:D.Liquidio.hardware ~traffic:md5_traffic));
+    Test.make ~name:"optimizer:nelder-mead-2d"
+      (Staged.stage (fun () ->
+           Lognic_numerics.Nelder_mead.minimize
+             ~f:(fun x -> ((x.(0) -. 1.) ** 2.) +. ((x.(1) +. 2.) ** 2.))
+             ~x0:[| 0.; 0. |] ()));
+  ]
+
+let run_benchmarks () =
+  let benchmark test =
+    let quota = Time.second (if quick then 0.25 else 1.0) in
+    Benchmark.all
+      (Benchmark.cfg ~limit:2000 ~quota ~kde:(Some 1000) ())
+      Instance.[ monotonic_clock ]
+      test
+  in
+  let analyze raw =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  Fmt.pr "@.== Bechamel microbenchmarks (ns per evaluation) ==@.";
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ estimate ] -> Fmt.pr "%-36s %12.1f ns/run@." name estimate
+          | Some _ | None -> Fmt.pr "%-36s (no estimate)@." name)
+        results)
+    (model_benches @ primitive_benches)
+
+let () =
+  if not bench_only then render_figures ();
+  if not figures_only then run_benchmarks ()

@@ -1,0 +1,443 @@
+(* The lognic command-line tool: estimate / simulate / optimize /
+   validate execution graphs written in the DSL, print the paper's
+   parameter table, and regenerate evaluation figures. *)
+
+open Cmdliner
+
+let default_hardware =
+  (* A generous SoC so graphs without a hardware statement still run. *)
+  Lognic.Params.hardware
+    ~bw_interface:(100. *. Lognic.Units.gbps)
+    ~bw_memory:(100. *. Lognic.Units.gbps)
+
+let load_document path =
+  match Lognic_dsl.Parser.parse_file path with
+  | Ok doc -> Ok doc
+  | Error e -> Error (`Msg (Printf.sprintf "%s: %s" path e))
+
+let resolve_traffic (doc : Lognic_dsl.Parser.document) rate packet =
+  match (rate, packet, doc.traffic) with
+  | Some rate, Some packet, _ -> Ok (Lognic.Traffic.make ~rate ~packet_size:packet)
+  | None, None, Some t -> Ok t
+  | Some rate, None, Some t -> Ok { t with Lognic.Traffic.rate }
+  | None, Some packet, Some t -> Ok { t with Lognic.Traffic.packet_size = packet }
+  | _ ->
+    Error
+      (`Msg
+         "no traffic profile: add a 'traffic' line to the graph or pass --rate \
+          and --packet")
+
+let hardware_of doc = Option.value doc.Lognic_dsl.Parser.hardware ~default:default_hardware
+
+(* Common arguments *)
+
+let graph_arg =
+  let doc = "Execution graph in the LogNIC DSL format." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc)
+
+let quantity_conv =
+  let parse s =
+    match Lognic_dsl.Quantity.parse s with
+    | Ok v -> Ok v
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun ppf v -> Fmt.pf ppf "%g" v)
+
+let rate_arg =
+  let doc = "Offered load (accepts unit suffixes, e.g. 25Gbps)." in
+  Arg.(value & opt (some quantity_conv) None & info [ "rate" ] ~docv:"RATE" ~doc)
+
+let packet_arg =
+  let doc = "Packet size (e.g. 1500B, 4KiB)." in
+  Arg.(value & opt (some quantity_conv) None & info [ "packet" ] ~docv:"SIZE" ~doc)
+
+let queue_model_arg =
+  let doc = "Queueing model: mm1n (paper Eq 12), mmcn, mm1, none." in
+  let model_conv =
+    Arg.enum
+      [
+        ("mm1n", Lognic.Latency.Mm1n_model);
+        ("mmcn", Lognic.Latency.Mmcn_model);
+        ("mm1", Lognic.Latency.Mm1_model);
+        ("none", Lognic.Latency.No_queueing);
+      ]
+  in
+  Arg.(value & opt model_conv Lognic.Latency.Mm1n_model & info [ "queue-model" ] ~doc)
+
+
+(* estimate *)
+
+let tail_arg =
+  let doc = "Also estimate latency percentiles (p50/p90/p99)." in
+  Arg.(value & flag & info [ "tail" ] ~doc)
+
+let estimate_cmd =
+  let run graph_path rate packet queue_model tail =
+    let ( let* ) = Result.bind in
+    let* doc = load_document graph_path in
+    let* traffic = resolve_traffic doc rate packet in
+    let report =
+      Lognic.Estimate.run ~queue_model doc.graph ~hw:(hardware_of doc) ~traffic
+    in
+    Fmt.pr "%a@." (Lognic.Estimate.pp_report doc.graph) report;
+    if tail then begin
+      let r =
+        Lognic.Tail.evaluate ~model:queue_model doc.graph ~hw:(hardware_of doc)
+          ~traffic
+      in
+      let q = Lognic.Tail.overall r in
+      Fmt.pr "tail: p50 %.2f us, p90 %.2f us, p99 %.2f us@."
+        (Lognic.Units.to_usec q.p50) (Lognic.Units.to_usec q.p90)
+        (Lognic.Units.to_usec q.p99)
+    end;
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ graph_arg $ rate_arg $ packet_arg $ queue_model_arg
+       $ tail_arg))
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Estimate throughput and latency of an execution graph (model mode).")
+    term
+
+(* sweep *)
+
+let sweep_cmd =
+  let points_arg =
+    let doc = "Number of load points." in
+    Arg.(value & opt int 12 & info [ "points" ] ~doc)
+  in
+  let max_rate_arg =
+    let doc = "Highest offered load (default: the graph's capacity)." in
+    Arg.(
+      value & opt (some quantity_conv) None & info [ "max-rate" ] ~docv:"RATE" ~doc)
+  in
+  let run graph_path packet queue_model points max_rate =
+    let ( let* ) = Result.bind in
+    let* doc = load_document graph_path in
+    let* traffic = resolve_traffic doc None packet in
+    let hw = hardware_of doc in
+    let max_rate =
+      match max_rate with
+      | Some r -> r
+      | None -> Lognic.Throughput.capacity doc.graph ~hw
+    in
+    let* () =
+      if Float.is_finite max_rate then Ok ()
+      else Error (`Msg "graph has unbounded capacity: pass --max-rate")
+    in
+    Fmt.pr "offered(Gbps)  attained(Gbps)  latency(us)@.";
+    List.iter
+      (fun (offered, attained, latency) ->
+        Fmt.pr "%10.3f  %12.3f  %10.2f@."
+          (Lognic.Units.to_gbps offered)
+          (Lognic.Units.to_gbps attained)
+          (Lognic.Units.to_usec latency))
+      (Lognic.Estimate.saturation_sweep ~points ~queue_model doc.graph ~hw
+         ~packet_size:traffic.Lognic.Traffic.packet_size ~max_rate);
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ graph_arg $ packet_arg $ queue_model_arg $ points_arg
+       $ max_rate_arg))
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Sweep the offered load to saturation and print the \
+          latency-throughput curve.")
+    term
+
+(* simulate *)
+
+let duration_arg =
+  let doc = "Simulated seconds." in
+  Arg.(value & opt float 0.1 & info [ "duration" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let simulate_cmd =
+  let run graph_path rate packet duration seed =
+    let ( let* ) = Result.bind in
+    let* doc = load_document graph_path in
+    let config =
+      {
+        Lognic_sim.Netsim.default_config with
+        duration;
+        warmup = duration /. 10.;
+        seed;
+      }
+    in
+    (* a graph carrying `class` lines simulates the whole mix unless the
+       command line pins a single class *)
+    let* mix =
+      match (doc.mix, rate, packet) with
+      | Some mix, None, None -> Ok mix
+      | _ ->
+        let* traffic = resolve_traffic doc rate packet in
+        Ok [ (traffic, 1.) ]
+    in
+    let m = Lognic_sim.Netsim.run ~config doc.graph ~hw:(hardware_of doc) ~mix in
+    let s = m.summary in
+    Fmt.pr "throughput: %.3f Gbps (%d packets delivered, %d dropped)@."
+      (Lognic.Units.to_gbps s.Lognic_sim.Telemetry.throughput)
+      s.delivered_packets s.dropped_packets;
+    Fmt.pr "latency: mean %.2f us, p50 %.2f us, p99 %.2f us@."
+      (Lognic.Units.to_usec s.mean_latency)
+      (Lognic.Units.to_usec s.p50_latency)
+      (Lognic.Units.to_usec s.p99_latency);
+    List.iter
+      (fun (v : Lognic_sim.Netsim.vertex_stats) ->
+        Fmt.pr "vertex %d (%s): utilization %.2f, drops %d@." v.vid v.vlabel
+          v.utilization v.drops)
+      m.vertex_stats;
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ graph_arg $ rate_arg $ packet_arg $ duration_arg $ seed_arg))
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run the packet-level simulator on an execution graph.")
+    term
+
+(* validate *)
+
+let validate_cmd =
+  let dot_arg =
+    let doc = "Emit Graphviz DOT instead of the plain dump." in
+    Arg.(value & flag & info [ "dot" ] ~doc)
+  in
+  let run graph_path dot =
+    let ( let* ) = Result.bind in
+    let* doc = load_document graph_path in
+    (match Lognic.Graph.validate doc.graph with
+    | Ok () -> Fmt.epr "valid@."
+    | Error errors -> List.iter (fun e -> Fmt.epr "error: %s@." e) errors);
+    if dot then print_string (Lognic_dsl.Printer.to_dot doc.graph)
+    else Fmt.pr "%a@." Lognic.Graph.pp doc.graph;
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Check and pretty-print (or DOT-render) an execution graph.")
+    Term.(term_result (const run $ graph_arg $ dot_arg))
+
+(* optimize *)
+
+let split_arg =
+  let doc = "Vertex NAME whose out-edge traffic split the optimizer may rebalance." in
+  Arg.(value & opt_all string [] & info [ "split" ] ~docv:"NAME" ~doc)
+
+let queue_arg =
+  let doc = "NAME:LO:HI — vertex whose queue capacity may vary in [LO, HI]." in
+  Arg.(value & opt_all string [] & info [ "queue" ] ~docv:"SPEC" ~doc)
+
+let objective_arg =
+  let doc = "Optimization goal." in
+  let objective_conv =
+    Arg.enum
+      [
+        ("max-throughput", `Max_throughput); ("min-latency", `Min_latency);
+      ]
+  in
+  Arg.(value & opt objective_conv `Max_throughput & info [ "objective" ] ~doc)
+
+let optimize_cmd =
+  let run graph_path rate packet splits queues objective =
+    let ( let* ) = Result.bind in
+    let* doc = load_document graph_path in
+    let* traffic = resolve_traffic doc rate packet in
+    let resolve name =
+      match Lognic_dsl.Parser.vertex_id doc name with
+      | Some id -> Ok id
+      | None -> Error (`Msg (Printf.sprintf "unknown vertex %S" name))
+    in
+    let* split_knobs =
+      List.fold_left
+        (fun acc name ->
+          let* acc = acc in
+          let* id = resolve name in
+          Ok (Lognic.Optimizer.Out_split id :: acc))
+        (Ok []) splits
+    in
+    let* queue_knobs =
+      List.fold_left
+        (fun acc spec ->
+          let* acc = acc in
+          match String.split_on_char ':' spec with
+          | [ name; lo; hi ] -> (
+            let* id = resolve name in
+            match (int_of_string_opt lo, int_of_string_opt hi) with
+            | Some lo, Some hi ->
+              Ok (Lognic.Optimizer.Queue_capacity (id, lo, hi) :: acc)
+            | _ -> Error (`Msg (Printf.sprintf "bad queue range in %S" spec)))
+          | _ -> Error (`Msg (Printf.sprintf "expected NAME:LO:HI, got %S" spec)))
+        (Ok []) queues
+    in
+    let knobs = split_knobs @ queue_knobs in
+    let* () =
+      if knobs = [] then Error (`Msg "no knobs: pass --split and/or --queue")
+      else Ok ()
+    in
+    let objective =
+      match objective with
+      | `Max_throughput -> Lognic.Optimizer.Maximize_throughput
+      | `Min_latency -> Lognic.Optimizer.Minimize_latency
+    in
+    let solution =
+      Lognic.Optimizer.optimize doc.graph ~hw:(hardware_of doc) ~traffic ~knobs
+        objective
+    in
+    List.iter
+      (fun a -> Fmt.pr "%a@." Lognic.Optimizer.pp_assignment a)
+      solution.assignment;
+    Fmt.pr "%a@."
+      (Lognic.Estimate.pp_report solution.graph)
+      solution.report;
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ graph_arg $ rate_arg $ packet_arg $ split_arg $ queue_arg
+       $ objective_arg))
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Search configurable parameters for a performance goal (optimizer mode).")
+    term
+
+(* roofline *)
+
+let roofline_cmd =
+  let run graph_path rate packet =
+    let ( let* ) = Result.bind in
+    let* doc = load_document graph_path in
+    let* traffic = resolve_traffic doc rate packet in
+    let g = doc.graph in
+    let size = traffic.Lognic.Traffic.packet_size in
+    let intensity = 1. /. size in
+    List.iter
+      (fun (v : Lognic.Graph.vertex) ->
+        match Lognic.Roofline.of_vertex g ~hw:(hardware_of doc) ~packet_size:size v.id with
+        | None -> ()
+        | Some r ->
+          Fmt.pr
+            "%-16s peak %8.3f Gbps | attainable %8.3f Gbps | bound by %s@."
+            v.label
+            (Lognic.Units.to_gbps (r.Lognic.Roofline.peak_ops *. size))
+            (Lognic.Units.to_gbps
+               (Lognic.Roofline.attainable_bytes r ~intensity))
+            (Lognic.Roofline.binding_ceiling r ~intensity))
+      (Lognic.Graph.vertices g);
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "roofline"
+       ~doc:
+         "Print each IP vertex's extended roofline at the traffic's packet \
+          size (peak vs medium ceilings, binding constraint).")
+    Term.(term_result (const run $ graph_arg $ rate_arg $ packet_arg))
+
+(* sensitivity *)
+
+let sensitivity_cmd =
+  let run graph_path rate packet queue_model =
+    let ( let* ) = Result.bind in
+    let* doc = load_document graph_path in
+    let* traffic = resolve_traffic doc rate packet in
+    let g = doc.graph in
+    let elasticities =
+      Lognic.Sensitivity.analyze ~queue_model g ~hw:(hardware_of doc) ~traffic
+    in
+    Fmt.pr "parameter        d(throughput)/d(param)  d(latency)/d(param)@.";
+    List.iter
+      (fun (e : Lognic.Sensitivity.elasticity) ->
+        Fmt.pr "%-16s %12.3f  %21.3f@."
+          (Fmt.str "%a" (Lognic.Sensitivity.pp_parameter g) e.parameter)
+          e.throughput_elasticity e.latency_elasticity)
+      elasticities;
+    Fmt.pr "most binding: %a@."
+      (Lognic.Sensitivity.pp_parameter g)
+      (Lognic.Sensitivity.most_binding elasticities);
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ graph_arg $ rate_arg $ packet_arg $ queue_model_arg))
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:
+         "Compute per-parameter elasticities: which knob limits throughput or \
+          drives latency.")
+    term
+
+(* params *)
+
+let params_cmd =
+  let run () =
+    Lognic_apps.Figures.table2 Fmt.stdout;
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "params" ~doc:"Print the LogNIC parameter glossary (paper Table 2).")
+    Term.(term_result (const run $ const ()))
+
+(* figures *)
+
+let figures_cmd =
+  let figure_arg =
+    let doc = "Figure ids to render (default: all)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"FIG" ~doc)
+  in
+  let quick_arg =
+    let doc = "Shorter simulations (less precise measured series)." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let run figures quick =
+    let speed = if quick then Lognic_apps.Figures.Quick else Lognic_apps.Figures.Full in
+    match figures with
+    | [] ->
+      Lognic_apps.Figures.all ~speed Fmt.stdout;
+      Ok ()
+    | figures ->
+      List.fold_left
+        (fun acc name ->
+          match acc with
+          | Error _ as e -> e
+          | Ok () -> (
+            match Lognic_apps.Figures.render ~speed name Fmt.stdout with
+            | Ok () -> Ok ()
+            | Error e -> Error (`Msg e)))
+        (Ok ()) figures
+  in
+  Cmd.v
+    (Cmd.info "figures"
+       ~doc:"Regenerate the paper's evaluation figures (model + simulator).")
+    Term.(term_result (const run $ figure_arg $ quick_arg))
+
+let () =
+  let info =
+    Cmd.info "lognic" ~version:"1.0.0"
+      ~doc:"LogNIC: a high-level performance model for SmartNICs"
+  in
+  let group =
+    Cmd.group info
+      [
+        estimate_cmd; sweep_cmd; simulate_cmd; validate_cmd; optimize_cmd;
+        sensitivity_cmd; roofline_cmd; params_cmd; figures_cmd;
+      ]
+  in
+  exit (Cmd.eval group)

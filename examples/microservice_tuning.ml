@@ -1,0 +1,46 @@
+(* Case study #3 (paper §4.4): tuning Microservice parallelism on an
+   E3/LiquidIO platform with the LogNIC optimizer.
+
+   Run with: dune exec examples/microservice_tuning.exe *)
+
+module U = Lognic.Units
+open Lognic_apps
+
+let () =
+  Fmt.pr "Microservice parallelism tuning (E3 on LiquidIO CN2360)@.@.";
+  List.iter
+    (fun workload ->
+      Fmt.pr "%s (stage costs: %s cycles)@." workload.Microservices.name
+        (String.concat ", "
+           (List.map
+              (fun (name, c) -> Printf.sprintf "%s=%.0f" name c)
+              workload.Microservices.stages));
+      Fmt.pr "  LogNIC core allocation: [%s] of %d cores@."
+        (String.concat "; "
+           (List.map string_of_int
+              (Microservices.allocation Microservices.Lognic_opt workload)))
+        Lognic_devices.Liquidio.total_cores;
+      List.iter
+        (fun (o : Microservices.outcome) ->
+          Fmt.pr "  %-16s %.3f MRPS, %.1f us@."
+            (Microservices.scheme_name o.scheme)
+            (o.throughput /. 1e6) (U.to_usec o.latency))
+        (Microservices.compare_schemes workload);
+      Fmt.pr "@.")
+    Microservices.all;
+  (* Aggregate gains, the paper's headline numbers for this case. *)
+  let gains =
+    List.map
+      (fun w ->
+        match Microservices.compare_schemes w with
+        | [ rr; eq; opt ] ->
+          ( (opt.throughput /. rr.throughput) -. 1.,
+            (opt.throughput /. eq.throughput) -. 1. )
+        | _ -> assert false)
+      Microservices.all
+  in
+  let avg f = List.fold_left (fun a g -> a +. f g) 0. gains /. 5. in
+  Fmt.pr
+    "average throughput gain: %.1f%% over round-robin, %.1f%% over equal \
+     partition (paper: 34.8%% / 36.4%%)@."
+    (100. *. avg fst) (100. *. avg snd)

@@ -1,0 +1,27 @@
+(* Case study #4 (paper §4.5): placing a middlebox NF chain across the
+   BlueField-2's ARM cores and accelerators with the LogNIC optimizer.
+
+   Run with: dune exec examples/nf_placement.exe *)
+
+module U = Lognic.Units
+open Lognic_apps
+
+let () =
+  Fmt.pr "NF chain placement on the BlueField-2 (FW->LB->DPI->NAT->PE)@.@.";
+  Fmt.pr "LogNIC-opt placement flips with packet size:@.";
+  List.iter
+    (fun size ->
+      Fmt.pr "  %4.0fB: %s@." size (Nf_chain.describe_placement ~packet_size:size))
+    [ 64.; 256.; 512.; 1024.; U.mtu ];
+  Fmt.pr "@.throughput (Gbps) / latency (us) per scheme:@.";
+  List.iter
+    (fun (o : Nf_chain.outcome) ->
+      Fmt.pr "  %5.0fB %-17s %6.2f Gbps  %6.1f us@." o.packet_size
+        (Nf_chain.scheme_name o.scheme)
+        (U.to_gbps o.throughput) (U.to_usec o.latency))
+    (Nf_chain.sweep ());
+  Fmt.pr
+    "@.Small packets: off-chip crossings dominate, so NFs stay on the ARM \
+     cores. Large packets: per-byte software cost dominates, so byte-heavy \
+     NFs move to accelerators — but not all of them, because each crossing \
+     also burns shared interconnect bandwidth.@."

@@ -1,0 +1,53 @@
+(* Case study #2 (paper §4.3): the NVMe-oF target on a Broadcom
+   Stingray JBOF. Shows (a) the characterize-and-curve-fit treatment of
+   an opaque IP, (b) latency-vs-throughput model validation, and (c)
+   the garbage-collection effect the model cannot capture (Fig 7).
+
+   Run with: dune exec examples/nvme_of_target.exe *)
+
+module U = Lognic.Units
+module Ssd = Lognic_devices.Ssd
+open Lognic_apps
+
+let () =
+  Fmt.pr "NVMe-oF target on the Stingray PS1100R@.@.";
+
+  (* (a) Calibration: the SSD's internals are opaque, so sweep the load
+     on the simulated drive and curve-fit the open-queue latency law. *)
+  let fit = Nvme_of.calibration_demo ~io:Ssd.rrd_4k () in
+  Fmt.pr
+    "curve-fit of the opaque SSD (4KB random read): t0 = %.1f us, capacity = \
+     %.2f GB/s (r^2 = %.3f)@."
+    (U.to_usec fit.Lognic.Calibrate.service_time)
+    (fit.Lognic.Calibrate.capacity /. 1e9)
+    fit.Lognic.Calibrate.r_squared;
+
+  (* (b) Fig 6: model vs measured latency under rising load. *)
+  List.iter
+    (fun (name, io) ->
+      let points = Nvme_of.fig6_profile_sweep ~sim_duration:0.2 ~points:6 ~io () in
+      Fmt.pr "@.%s (offered GB/s: model us | measured us):@." name;
+      List.iter
+        (fun (p : Nvme_of.point) ->
+          Fmt.pr "  %5.2f: %7.1f | %7.1f@." (p.offered /. 1e9)
+            (U.to_usec p.model_latency)
+            (U.to_usec p.measured_latency))
+        points;
+      Fmt.pr "  mean latency error: %.2f%%@."
+        (100. *. Nvme_of.fig6_error_rate points))
+    [ ("4KB random read", Ssd.rrd_4k); ("4KB sequential write", Ssd.swr_4k) ];
+
+  (* (c) Fig 7: on a fragmented drive, GC makes mixed read/write
+     bandwidth exceed what worst-case-calibrated parameters predict. *)
+  Fmt.pr "@.Mixed 4KB random I/O on a fragmented drive:@.";
+  List.iter
+    (fun (p : Nvme_of.mixed_point) ->
+      Fmt.pr "  read %3.0f%%: measured %4.0f MB/s, model %4.0f MB/s (model low by %4.1f%%)@."
+        (100. *. p.read_ratio)
+        (U.to_mbytes_per_s p.measured_bandwidth)
+        (U.to_mbytes_per_s p.model_bandwidth)
+        (100. *. (p.measured_bandwidth -. p.model_bandwidth) /. p.measured_bandwidth))
+    (Nvme_of.fig7_read_ratio_sweep ~sim_duration:0.2 ());
+  Fmt.pr
+    "@.The mid-ratio gap is the GC effect LogNIC cannot capture (the paper \
+     reports ~14.6%%).@."

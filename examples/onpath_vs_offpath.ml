@@ -1,0 +1,30 @@
+(* §2.1's SmartNIC taxonomy, quantified: on-path devices put the SoC on
+   every packet's way; off-path devices bypass it for traffic that
+   needs no computation. Where is the crossover?
+
+   Run with: dune exec examples/onpath_vs_offpath.exe *)
+
+module U = Lognic.Units
+open Lognic_apps
+
+let () =
+  Fmt.pr "On-path vs off-path deployment (100GbE card, 40 Gbps SoC)@.@.";
+  Fmt.pr
+    "  compute%%   capacity on|off (Gbps)   latency on|off (us, 60%% load)@.";
+  List.iter
+    (fun (p : Offpath_study.point) ->
+      Fmt.pr "  %6.0f%%    %6.1f | %6.1f           %5.2f | %5.2f@."
+        (100. *. p.compute_fraction)
+        (U.to_gbps p.on_path_capacity)
+        (U.to_gbps p.off_path_capacity)
+        (U.to_usec p.on_path_latency)
+        (U.to_usec p.off_path_latency))
+    (Offpath_study.sweep Offpath_study.default);
+  (match Offpath_study.crossover Offpath_study.default with
+  | Some f ->
+    Fmt.pr
+      "@.The bypass advantage evaporates once ~%.0f%% of traffic needs SoC \
+       computation; below that, the off-path design forwards the rest at \
+       line rate while the on-path SoC burns cycles shuffling it.@."
+      (100. *. f)
+  | None -> Fmt.pr "@.off-path keeps an advantage through compute%% = 100.@.")

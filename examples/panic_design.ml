@@ -1,0 +1,44 @@
+(* Case study #5 (paper §4.6): using LogNIC for hardware design-space
+   exploration on the PANIC programmable NIC.
+
+   Run with: dune exec examples/panic_design.exe *)
+
+module U = Lognic.Units
+open Lognic_apps
+
+let () =
+  Fmt.pr "PANIC design-space exploration@.@.";
+
+  (* Scenario 1: how many request-queue credits does a compute unit
+     need? Fewer credits save SRAM and cut queueing latency. *)
+  Fmt.pr "Scenario 1 - credit sizing (paper suggests 5/4/4/4):@.";
+  List.iter
+    (fun profile ->
+      Fmt.pr "  %-9s [%s]: %d credits (latency -%.1f%% vs the 8-credit default)@."
+        profile.Panic_scenarios.pname
+        (String.concat "/"
+           (List.map
+              (fun (s, _) -> Printf.sprintf "%.0fB" s)
+              profile.Panic_scenarios.sizes))
+        (Panic_scenarios.suggest_credits ~profile ())
+        (100. *. Panic_scenarios.latency_drop_vs_default ~profile ()))
+    Panic_scenarios.profiles;
+
+  (* Scenario 2: accelerator-aware traffic steering. A1:A2:A3 have a
+     4:7:3 throughput ratio; 20% of traffic is pinned to A1 and the
+     remaining 80% splits X / 80-X between A2 and A3. *)
+  Fmt.pr "@.Scenario 2 - steering at the central scheduler (512B):@.";
+  List.iter
+    (fun (s : Panic_scenarios.steering_point) ->
+      Fmt.pr "  %-7s X=%4.1f  latency %5.2f us  throughput %5.1f Gbps@."
+        s.split_label s.x_percent (U.to_usec s.latency) (U.to_gbps s.throughput))
+    (Panic_scenarios.fig16_17_steering ~packet_size:512. ());
+
+  (* Scenario 3: how many parallel engines should IP4 get? *)
+  Fmt.pr "@.Scenario 3 - IP4 hardware parallelism (paper suggests 6 and 4):@.";
+  List.iter
+    (fun split ->
+      let a, b = split in
+      Fmt.pr "  IP1 split %2.0f/%2.0f -> degree %d@." a b
+        (Panic_scenarios.suggest_parallelism ~split ()))
+    [ (50., 50.); (80., 20.) ]

@@ -1,0 +1,60 @@
+(** Head-of-line blocking study — probing the virtual-shared-queue
+    abstraction (§3.6).
+
+    LogNIC concatenates an IP's [m] input queues into one virtual
+    shared queue before applying M/M/1/N. That merge is exact for a
+    single traffic class but hides {e head-of-line blocking} when small
+    and large requests share an IP: in a single FIFO, mice packets wait
+    behind elephants; with per-class queues and a weighted round-robin
+    scheduler (the hardware §3.2 actually describes) the mice are
+    isolated.
+
+    This study runs the same two-class load through both queue
+    organizations of a simulated IP block and reports per-class
+    latency, quantifying when the paper's abstraction is safe (single
+    class, or homogeneous sizes) and how much it can hide (mice
+    latency under FIFO grows with the elephant size). *)
+
+type config = {
+  rate : float;  (** IP processing rate, bytes/s *)
+  mice_size : float;  (** bytes *)
+  elephant_size : float;
+  mice_load : float;  (** offered bytes/s of mice *)
+  elephant_load : float;
+  entries : int;  (** queue entries (per queue in WRR mode) *)
+  mice_weight : int;  (** WRR weight of the mice queue (elephants get 1) *)
+  engines : int;
+      (** parallel engines sharing [rate]; isolation needs > 1 (a
+          non-preemptive engine serving an elephant blocks mice no
+          matter the queue organization) *)
+}
+
+val default : config
+(** 64 B mice (25 %% load) vs 16 KiB elephants (50 %% load) on a
+    4-engine 10 Gbps IP, 256 entries per queue, mice weight 256
+    (byte-proportional: one elephant dequeue carries 256 mice worth of
+    work, so a smaller weight starves the mice whenever the elephant
+    queue is backlogged). *)
+
+type outcome = {
+  mice_mean : float;  (** seconds *)
+  mice_p99 : float;
+  elephant_mean : float;
+  elephant_p99 : float;
+  loss_rate : float;
+}
+
+val run_shared_fifo :
+  ?seed:int -> ?duration:float -> config -> outcome
+(** Both classes through one FIFO queue — the model's virtual shared
+    queue made concrete. *)
+
+val run_wrr :
+  ?seed:int -> ?duration:float -> config -> outcome
+(** Per-class queues under weighted round-robin. *)
+
+val model_mean_latency : config -> float
+(** What the LogNIC abstraction predicts for the {e class-blind} mean
+    sojourn at this IP (M/M/1/N on the blended service time). Falls
+    between the two classes' actual means; the study shows how far the
+    per-class truth spreads around it. *)

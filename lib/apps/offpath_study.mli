@@ -1,0 +1,51 @@
+(** On-path vs off-path SmartNIC deployment (§2.1).
+
+    On-path SmartNICs (LiquidIO, Agilio, Pensando, Fungible) put the
+    execution engines on the communication path: every packet pays the
+    SoC transit. Off-path SmartNICs (BlueField, Stingray) expose a NIC
+    switch with a {e bypass path}: flows matching forwarding rules go
+    straight from the traffic manager to the host, only the rest enter
+    the SoC. This study models both deployments of the same workload —
+    a fraction [f] of traffic needs SoC computation, the rest is pure
+    forwarding — and sweeps [f] to find the crossover the §2.1
+    taxonomy implies: off-path wins when most traffic can bypass;
+    on-path's single data path is simpler and no worse once everything
+    needs computing anyway. *)
+
+type config = {
+  line : float;  (** port rate, bytes/s *)
+  soc_rate : float;  (** SoC processing capacity, bytes/s *)
+  soc_cores : int;
+  switch_rate : float;  (** NIC-switch / traffic-manager rate, bytes/s *)
+  soc_transit : float;  (** per-packet SoC handling overhead O, seconds *)
+  packet_size : float;
+}
+
+val default : config
+(** A 100 GbE card with a 40 Gbps 8-core SoC and a 200 Gbps NIC
+    switch. *)
+
+val on_path_graph : compute_fraction:float -> config -> Lognic.Graph.t
+(** Everything transits the SoC; only [compute_fraction] of it incurs
+    the heavy processing (the rest is fast-path forwarding on the SoC
+    cores). *)
+
+val off_path_graph : compute_fraction:float -> config -> Lognic.Graph.t
+(** The NIC switch forwards [1 - compute_fraction] directly (bypass);
+    only the compute share enters the SoC. *)
+
+type point = {
+  compute_fraction : float;
+  on_path_capacity : float;  (** bytes/s *)
+  off_path_capacity : float;
+  on_path_latency : float;  (** mean at 60% of the better capacity *)
+  off_path_latency : float;
+}
+
+val sweep : ?fractions:float list -> config -> point list
+
+val crossover : ?tolerance:float -> config -> float option
+(** The smallest swept compute fraction from which on-path's capacity
+    stays within [tolerance] (default 5%%) of off-path's for all larger
+    fractions — where the bypass advantage has evaporated for good.
+    [None] if off-path keeps a material advantage through f = 1. *)

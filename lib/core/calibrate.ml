@@ -1,0 +1,45 @@
+module N = Lognic_numerics
+
+type opaque_ip = { service_time : float; capacity : float; r_squared : float }
+
+let saturation_throughput sweep =
+  if Array.length sweep = 0 then
+    invalid_arg "Calibrate.saturation_throughput: empty sweep";
+  Array.fold_left (fun acc (_, y) -> Float.max acc y) neg_infinity sweep
+
+let knee_point sweep =
+  let sat = saturation_throughput sweep in
+  let sorted = Array.copy sweep in
+  Array.sort (fun (a, _) (b, _) -> compare a b) sorted;
+  let rec scan i =
+    if i >= Array.length sorted then fst sorted.(Array.length sorted - 1)
+    else
+      let x, y = sorted.(i) in
+      if y >= 0.99 *. sat then x else scan (i + 1)
+  in
+  scan 0
+
+let fit_opaque_ip ~data =
+  if Array.length data < 2 then invalid_arg "Calibrate.fit_opaque_ip: need >= 2 points";
+  let max_rate = Array.fold_left (fun acc (r, _) -> Float.max acc r) 0. data in
+  let min_latency =
+    Array.fold_left (fun acc (_, l) -> Float.min acc l) infinity data
+  in
+  let p0 = [| min_latency; max_rate *. 1.5 |] in
+  let fit =
+    N.Curve_fit.fit ~model:N.Curve_fit.mm1_latency_model ~data ~p0 ()
+  in
+  {
+    service_time = fit.N.Curve_fit.params.(0);
+    capacity = fit.N.Curve_fit.params.(1);
+    r_squared = fit.N.Curve_fit.r_squared;
+  }
+
+let opaque_ip_latency ip ~rate =
+  N.Curve_fit.mm1_latency_model [| ip.service_time; ip.capacity |] rate
+
+let opaque_ip_service ip = Graph.service ~throughput:ip.capacity ()
+
+let overhead_from_intercept ~data =
+  let slope, intercept = N.Curve_fit.linear ~data in
+  (slope, Float.max 0. intercept)

@@ -1,0 +1,46 @@
+(** Parameter calibration from measurements (§3.4 "CHAR" parameters,
+    §4.3's curve-fitting remedy for opaque IPs).
+
+    Hardware parameters marked CHAR in Table 2 come from offline
+    microbenchmark characterization. This module turns measured sweeps —
+    from a real device or from our simulator — into model parameters:
+
+    - {!saturation_throughput} reads P_vi off a load sweep;
+    - {!fit_opaque_ip} recovers an equivalent (service time, capacity)
+      pair for an IP whose internals are hidden (the SSD case), exactly
+      the latency-vs-throughput curve-fitting technique §4.3 describes;
+    - {!overhead_from_intercept} extracts the per-request transfer
+      overhead O_i from a latency-vs-size linear fit. *)
+
+type opaque_ip = {
+  service_time : float;  (** zero-load per-request latency, seconds *)
+  capacity : float;  (** saturation rate, requests or bytes per second *)
+  r_squared : float;  (** goodness of the fit *)
+}
+
+val saturation_throughput : (float * float) array -> float
+(** [saturation_throughput sweep] takes [(offered, achieved)] points and
+    returns the plateau — the maximum achieved value. Raises
+    [Invalid_argument] on empty input. *)
+
+val knee_point : (float * float) array -> float
+(** The smallest offered load achieving ≥ 99% of the saturation value —
+    used to report "how many cores max out the accelerator" (Fig 9). *)
+
+val fit_opaque_ip : data:(float * float) array -> opaque_ip
+(** [fit_opaque_ip ~data] fits latency = t0 / (1 − rate/capacity) to
+    [(rate, latency)] measurements (two or more points; rates must stay
+    below the fitted capacity). *)
+
+val opaque_ip_latency : opaque_ip -> rate:float -> float
+(** Evaluate the fitted curve; [infinity] at or beyond capacity. *)
+
+val opaque_ip_service : opaque_ip -> Graph.service
+(** A {!Graph.service} for the fitted IP: throughput = capacity,
+    defaults elsewhere. When the data was measured in requests/s the
+    caller must scale to bytes/s first. *)
+
+val overhead_from_intercept : data:(float * float) array -> float * float
+(** [(per_byte_time, fixed_overhead)] from a linear fit of latency
+    against transfer size: the intercept is O_i, the slope the inverse
+    effective bandwidth. *)

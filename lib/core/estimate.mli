@@ -1,0 +1,34 @@
+(** Estimation-mode façade (§3.8, Figure 4-a): one call that runs both
+    model threads — throughput and latency — for an offloaded program
+    under a traffic profile. *)
+
+type report = {
+  throughput : Throughput.result;
+  latency : Latency.result;
+  traffic : Traffic.t;
+}
+
+val run :
+  ?queue_model:Latency.queue_model ->
+  Graph.t ->
+  hw:Params.hardware ->
+  traffic:Traffic.t ->
+  report
+
+val run_mix :
+  Graph.t -> hw:Params.hardware -> mix:Traffic.mix -> Extensions.mixed_report
+(** Extension #2 applied with a size-independent graph. *)
+
+val saturation_sweep :
+  ?points:int ->
+  ?queue_model:Latency.queue_model ->
+  Graph.t ->
+  hw:Params.hardware ->
+  packet_size:float ->
+  max_rate:float ->
+  (float * float * float) list
+(** [(offered rate, attained rate, mean latency)] at [points]
+    (default 20) offered loads from [max_rate/points] to [max_rate] —
+    the latency-vs-throughput curves of Fig 6. *)
+
+val pp_report : Graph.t -> Format.formatter -> report -> unit

@@ -1,0 +1,139 @@
+type tenant = { name : string; graph : Graph.t; traffic : Traffic.t }
+
+type tenant_report = {
+  tenant : string;
+  throughput : Throughput.result;
+  latency : Latency.result;
+}
+
+type consolidated = {
+  tenants : tenant_report list;
+  total_attained : float;
+  mean_latency : float;
+  interface_utilization : float;
+  memory_utilization : float;
+}
+
+let sum_alpha g =
+  List.fold_left (fun acc (e : Graph.edge) -> acc +. e.alpha) 0. (Graph.edges g)
+
+let sum_beta g =
+  List.fold_left (fun acc (e : Graph.edge) -> acc +. e.beta) 0. (Graph.edges g)
+
+let consolidate ~(hw : Params.hardware) tenants =
+  if tenants = [] then invalid_arg "Extensions.consolidate: no tenants";
+  (* Per-tenant demand on the shared media, in bytes/s. *)
+  let media_demand t =
+    ( t.traffic.Traffic.rate *. sum_alpha t.graph,
+      t.traffic.Traffic.rate *. sum_beta t.graph )
+  in
+  let total_intf_demand =
+    List.fold_left (fun acc t -> acc +. fst (media_demand t)) 0. tenants
+  in
+  let total_mem_demand =
+    List.fold_left (fun acc t -> acc +. snd (media_demand t)) 0. tenants
+  in
+  let interface_utilization = total_intf_demand /. hw.bw_interface in
+  let memory_utilization = total_mem_demand /. hw.bw_memory in
+  (* Each tenant sees the shared medium minus the others' demand
+     (clamped to a sliver so evaluation stays defined even when
+     oversubscribed — the per-tenant cap then reflects starvation). *)
+  let hw_for t =
+    let intf_d, mem_d = media_demand t in
+    let available total own other_total =
+      Float.max (total *. 0.01) (total -. (other_total -. own))
+    in
+    Params.hardware
+      ~bw_interface:(available hw.bw_interface intf_d total_intf_demand)
+      ~bw_memory:(available hw.bw_memory mem_d total_mem_demand)
+  in
+  let reports =
+    List.map
+      (fun t ->
+        let hw' = hw_for t in
+        {
+          tenant = t.name;
+          throughput = Throughput.evaluate t.graph ~hw:hw' ~traffic:t.traffic;
+          latency = Latency.evaluate t.graph ~hw:hw' ~traffic:t.traffic;
+        })
+      tenants
+  in
+  let total_attained =
+    List.fold_left (fun acc r -> acc +. r.throughput.Throughput.attained) 0. reports
+  in
+  let rate_weighted =
+    List.map2
+      (fun t r -> (r.latency.Latency.mean, t.traffic.Traffic.rate))
+      tenants reports
+  in
+  let mean_latency = Lognic_numerics.Stats.weighted_mean rate_weighted in
+  {
+    tenants = reports;
+    total_attained;
+    mean_latency;
+    interface_utilization;
+    memory_utilization;
+  }
+
+type mixed_report = {
+  classes : (Traffic.t * float * Throughput.result * Latency.result) list;
+  throughput : float;
+  latency : float;
+}
+
+let mixed_traffic ~hw ~graph_for mix =
+  let classes = Traffic.normalize_weights mix in
+  let evaluated =
+    List.map
+      (fun ((cls : Traffic.t), w) ->
+        let g = graph_for cls in
+        ( cls,
+          w,
+          Throughput.evaluate g ~hw ~traffic:cls,
+          Latency.evaluate g ~hw ~traffic:cls ))
+      classes
+  in
+  let throughput =
+    List.fold_left
+      (fun acc (_, w, (tp : Throughput.result), _) -> acc +. (w *. tp.attained))
+      0. evaluated
+  in
+  let latency =
+    List.fold_left
+      (fun acc (_, w, _, (lat : Latency.result)) -> acc +. (w *. lat.mean))
+      0. evaluated
+  in
+  { classes = evaluated; throughput; latency }
+
+let insert_rate_limiter g ~before ~rate ~queue_capacity =
+  let target = Graph.vertex g before in
+  if target.kind <> Graph.Ip then
+    invalid_arg "Extensions.insert_rate_limiter: target must be an IP vertex";
+  let incoming = Graph.in_edges g before in
+  if incoming = [] then
+    invalid_arg "Extensions.insert_rate_limiter: target has no incoming edge";
+  let service =
+    Graph.service ~queue_capacity ~throughput:rate ()
+  in
+  let g, limiter =
+    Graph.add_vertex ~kind:Graph.Ip
+      ~label:(target.label ^ ".rate_limiter")
+      ~service g
+  in
+  let total_delta =
+    List.fold_left (fun acc (e : Graph.edge) -> acc +. e.delta) 0. incoming
+  in
+  (* Re-point each incoming edge at the limiter, keeping its parameters,
+     then connect the limiter to the target with the aggregate delta.
+     The limiter only enqueues/dequeues, so its outgoing edge adds no
+     shared-media traffic. *)
+  let g =
+    List.fold_left
+      (fun g (e : Graph.edge) ->
+        let g = Graph.remove_edge ~src:e.src ~dst:e.dst g in
+        Graph.add_edge ~delta:e.delta ~alpha:e.alpha ~beta:e.beta
+          ?bandwidth:e.bandwidth ~src:e.src ~dst:limiter g)
+      g incoming
+  in
+  let g = Graph.add_edge ~delta:total_delta ~src:limiter ~dst:before g in
+  (g, limiter)

@@ -1,0 +1,73 @@
+(** Model generalizations (§3.7).
+
+    {b Extension #1 — consolidated execution graphs.} Multiple tenants
+    offload different programs concurrently. Each tenant's graph is
+    evaluated with its own traffic share; shared physical IPs are
+    virtualized through the γ partition parameter, and shared-medium
+    usage (α/β) aggregates across tenants, so one tenant's interface
+    pressure degrades another's ceiling.
+
+    {b Extension #2 — diverse traffic profiles.} When the application
+    consumes several packet sizes, per-size execution graphs (C, δ and O
+    vary with size) are evaluated independently and the outputs combined
+    as the dist_size-weighted averages of Eqs 3 and 8.
+
+    {b Extension #3 — non-work-conserving IPs.} A rate-limiter vertex —
+    an enqueue/dequeue-only IP with a fixed-size queue — is inserted in
+    front of the IP on its incoming edge; the queue captures the
+    resource idleness. *)
+
+type tenant = {
+  name : string;
+  graph : Graph.t;
+  traffic : Traffic.t;  (** this tenant's own offered load and size *)
+}
+
+type tenant_report = {
+  tenant : string;
+  throughput : Throughput.result;
+  latency : Latency.result;
+}
+
+type consolidated = {
+  tenants : tenant_report list;
+  total_attained : float;  (** Σ per-tenant carried bytes/s *)
+  mean_latency : float;  (** traffic-weighted across tenants *)
+  interface_utilization : float;
+      (** Σ tenant α-bytes/s over BW_INTF; > 1 means the shared
+          interface is oversubscribed *)
+  memory_utilization : float;
+}
+
+val consolidate : hw:Params.hardware -> tenant list -> consolidated
+(** Evaluates every tenant against shared media whose effective
+    bandwidth is scaled down by the other tenants' α/β pressure.
+    Raises [Invalid_argument] on an empty tenant list. *)
+
+type mixed_report = {
+  classes : (Traffic.t * float * Throughput.result * Latency.result) list;
+  throughput : float;  (** Σ dist_size · P_attainable *)
+  latency : float;  (** Σ dist_size · T_attainable *)
+}
+
+val mixed_traffic :
+  hw:Params.hardware ->
+  graph_for:(Traffic.t -> Graph.t) ->
+  Traffic.mix ->
+  mixed_report
+(** [mixed_traffic ~hw ~graph_for mix] evaluates [graph_for cls] for
+    each class (letting δ, O, C vary with packet size, as Extension #2
+    requires) and averages by the normalized weights. *)
+
+val insert_rate_limiter :
+  Graph.t ->
+  before:Graph.vertex_id ->
+  rate:float ->
+  queue_capacity:int ->
+  Graph.t * Graph.vertex_id
+(** [insert_rate_limiter g ~before ~rate ~queue_capacity] splices a
+    rate-limiter IP onto every incoming edge of [before]: incoming edges
+    are re-pointed at the new vertex and one edge (inheriting the summed
+    δ and zero shared-media use) connects it to [before]. Returns the
+    rewritten graph and the limiter's id. Raises [Invalid_argument] if
+    [before] has no incoming edges or is not an IP vertex. *)

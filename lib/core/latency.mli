@@ -1,0 +1,92 @@
+(** Latency modeling (§3.6, Eqs 5–12).
+
+    A request's time at an IP is queueing (Q) plus service (C/A); moving
+    to the next IP adds the computation-transfer overhead (O) and the
+    data-movement time over the traversed media (Eq 5). A path's latency
+    accumulates these along its edges, plus the final vertex's Q and C/A
+    (Eq 6); the graph latency is the weighted average over all
+    ingress→egress paths (Eq 8), weighted by the δ-derived branching
+    probabilities.
+
+    Queueing uses the virtual-shared-queue abstraction with an M/M/1/N
+    model per vertex (Eqs 9–12), parameterized from Eq 11:
+
+    - λ_i = BW_in · indeg(v_i) / (D_vi · g_in)
+    - μ_i = γ·A·P_vi · indeg(v_i) / (D_vi · g_in · Σδ_ji)
+
+    so that ρ_i = BW_in·Σδ_ji / (γ·A·P_vi), the vertex's utilization.
+    Vertices with infinite throughput are transparent (Q = C = 0). *)
+
+type queue_model =
+  | Mm1n_model  (** the paper's finite-queue model, Eq 12 (default) *)
+  | Mmcn_model
+      (** exact multi-server M/M/D/N per vertex. Identical to
+          [Mm1n_model] when D = 1; for high-parallelism opaque IPs
+          (e.g. an SSD with dozens of in-flight commands) this is the
+          parameter-free equivalent of the paper's curve-fitting
+          remedy (§4.3) — Eq 12's per-engine-queue abstraction
+          overstates their queueing *)
+  | Mm1_model
+      (** infinite-buffer ablation; diverges at ρ ≥ 1 (reported as
+          [infinity]) *)
+  | No_queueing  (** ablation: Q_i = 0 everywhere *)
+
+type vertex_terms = {
+  vid : Graph.vertex_id;
+  queueing : float;  (** Q_i, seconds *)
+  service : float;  (** C_i/A_i, seconds *)
+  utilization : float;  (** ρ_i *)
+  drop_probability : float;
+      (** M/M/1/N blocking probability Pro_N (0 under the other queue
+          models) *)
+}
+
+type path_report = {
+  path : Graph.vertex_id list;
+  weight : float;  (** w_Pk, normalized over all paths *)
+  total : float;  (** T_Pk, seconds *)
+  queueing : float;
+  service : float;
+  overhead : float;
+  transfer : float;  (** data movement over interface/memory/links *)
+}
+
+type result = {
+  mean : float;  (** T_attainable (Eq 8), seconds *)
+  per_path : path_report list;
+  per_vertex : vertex_terms list;
+  carried_rate : float;
+      (** BW_in discounted by the path-weighted blocking along the way —
+          the model's goodput estimate under finite queues, bytes/s *)
+}
+
+val vertex_service_time :
+  Graph.t -> traffic:Traffic.t -> Graph.vertex_id -> float
+(** C_i/A_i per Eq 7. 0 for infinite-throughput vertices. *)
+
+val vertex_queueing :
+  ?model:queue_model -> Graph.t -> traffic:Traffic.t -> Graph.vertex_id -> float
+(** Q_i per Eq 12 (or the selected ablation). *)
+
+val vertex_rates : Graph.t -> traffic:Traffic.t -> Graph.vertex_id -> float * float
+(** (λ, μ) of the vertex's virtual shared queue per Eq 11 — the inputs
+    to the queueing term, exposed for the tail-latency extension. *)
+
+val edge_transfer_time :
+  Graph.t -> hw:Params.hardware -> traffic:Traffic.t -> Graph.edge -> float
+(** g_in·α/BW_INTF + g_in·β/BW_MEM (+ g_in·δ/BW_mn on a dedicated
+    link) — Eq 7, first line. *)
+
+val path_weights : Graph.t -> (Graph.vertex_id list * float) list
+(** All ingress→egress paths with normalized δ-branching weights. *)
+
+val evaluate :
+  ?model:queue_model ->
+  Graph.t ->
+  hw:Params.hardware ->
+  traffic:Traffic.t ->
+  result
+(** Raises [Invalid_argument] if the graph fails {!Graph.validate} or
+    has no ingress→egress path. *)
+
+val pp_result : Format.formatter -> result -> unit

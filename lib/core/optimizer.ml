@@ -1,0 +1,286 @@
+module N = Lognic_numerics
+
+type knob =
+  | Vertex_throughput of Graph.vertex_id * float array
+  | Queue_capacity of Graph.vertex_id * int * int
+  | Out_split of Graph.vertex_id
+  | Partition of Graph.vertex_id * float * float
+  | Accel of Graph.vertex_id * float array
+  | Ingress_rate of float * float
+
+type objective =
+  | Maximize_throughput
+  | Minimize_latency
+  | Minimize_latency_min_throughput of float
+  | Maximize_throughput_max_latency of float
+
+type assignment =
+  | Set_throughput of Graph.vertex_id * float
+  | Set_queue_capacity of Graph.vertex_id * int
+  | Set_split of Graph.vertex_id * float list
+  | Set_partition of Graph.vertex_id * float
+  | Set_accel of Graph.vertex_id * float
+  | Set_ingress_rate of float
+
+type solution = {
+  graph : Graph.t;
+  assignment : assignment list;
+  report : Estimate.report;
+  feasible : bool;
+}
+
+let apply_assignment g assignment =
+  List.fold_left
+    (fun g -> function
+      | Set_throughput (id, p) ->
+        Graph.update_service g id (fun s -> { s with Graph.throughput = p })
+      | Set_queue_capacity (id, n) ->
+        Graph.update_service g id (fun s -> { s with Graph.queue_capacity = n })
+      | Set_split (id, fractions) -> Graph.scale_out_split g id fractions
+      | Set_partition (id, gamma) ->
+        Graph.update_service g id (fun s -> { s with Graph.partition = gamma })
+      | Set_accel (id, a) ->
+        Graph.update_service g id (fun s -> { s with Graph.accel = a })
+      | Set_ingress_rate _ -> g)
+    g assignment
+
+let apply_traffic traffic assignment =
+  List.fold_left
+    (fun (t : Traffic.t) -> function
+      | Set_ingress_rate rate -> { t with Traffic.rate }
+      | Set_throughput _ | Set_queue_capacity _ | Set_split _ | Set_partition _
+      | Set_accel _ ->
+        t)
+    traffic assignment
+
+(* A large-but-finite constraint penalty: big enough to dominate any
+   realistic latency (seconds) or negated throughput (-bytes/s). *)
+let constraint_penalty = 1e15
+
+(* Goals are judged on the carried rate: the Eq 4 ceiling further
+   discounted by finite-queue blocking, so a configuration cannot "meet"
+   a throughput bound by dropping packets. *)
+let carried (report : Estimate.report) =
+  Float.min report.throughput.Throughput.attained
+    report.latency.Latency.carried_rate
+
+let score ?queue_model objective (report : Estimate.report) =
+  let attained = carried report in
+  let latency = report.latency.Latency.mean in
+  ignore queue_model;
+  match objective with
+  | Maximize_throughput -> -.attained
+  | Minimize_latency -> latency
+  | Minimize_latency_min_throughput bound ->
+    let gap = Float.max 0. ((bound -. attained) /. bound) in
+    latency +. (constraint_penalty *. gap)
+  | Maximize_throughput_max_latency bound ->
+    let excess = Float.max 0. ((latency -. bound) /. bound) in
+    -.attained +. (constraint_penalty *. excess)
+
+let feasible objective (report : Estimate.report) =
+  match objective with
+  | Maximize_throughput | Minimize_latency -> true
+  | Minimize_latency_min_throughput bound -> carried report >= bound *. (1. -. 1e-6)
+  | Maximize_throughput_max_latency bound ->
+    report.latency.Latency.mean <= bound *. (1. +. 1e-6)
+
+let validate_knobs g knobs =
+  if knobs = [] then invalid_arg "Optimizer.optimize: no knobs";
+  List.iter
+    (function
+      | Vertex_throughput (id, candidates) ->
+        ignore (Graph.vertex g id);
+        if Array.length candidates = 0 then
+          invalid_arg "Optimizer: empty candidate array"
+      | Queue_capacity (id, lo, hi) ->
+        ignore (Graph.vertex g id);
+        if lo < 1 || lo > hi then invalid_arg "Optimizer: bad capacity range"
+      | Out_split id ->
+        ignore (Graph.vertex g id);
+        if List.length (Graph.out_edges g id) < 2 then
+          invalid_arg "Optimizer: Out_split needs >= 2 out-edges"
+      | Partition (id, lo, hi) ->
+        ignore (Graph.vertex g id);
+        if lo <= 0. || hi > 1. || lo > hi then
+          invalid_arg "Optimizer: partition range outside (0, 1]"
+      | Accel (id, candidates) ->
+        ignore (Graph.vertex g id);
+        if Array.length candidates = 0 then
+          invalid_arg "Optimizer: empty accel candidates";
+        if Array.exists (fun a -> a <= 0.) candidates then
+          invalid_arg "Optimizer: accel candidates must be > 0"
+      | Ingress_rate (lo, hi) ->
+        if lo <= 0. || lo > hi then invalid_arg "Optimizer: bad ingress range")
+    knobs
+
+(* Continuous knobs map onto a flat vector; each knob owns a slice. *)
+type slice = {
+  knob_index : int;
+  offset : int;
+  width : int;
+  lower : float;
+  upper : float;
+}
+
+let continuous_layout knobs g =
+  let slices = ref [] and offset = ref 0 in
+  List.iteri
+    (fun i -> function
+      | Out_split id ->
+        let width = List.length (Graph.out_edges g id) in
+        slices :=
+          { knob_index = i; offset = !offset; width; lower = 0.01; upper = 1. }
+          :: !slices;
+        offset := !offset + width
+      | Partition (_, lo, hi) | Ingress_rate (lo, hi) ->
+        slices :=
+          { knob_index = i; offset = !offset; width = 1; lower = lo; upper = hi }
+          :: !slices;
+        offset := !offset + 1
+      | Vertex_throughput _ | Queue_capacity _ | Accel _ -> ())
+    knobs;
+  (List.rev !slices, !offset)
+
+let assignment_of_continuous knobs slices x =
+  List.map
+    (fun s ->
+      match List.nth knobs s.knob_index with
+      | Out_split id ->
+        Set_split (id, Array.to_list (Array.sub x s.offset s.width))
+      | Partition (id, _, _) -> Set_partition (id, x.(s.offset))
+      | Ingress_rate _ -> Set_ingress_rate x.(s.offset)
+      | Vertex_throughput _ | Queue_capacity _ | Accel _ -> assert false)
+    slices
+
+let discrete_axes knobs =
+  List.filter_map
+    (function
+      | Vertex_throughput (id, candidates) ->
+        Some (`Throughput (id, candidates), Array.length candidates)
+      | Queue_capacity (id, lo, hi) -> Some (`Capacity (id, lo), hi - lo + 1)
+      | Accel (id, candidates) -> Some (`Accel (id, candidates), Array.length candidates)
+      | Out_split _ | Partition _ | Ingress_rate _ -> None)
+    knobs
+
+let assignment_of_discrete axes idx =
+  List.mapi
+    (fun d (axis, _) ->
+      match axis with
+      | `Throughput (id, candidates) -> Set_throughput (id, candidates.(idx.(d)))
+      | `Capacity (id, lo) -> Set_queue_capacity (id, lo + idx.(d))
+      | `Accel (id, candidates) -> Set_accel (id, candidates.(idx.(d))))
+    axes
+
+let optimize ?(rng = N.Rng.create ~seed:42) ?queue_model g ~hw ~traffic ~knobs
+    objective =
+  validate_knobs g knobs;
+  let slices, dim = continuous_layout knobs g in
+  let axes = discrete_axes knobs in
+  let evaluate assignment =
+    let g' = apply_assignment g assignment in
+    let traffic' = apply_traffic traffic assignment in
+    let report = Estimate.run ?queue_model g' ~hw ~traffic:traffic' in
+    (score ?queue_model objective report, g', report)
+  in
+  (* For one discrete choice, settle the continuous knobs (if any). *)
+  let solve_continuous discrete_assignment =
+    if dim = 0 then
+      let s, g', report = evaluate discrete_assignment in
+      (s, discrete_assignment, g', report)
+    else begin
+      let bounds default =
+        let a = Array.make dim default in
+        List.iter
+          (fun s ->
+            for i = s.offset to s.offset + s.width - 1 do
+              a.(i) <- (if default = 0.01 then s.lower else s.upper)
+            done)
+          slices;
+        a
+      in
+      let lower = bounds 0.01 and upper = bounds 1. in
+      let problem =
+        {
+          N.Constrained.objective =
+            (fun x ->
+              (* The simplex may step outside the box; clamp before
+                 applying so the graph update stays in-domain (the
+                 penalty still discourages the excursion). *)
+              let x = N.Vec.clamp ~lo:lower ~hi:upper x in
+              let assignment =
+                discrete_assignment @ assignment_of_continuous knobs slices x
+              in
+              let s, _, _ = evaluate assignment in
+              s);
+          inequality = [];
+          lower;
+          upper;
+        }
+      in
+      let sol = N.Constrained.multi_start ~rng:(N.Rng.split rng) problem in
+      let assignment =
+        discrete_assignment @ assignment_of_continuous knobs slices sol.N.Constrained.x
+      in
+      let s, g', report = evaluate assignment in
+      (s, assignment, g', report)
+    end
+  in
+  let best = ref None in
+  let consider candidate =
+    match !best with
+    | None -> best := Some candidate
+    | Some (s, _, _, _) ->
+      let s', _, _, _ = candidate in
+      if s' < s then best := Some candidate
+  in
+  (if axes = [] then consider (solve_continuous [])
+   else begin
+     let ranges = Array.of_list (List.map (fun (_, n) -> (0, n - 1)) axes) in
+     let objective idx =
+       let candidate = solve_continuous (assignment_of_discrete axes idx) in
+       consider candidate;
+       let s, _, _, _ = candidate in
+       s
+     in
+     ignore (N.Grid.minimize_ints ~f:objective ~ranges ())
+   end);
+  match !best with
+  | None -> assert false
+  | Some (_, assignment, graph, report) ->
+    { graph; assignment; report; feasible = feasible objective report }
+
+let pareto ?rng ?queue_model ?(points = 8) g ~hw ~traffic ~knobs =
+  (* anchor the bound range at the two single-objective extremes *)
+  let fastest = optimize ?rng ?queue_model g ~hw ~traffic ~knobs Minimize_latency in
+  let widest = optimize ?rng ?queue_model g ~hw ~traffic ~knobs Maximize_throughput in
+  let lo = fastest.report.latency.Latency.mean in
+  let hi = widest.report.latency.Latency.mean in
+  if not (Float.is_finite lo && lo > 0.) then
+    invalid_arg "Optimizer.pareto: degenerate latency range";
+  let hi = Float.max (lo *. 1.001) (if Float.is_finite hi then hi else lo *. 100.) in
+  let bounds =
+    List.init points (fun i ->
+        let t = float_of_int i /. float_of_int (max 1 (points - 1)) in
+        lo *. ((hi /. lo) ** t))
+  in
+  List.filter_map
+    (fun bound ->
+      let s =
+        optimize ?rng ?queue_model g ~hw ~traffic ~knobs
+          (Maximize_throughput_max_latency bound)
+      in
+      if s.feasible then Some (bound, s) else None)
+    bounds
+
+let pp_assignment ppf = function
+  | Set_throughput (id, p) -> Fmt.pf ppf "vertex %d: P <- %.4g B/s" id p
+  | Set_queue_capacity (id, n) -> Fmt.pf ppf "vertex %d: N <- %d" id n
+  | Set_split (id, fs) ->
+    let total = List.fold_left ( +. ) 0. fs in
+    Fmt.pf ppf "vertex %d: split <- [%a]" id
+      Fmt.(list ~sep:(any "; ") (fun ppf f -> Fmt.pf ppf "%.3f" (f /. total)))
+      fs
+  | Set_partition (id, gamma) -> Fmt.pf ppf "vertex %d: gamma <- %.3f" id gamma
+  | Set_accel (id, a) -> Fmt.pf ppf "vertex %d: A <- %.3f" id a
+  | Set_ingress_rate rate -> Fmt.pf ppf "BW_in <- %.4g B/s" rate

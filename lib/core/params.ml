@@ -1,0 +1,106 @@
+type hardware = { bw_interface : float; bw_memory : float }
+
+let hardware ~bw_interface ~bw_memory =
+  if bw_interface <= 0. || bw_memory <= 0. then
+    invalid_arg "Params.hardware: bandwidths must be > 0";
+  { bw_interface; bw_memory }
+
+type source = Spec | Characterization | Configurable
+
+type entry = {
+  symbol : string;
+  name : string;
+  description : string;
+  source : source;
+}
+
+let table2 =
+  [
+    {
+      symbol = "BW_INTF";
+      name = "Interface bandwidth";
+      description = "The maximum communication bandwidth over an interface";
+      source = Spec;
+    };
+    {
+      symbol = "BW_MEM";
+      name = "Memory bandwidth";
+      description = "The maximum data transfer rate over a memory hierarchy";
+      source = Spec;
+    };
+    {
+      symbol = "BW_mn";
+      name = "IP-IP bandwidth";
+      description = "The communication bandwidth between two IPs";
+      source = Characterization;
+    };
+    {
+      symbol = "delta_eij";
+      name = "Data transfer ratio";
+      description = "The relative data transfer percentage across an edge";
+      source = Configurable;
+    };
+    {
+      symbol = "alpha/beta_eij";
+      name = "Edge medium usage";
+      description = "The bandwidth usage over an edge via interface/memory";
+      source = Configurable;
+    };
+    {
+      symbol = "g_in";
+      name = "Ingress granularity";
+      description = "The data transfer granularity at an ingress engine";
+      source = Configurable;
+    };
+    {
+      symbol = "O_i";
+      name = "Overhead";
+      description = "The computation transfer overhead from a node to the next";
+      source = Characterization;
+    };
+    {
+      symbol = "gamma_vi";
+      name = "Node partition";
+      description = "The multiplexing percentage of an execution engine";
+      source = Configurable;
+    };
+    {
+      symbol = "P_vi";
+      name = "IP throughput";
+      description = "The computing throughput of a physical IP node";
+      source = Characterization;
+    };
+    {
+      symbol = "D_vi";
+      name = "IP parallelism degree";
+      description = "The parallelism of a (virtual) IP node in the graph";
+      source = Configurable;
+    };
+    {
+      symbol = "N_vi";
+      name = "IP queue capacity";
+      description = "The queue capacity of a (virtual) IP node in the graph";
+      source = Configurable;
+    };
+    {
+      symbol = "BW_in";
+      name = "Ingress bandwidth";
+      description = "The data serving rate to the SmartNIC";
+      source = Configurable;
+    };
+    {
+      symbol = "dist_size";
+      name = "Packet size distribution";
+      description = "The packet size distribution of the incoming traffic";
+      source = Configurable;
+    };
+  ]
+
+let pp_source ppf = function
+  | Spec -> Fmt.string ppf "SPEC"
+  | Characterization -> Fmt.string ppf "CHAR"
+  | Configurable -> Fmt.string ppf "CONF"
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%-14s %-26s %a  %s" e.symbol e.name pp_source e.source
+    e.description

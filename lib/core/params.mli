@@ -1,0 +1,35 @@
+(** Model parameters (paper Table 2).
+
+    Per-vertex software parameters (P, D, N, O, A, γ) live on the graph
+    itself ({!Graph.service}); per-edge parameters (δ, α, β, BW_mn) on
+    the edges. This module holds what remains: the device-wide hardware
+    parameters and a glossary used by the CLI to print Table 2. *)
+
+type hardware = {
+  bw_interface : float;
+      (** BW_INTF — aggregate SoC interface bandwidth shared by all
+          α-traffic, bytes/s *)
+  bw_memory : float;
+      (** BW_MEM — memory-subsystem bandwidth shared by all β-traffic,
+          bytes/s *)
+}
+
+val hardware : bw_interface:float -> bw_memory:float -> hardware
+(** Raises [Invalid_argument] on non-positive bandwidths. *)
+
+type source = Spec | Characterization | Configurable
+(** Where a parameter's value comes from (Table 2's SPEC/CHAR/CONF
+    column). *)
+
+type entry = {
+  symbol : string;
+  name : string;
+  description : string;
+  source : source;
+}
+
+val table2 : entry list
+(** The parameter glossary exactly as the paper's Table 2 lists it. *)
+
+val pp_source : Format.formatter -> source -> unit
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,95 @@
+type ceiling = { name : string; bandwidth : float }
+type t = { label : string; peak_ops : float; ceilings : ceiling list }
+
+let create ~label ~peak_ops ~ceilings =
+  if peak_ops <= 0. then invalid_arg "Roofline.create: peak_ops must be > 0";
+  if ceilings = [] then invalid_arg "Roofline.create: needs >= 1 ceiling";
+  List.iter
+    (fun c ->
+      if c.bandwidth <= 0. then
+        invalid_arg "Roofline.create: ceiling bandwidth must be > 0")
+    ceilings;
+  { label; peak_ops; ceilings }
+
+let check_intensity intensity =
+  if intensity <= 0. then invalid_arg "Roofline: intensity must be > 0"
+
+let min_bw t =
+  List.fold_left (fun acc c -> Float.min acc c.bandwidth) infinity t.ceilings
+
+let attainable_ops t ~intensity =
+  check_intensity intensity;
+  Float.min t.peak_ops (min_bw t *. intensity)
+
+let attainable_bytes t ~intensity = attainable_ops t ~intensity /. intensity
+
+let compute_bound t ~intensity =
+  check_intensity intensity;
+  t.peak_ops <= min_bw t *. intensity
+
+let knee t = t.peak_ops /. min_bw t
+
+let binding_ceiling t ~intensity =
+  if compute_bound t ~intensity then "compute"
+  else
+    let best =
+      List.fold_left
+        (fun acc c ->
+          match acc with
+          | None -> Some c
+          | Some best -> if c.bandwidth < best.bandwidth then Some c else acc)
+        None t.ceilings
+    in
+    match best with Some c -> c.name | None -> assert false
+
+let ops_per_packet ~ops ~packet_size =
+  if packet_size <= 0. then invalid_arg "Roofline.ops_per_packet: packet_size";
+  ops /. packet_size
+
+let of_vertex g ~(hw : Params.hardware) ~packet_size id =
+  let v = Graph.vertex g id in
+  if v.service.throughput = infinity then None
+  else begin
+    let peak_ops =
+      v.service.partition *. v.service.accel *. v.service.throughput
+      /. packet_size
+    in
+    let incoming = Graph.in_edges g id in
+    let sum f = List.fold_left (fun acc e -> acc +. f e) 0. incoming in
+    let sum_alpha = sum (fun (e : Graph.edge) -> e.alpha) in
+    let sum_beta = sum (fun (e : Graph.edge) -> e.beta) in
+    let ceilings =
+      (if sum_alpha > 0. then
+         [ { name = "interface"; bandwidth = hw.bw_interface /. sum_alpha } ]
+       else [])
+      @ (if sum_beta > 0. then
+           [ { name = "memory"; bandwidth = hw.bw_memory /. sum_beta } ]
+         else [])
+      @ List.filter_map
+          (fun (e : Graph.edge) ->
+            match e.bandwidth with
+            | Some bw when e.delta > 0. ->
+              Some
+                {
+                  name = Printf.sprintf "link-%d-%d" e.src e.dst;
+                  bandwidth = bw /. e.delta;
+                }
+            | Some _ | None -> None)
+          incoming
+    in
+    (* an unconstrained vertex still gets a roofline: cap it with its
+       own compute roof expressed as a ceiling *)
+    let ceilings =
+      if ceilings = [] then
+        [ { name = "unconstrained"; bandwidth = peak_ops *. packet_size *. 1e3 } ]
+      else ceilings
+    in
+    Some (create ~label:v.label ~peak_ops ~ceilings)
+  end
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>roofline %S: peak=%.3g ops/s" t.label t.peak_ops;
+  List.iter
+    (fun c -> Fmt.pf ppf "@,  ceiling %S: %.3g B/s" c.name c.bandwidth)
+    t.ceilings;
+  Fmt.pf ppf "@,  knee intensity: %.3g ops/B@]" (knee t)

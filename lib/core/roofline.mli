@@ -1,0 +1,61 @@
+(** Extended Roofline of an IP (§3.2).
+
+    LogNIC repurposes the Roofline model with two changes: (1) several
+    bandwidth ceilings, one per data source feeding the IP (SoC
+    interconnect, memory hierarchy, dedicated fabric); (2) {e packet
+    intensity} — IP-specific operations per byte of packet transmission —
+    replaces arithmetic intensity. The attainable operation rate is
+
+    [min(peak_ops, min_i (bw_i * intensity))].  *)
+
+type ceiling = { name : string; bandwidth : float (** bytes/s *) }
+
+type t = {
+  label : string;
+  peak_ops : float;  (** ops/s at full parallelism *)
+  ceilings : ceiling list;
+}
+
+val create : label:string -> peak_ops:float -> ceilings:ceiling list -> t
+(** Raises [Invalid_argument] unless [peak_ops > 0], every ceiling
+    bandwidth is positive, and at least one ceiling is given. *)
+
+val attainable_ops : t -> intensity:float -> float
+(** Attainable operation rate (ops/s) at the given packet intensity
+    (ops per byte, > 0). *)
+
+val attainable_bytes : t -> intensity:float -> float
+(** Same bound expressed as consumable traffic (bytes/s):
+    [attainable_ops / intensity]. *)
+
+val compute_bound : t -> intensity:float -> bool
+(** True when the peak-ops roof (not a bandwidth ceiling) is binding. *)
+
+val knee : t -> float
+(** The packet intensity at which the binding constraint switches from
+    the tightest bandwidth ceiling to the compute roof:
+    [peak_ops / min_bw]. Below the knee the IP is I/O-bound. *)
+
+val binding_ceiling : t -> intensity:float -> string
+(** Name of the binding constraint: a ceiling name, or ["compute"]. *)
+
+val ops_per_packet : ops:float -> packet_size:float -> float
+(** Converts the paper's per-packet operation counts into the per-byte
+    intensity used here. *)
+
+val of_vertex :
+  Graph.t ->
+  hw:Params.hardware ->
+  packet_size:float ->
+  Graph.vertex_id ->
+  t option
+(** The roofline of a graph vertex at a packet size, in {e packet
+    traffic} units: the compute roof is γ·A·P/g packets/s (one
+    IP-operation per packet), and each ceiling is a medium's
+    packet-traffic capacity — BW_INTF/Σα, BW_MEM/Σβ, BW_link/δ over the
+    vertex's incoming edges. Evaluate with [~intensity:(1. /.
+    packet_size)]; [attainable_bytes] then reproduces the vertex's
+    {!Throughput} cap restricted to its own media. [None] for
+    infinite-throughput vertices. *)
+
+val pp : Format.formatter -> t -> unit

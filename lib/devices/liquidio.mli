@@ -1,0 +1,53 @@
+(** The Marvell LiquidIO-II CN2360 device model (§4.1, Figure 8).
+
+    An on-path Multicore-SoC SmartNIC: 25 GbE ports, 16 × 1.5 GHz
+    cnMIPS cores, 4 GB DRAM, on-chip crypto units behind the coherent
+    memory interconnect (CMI, 50 Gbps) and off-chip HFA/ZIP engines
+    behind the I/O interconnect (40 Gbps).
+
+    Medium mapping: the I/O interconnect is the model's shared
+    {e interface}; the CMI is the {e memory} medium. *)
+
+val line_rate : float
+(** 25 Gbps in bytes/s. *)
+
+val total_cores : int
+(** 16 cnMIPS cores. *)
+
+val cmi_bandwidth : float
+(** 50 Gbps. *)
+
+val io_bandwidth : float
+(** 40 Gbps. *)
+
+val hardware : Lognic.Params.hardware
+(** interface = I/O interconnect, memory = CMI. *)
+
+val core_rate_bytes :
+  spec:Accel_spec.t -> cores:int -> packet_size:float -> float
+(** P (bytes/s of consumed traffic) of a NIC-core cluster of [cores]
+    cores driving the given accelerator at the given packet size. *)
+
+val accel_rate_bytes : spec:Accel_spec.t -> packet_size:float -> float
+(** P of the accelerator itself: one operation per packet. *)
+
+val inline_accel_graph :
+  ?cores:int ->
+  ?granularity:float ->
+  spec:Accel_spec.t ->
+  packet_size:float ->
+  unit ->
+  Lognic.Graph.t
+(** The §4.2 bump-in-the-wire execution graph:
+    ingress → IP1 (NIC cores) → IP2 (accelerator) → IP3 (NIC cores) →
+    egress, where IP3 mirrors IP1's parallelism (the paper's experiments
+    run submission and completion on the same cores; IP1/IP3 each get a
+    γ = 0.5 share of the cluster).  [cores] defaults to all 16;
+    [granularity] (default [packet_size]) is the accelerator's
+    data-access size per operation — the Fig 5 knob — and sets the α or
+    β of the core→accelerator and accelerator→core edges depending on
+    the engine's medium. *)
+
+val microservice_core_rate : cost_cycles:float -> cores:int -> float
+(** Requests/s of a [cores]-core cluster running a Microservice stage
+    that costs [cost_cycles] cycles per request (1.5 GHz cnMIPS). *)

@@ -1,0 +1,66 @@
+type gc_mode = Gc_none | Gc_realistic | Gc_worst_case
+
+type io = { io_size : float; read_fraction : float; sequential : bool }
+
+type t = {
+  read_access : float;
+  write_access : float;
+  stream_bandwidth : float;
+  internal_bandwidth : float;
+  parallelism : int;
+  gc_amplification : float;
+}
+
+let default =
+  {
+    read_access = 85e-6;
+    write_access = 20e-6;
+    stream_bandwidth = 400e6;
+    internal_bandwidth = 3.2e9;
+    parallelism = 64;
+    gc_amplification = 1.0;
+  }
+
+type effective = { service_time : float; bus_bandwidth : float; capacity : float }
+
+let effective t ~io ~gc =
+  if io.read_fraction < 0. || io.read_fraction > 1. then
+    invalid_arg "Ssd.effective: read_fraction outside [0, 1]";
+  let write_fraction = 1. -. io.read_fraction in
+  (* GC only hits random writes on a fragmented drive. Realistic mode
+     scales the write penalty with write intensity (background GC
+     absorbs the rest); worst-case charges the full amplification to
+     every write — the assumption a 100%-write characterization bakes
+     into calibrated parameters. *)
+  let gc_factor =
+    if io.sequential || write_fraction = 0. then 0.
+    else
+      match gc with
+      | Gc_none -> 0.
+      | Gc_realistic -> t.gc_amplification *. write_fraction
+      | Gc_worst_case -> t.gc_amplification
+  in
+  let transfer = io.io_size /. t.stream_bandwidth in
+  let read_service = t.read_access +. transfer in
+  let write_service = (t.write_access +. transfer) *. (1. +. gc_factor) in
+  let service_time =
+    (io.read_fraction *. read_service) +. (write_fraction *. write_service)
+  in
+  let bus_bandwidth =
+    (* GC traffic also competes for the internal bus. *)
+    t.internal_bandwidth /. (1. +. (gc_factor *. write_fraction))
+  in
+  let iops_capacity =
+    float_of_int t.parallelism *. io.io_size /. service_time
+  in
+  { service_time; bus_bandwidth; capacity = Float.min iops_capacity bus_bandwidth }
+
+let rrd_4k = { io_size = 4. *. Lognic.Units.kib; read_fraction = 1.; sequential = false }
+
+let rrd_128k =
+  { io_size = 128. *. Lognic.Units.kib; read_fraction = 1.; sequential = false }
+
+let swr_4k = { io_size = 4. *. Lognic.Units.kib; read_fraction = 0.; sequential = true }
+
+let mixed_4k ~read_fraction =
+  { io_size = 4. *. Lognic.Units.kib; read_fraction; sequential = false }

@@ -1,0 +1,203 @@
+module G = Lognic.Graph
+
+type document = {
+  graph : G.t;
+  hardware : Lognic.Params.hardware option;
+  traffic : Lognic.Traffic.t option;
+  mix : Lognic.Traffic.mix option;
+}
+
+exception Parse_error of int * string
+
+let fail line fmt = Format.kasprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokenize line = String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+let split_attr line_no token =
+  match String.index_opt token '=' with
+  | Some i ->
+    ( String.sub token 0 i,
+      String.sub token (i + 1) (String.length token - i - 1) )
+  | None -> fail line_no "expected key=value, got %S" token
+
+let quantity line_no key value =
+  match Quantity.parse value with
+  | Ok v -> v
+  | Error e -> fail line_no "attribute %s: %s" key e
+
+let parse_vertex_kind line_no = function
+  | "ingress" -> G.Ingress
+  | "egress" -> G.Egress
+  | "ip" -> G.Ip
+  | other -> fail line_no "unknown vertex kind %S (ingress|egress|ip)" other
+
+type state = {
+  mutable graph : G.t;
+  mutable hardware : Lognic.Params.hardware option;
+  mutable traffic : Lognic.Traffic.t option;
+  mutable classes : (Lognic.Traffic.t * float) list;
+  names : (string, G.vertex_id) Hashtbl.t;
+}
+
+let parse_vertex state line_no = function
+  | name :: kind :: attrs ->
+    if Hashtbl.mem state.names name then fail line_no "duplicate vertex %S" name;
+    let kind = parse_vertex_kind line_no kind in
+    let throughput = ref infinity
+    and parallelism = ref 1
+    and queue = ref 64
+    and overhead = ref 0.
+    and accel = ref 1.
+    and partition = ref 1. in
+    List.iter
+      (fun token ->
+        let key, value = split_attr line_no token in
+        let q () = quantity line_no key value in
+        match key with
+        | "throughput" -> throughput := q ()
+        | "parallelism" -> parallelism := int_of_float (q ())
+        | "queue" -> queue := int_of_float (q ())
+        | "overhead" -> overhead := q ()
+        | "accel" -> accel := q ()
+        | "partition" -> partition := q ()
+        | other -> fail line_no "unknown vertex attribute %S" other)
+      attrs;
+    let service =
+      if !throughput = infinity then
+        { G.default_service with parallelism = !parallelism; queue_capacity = !queue }
+      else
+        try
+          G.service ~throughput:!throughput ~parallelism:!parallelism
+            ~queue_capacity:!queue ~overhead:!overhead ~accel:!accel
+            ~partition:!partition ()
+        with Invalid_argument msg -> fail line_no "%s" msg
+    in
+    let graph, id = G.add_vertex ~kind ~label:name ~service state.graph in
+    state.graph <- graph;
+    Hashtbl.add state.names name id
+  | _ -> fail line_no "vertex needs a name and a kind"
+
+let parse_edge state line_no = function
+  | src :: "->" :: dst :: attrs ->
+    let resolve name =
+      match Hashtbl.find_opt state.names name with
+      | Some id -> id
+      | None -> fail line_no "unknown vertex %S" name
+    in
+    let delta = ref 1. and alpha = ref 0. and beta = ref 0. in
+    let bandwidth = ref None in
+    List.iter
+      (fun token ->
+        let key, value = split_attr line_no token in
+        let q () = quantity line_no key value in
+        match key with
+        | "delta" -> delta := q ()
+        | "alpha" -> alpha := q ()
+        | "beta" -> beta := q ()
+        | "bandwidth" -> bandwidth := Some (q ())
+        | other -> fail line_no "unknown edge attribute %S" other)
+      attrs;
+    (try
+       state.graph <-
+         G.add_edge ~delta:!delta ~alpha:!alpha ~beta:!beta ?bandwidth:!bandwidth
+           ~src:(resolve src) ~dst:(resolve dst) state.graph
+     with Invalid_argument msg -> fail line_no "%s" msg)
+  | _ -> fail line_no "edge syntax: edge <src> -> <dst> [attrs]"
+
+let parse_hardware state line_no attrs =
+  let interface = ref None and memory = ref None in
+  List.iter
+    (fun token ->
+      let key, value = split_attr line_no token in
+      let q () = quantity line_no key value in
+      match key with
+      | "interface" -> interface := Some (q ())
+      | "memory" -> memory := Some (q ())
+      | other -> fail line_no "unknown hardware attribute %S" other)
+    attrs;
+  match (!interface, !memory) with
+  | Some bw_interface, Some bw_memory ->
+    (try state.hardware <- Some (Lognic.Params.hardware ~bw_interface ~bw_memory)
+     with Invalid_argument msg -> fail line_no "%s" msg)
+  | _ -> fail line_no "hardware needs both interface= and memory="
+
+let parse_traffic state line_no attrs =
+  let rate = ref None and packet = ref None in
+  List.iter
+    (fun token ->
+      let key, value = split_attr line_no token in
+      let q () = quantity line_no key value in
+      match key with
+      | "rate" -> rate := Some (q ())
+      | "packet" -> packet := Some (q ())
+      | other -> fail line_no "unknown traffic attribute %S" other)
+    attrs;
+  match (!rate, !packet) with
+  | Some rate, Some packet_size ->
+    (try state.traffic <- Some (Lognic.Traffic.make ~rate ~packet_size)
+     with Invalid_argument msg -> fail line_no "%s" msg)
+  | _ -> fail line_no "traffic needs both rate= and packet="
+
+let parse_class state line_no attrs =
+  let rate = ref None and packet = ref None and weight = ref 1. in
+  List.iter
+    (fun token ->
+      let key, value = split_attr line_no token in
+      let q () = quantity line_no key value in
+      match key with
+      | "rate" -> rate := Some (q ())
+      | "packet" -> packet := Some (q ())
+      | "weight" -> weight := q ()
+      | other -> fail line_no "unknown class attribute %S" other)
+    attrs;
+  match (!rate, !packet) with
+  | Some rate, Some packet_size ->
+    (try
+       state.classes <-
+         state.classes @ [ (Lognic.Traffic.make ~rate ~packet_size, !weight) ]
+     with Invalid_argument msg -> fail line_no "%s" msg)
+  | _ -> fail line_no "class needs both rate= and packet="
+
+let parse_string text =
+  let state =
+    {
+      graph = G.empty;
+      hardware = None;
+      traffic = None;
+      classes = [];
+      names = Hashtbl.create 16;
+    }
+  in
+  try
+    List.iteri
+      (fun i line ->
+        let line_no = i + 1 in
+        match tokenize (strip_comment line) with
+        | [] -> ()
+        | "vertex" :: rest -> parse_vertex state line_no rest
+        | "edge" :: rest -> parse_edge state line_no rest
+        | "hardware" :: rest -> parse_hardware state line_no rest
+        | "traffic" :: rest -> parse_traffic state line_no rest
+        | "class" :: rest -> parse_class state line_no rest
+        | keyword :: _ -> fail line_no "unknown statement %S" keyword)
+      (String.split_on_char '\n' text);
+    let mix =
+      match state.classes with [] -> None | classes -> Some (Lognic.Traffic.mix classes)
+    in
+    Ok { graph = state.graph; hardware = state.hardware; traffic = state.traffic; mix }
+  with Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_string text
+  | exception Sys_error e -> Error e
+
+let vertex_id (doc : document) name =
+  List.find_map
+    (fun (v : G.vertex) -> if v.label = name then Some v.id else None)
+    (G.vertices doc.graph)

@@ -1,0 +1,41 @@
+(** The plain-text execution-graph format.
+
+    Line-oriented; [#] starts a comment; blank lines are skipped.
+    Three statement kinds, in any order as long as vertices precede the
+    edges that use them:
+
+    {v
+    hardware interface=50Gbps memory=60Gbps
+    vertex rx ingress throughput=25Gbps queue=128
+    vertex core ip throughput=4Gbps parallelism=4 queue=32 \
+           overhead=1us accel=1.0 partition=0.5
+    vertex tx egress throughput=25Gbps
+    edge rx -> core delta=1.0 alpha=1.0
+    edge core -> tx delta=1.0 alpha=1.0 bandwidth=10Gbps
+    traffic rate=10Gbps packet=1500B
+    class rate=1Gbps packet=64B weight=1
+    class rate=9Gbps packet=1500B weight=3
+    v}
+
+    [class] lines (zero or more) assemble a multi-class traffic mix
+    (Extension #2); [weight] defaults to 1.
+
+    Vertex names are unique identifiers; attribute values accept the
+    {!Quantity} suffixes. Omitted vertex attributes default to
+    {!Lognic.Graph.default_service} fields (throughput defaults to
+    unbounded); omitted edge attributes default to δ = 1, α = β = 0. *)
+
+type document = {
+  graph : Lognic.Graph.t;
+  hardware : Lognic.Params.hardware option;
+  traffic : Lognic.Traffic.t option;
+  mix : Lognic.Traffic.mix option;
+}
+
+val parse_string : string -> (document, string) result
+(** Errors carry a line number and description. *)
+
+val parse_file : string -> (document, string) result
+
+val vertex_id : document -> string -> Lognic.Graph.vertex_id option
+(** Look a vertex up by its DSL name. *)

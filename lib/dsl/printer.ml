@@ -1,0 +1,105 @@
+module G = Lognic.Graph
+
+let kind_name = function
+  | G.Ingress -> "ingress"
+  | G.Egress -> "egress"
+  | G.Ip -> "ip"
+
+(* Vertex labels are used as DSL names; spaces would break tokenizing. *)
+let sanitize label =
+  String.map (fun c -> if c = ' ' then '_' else c) label
+
+let vertex_line (v : G.vertex) =
+  let buffer = Buffer.create 64 in
+  Buffer.add_string buffer
+    (Printf.sprintf "vertex %s %s" (sanitize v.label) (kind_name v.kind));
+  let s = v.service in
+  if s.throughput < infinity then
+    Buffer.add_string buffer (Printf.sprintf " throughput=%g" s.throughput);
+  if s.parallelism <> 1 then
+    Buffer.add_string buffer (Printf.sprintf " parallelism=%d" s.parallelism);
+  Buffer.add_string buffer (Printf.sprintf " queue=%d" s.queue_capacity);
+  if s.overhead > 0. then
+    Buffer.add_string buffer (Printf.sprintf " overhead=%g" s.overhead);
+  if s.accel <> 1. then Buffer.add_string buffer (Printf.sprintf " accel=%g" s.accel);
+  if s.partition <> 1. then
+    Buffer.add_string buffer (Printf.sprintf " partition=%g" s.partition);
+  Buffer.contents buffer
+
+let edge_line g (e : G.edge) =
+  let name id = sanitize (G.vertex g id).label in
+  let buffer = Buffer.create 64 in
+  Buffer.add_string buffer
+    (Printf.sprintf "edge %s -> %s delta=%g" (name e.src) (name e.dst) e.delta);
+  if e.alpha > 0. then Buffer.add_string buffer (Printf.sprintf " alpha=%g" e.alpha);
+  if e.beta > 0. then Buffer.add_string buffer (Printf.sprintf " beta=%g" e.beta);
+  (match e.bandwidth with
+  | Some bw -> Buffer.add_string buffer (Printf.sprintf " bandwidth=%g" bw)
+  | None -> ());
+  Buffer.contents buffer
+
+let graph_to_string g =
+  String.concat "\n"
+    (List.map vertex_line (G.vertices g) @ List.map (edge_line g) (G.edges g))
+  ^ "\n"
+
+let to_dot g =
+  let buffer = Buffer.create 512 in
+  Buffer.add_string buffer "digraph lognic {\n  rankdir=LR;\n";
+  List.iter
+    (fun (v : G.vertex) ->
+      let shape =
+        match v.kind with G.Ingress | G.Egress -> "house" | G.Ip -> "box"
+      in
+      let label =
+        if v.service.throughput = infinity then sanitize v.label
+        else
+          Printf.sprintf "%s\\nP=%s D=%d N=%d" (sanitize v.label)
+            (Quantity.print_rate v.service.throughput)
+            v.service.parallelism v.service.queue_capacity
+      in
+      Buffer.add_string buffer
+        (Printf.sprintf "  v%d [shape=%s, label=\"%s\"];\n" v.id shape label))
+    (G.vertices g);
+  List.iter
+    (fun (e : G.edge) ->
+      let media = Buffer.create 16 in
+      if e.alpha > 0. then
+        Buffer.add_string media (Printf.sprintf " a=%g" e.alpha);
+      if e.beta > 0. then Buffer.add_string media (Printf.sprintf " b=%g" e.beta);
+      (match e.bandwidth with
+      | Some bw ->
+        Buffer.add_string media
+          (Printf.sprintf " link=%s" (Quantity.print_rate bw))
+      | None -> ());
+      Buffer.add_string buffer
+        (Printf.sprintf "  v%d -> v%d [label=\"d=%g%s\"];\n" e.src e.dst e.delta
+           (Buffer.contents media)))
+    (G.edges g);
+  Buffer.add_string buffer "}\n";
+  Buffer.contents buffer
+
+let document_to_string (doc : Parser.document) =
+  let buffer = Buffer.create 256 in
+  (match doc.hardware with
+  | Some hw ->
+    Buffer.add_string buffer
+      (Printf.sprintf "hardware interface=%g memory=%g\n" hw.bw_interface
+         hw.bw_memory)
+  | None -> ());
+  Buffer.add_string buffer (graph_to_string doc.graph);
+  (match doc.traffic with
+  | Some t ->
+    Buffer.add_string buffer
+      (Printf.sprintf "traffic rate=%g packet=%g\n" t.rate t.packet_size)
+  | None -> ());
+  (match doc.mix with
+  | Some classes ->
+    List.iter
+      (fun ((c : Lognic.Traffic.t), w) ->
+        Buffer.add_string buffer
+          (Printf.sprintf "class rate=%g packet=%g weight=%g\n" c.rate
+             c.packet_size w))
+      classes
+  | None -> ());
+  Buffer.contents buffer

@@ -1,0 +1,81 @@
+let suffixes =
+  (* Longest-match-first table of suffix -> multiplier (to SI base). *)
+  [
+    ("gbps", 1e9 /. 8.);
+    ("mbps", 1e6 /. 8.);
+    ("kbps", 1e3 /. 8.);
+    ("bps", 1. /. 8.);
+    ("gb/s", 1e9);
+    ("mb/s", 1e6);
+    ("kb/s", 1e3);
+    ("b/s", 1.);
+    ("kib", 1024.);
+    ("mib", 1024. *. 1024.);
+    ("gib", 1024. *. 1024. *. 1024.);
+    ("kb", 1e3);
+    ("mb", 1e6);
+    ("gb", 1e9);
+    ("b", 1.);
+    ("ns", 1e-9);
+    ("us", 1e-6);
+    ("ms", 1e-3);
+    ("s", 1.);
+    ("kops", 1e3);
+    ("mops", 1e6);
+    ("ops", 1.);
+  ]
+
+let parse text =
+  let text = String.trim text in
+  if text = "" then Error "empty quantity"
+  else begin
+    let lower = String.lowercase_ascii text in
+    let matching =
+      List.find_opt
+        (fun (suffix, _) ->
+          String.length lower > String.length suffix
+          && Filename.check_suffix lower suffix
+          &&
+          (* the char before the suffix must be part of the number *)
+          let c = lower.[String.length lower - String.length suffix - 1] in
+          (c >= '0' && c <= '9') || c = '.')
+        suffixes
+    in
+    let number_part, multiplier =
+      match matching with
+      | Some (suffix, m) ->
+        (String.sub text 0 (String.length text - String.length suffix), m)
+      | None -> (text, 1.)
+    in
+    match float_of_string_opt (String.trim number_part) with
+    | Some v -> Ok (v *. multiplier)
+    | None -> Error (Printf.sprintf "cannot parse quantity %S" text)
+  end
+
+let parse_exn text =
+  match parse text with Ok v -> v | Error e -> failwith e
+
+let print_with units v =
+  let rec pick = function
+    | [] -> Printf.sprintf "%g" v
+    | (threshold, divisor, suffix) :: rest ->
+      if abs_float v >= threshold then
+        Printf.sprintf "%g%s" (v /. divisor) suffix
+      else pick rest
+  in
+  pick units
+
+let print_rate v =
+  print_with
+    [
+      (1e9 /. 8., 1e9 /. 8., "Gbps");
+      (1e6 /. 8., 1e6 /. 8., "Mbps");
+      (1., 1. /. 8., "bps");
+    ]
+    v
+
+let print_size v =
+  print_with [ (1024. *. 1024., 1024. *. 1024., "MiB"); (1024., 1024., "KiB"); (1., 1., "B") ] v
+
+let print_time v =
+  print_with [ (1., 1., "s"); (1e-3, 1e-3, "ms"); (1e-6, 1e-6, "us"); (1e-9, 1e-9, "ns") ] v

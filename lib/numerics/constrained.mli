@@ -1,0 +1,34 @@
+(** Constrained minimization on top of {!Nelder_mead}.
+
+    Constraints are expressed as inequality residuals [g x <= 0] and box
+    bounds; violations are folded into the objective as quadratic
+    penalties with an escalating weight, the textbook exterior-penalty
+    scheme. [multi_start] restarts from several points to escape the
+    local minima a single simplex can get stuck in (the paper makes the
+    same caveat about Nelder–Mead in §3.8). *)
+
+type problem = {
+  objective : Vec.t -> float;
+  inequality : (Vec.t -> float) list;
+      (** each [g] is satisfied when [g x <= 0] *)
+  lower : Vec.t;
+  upper : Vec.t;
+}
+
+type solution = {
+  x : Vec.t;
+  f : float;  (** raw objective at [x], penalties excluded *)
+  feasible : bool;  (** all inequalities within [1e-6] and inside the box *)
+}
+
+val minimize : ?rounds:int -> ?options:Nelder_mead.options -> problem -> Vec.t -> solution
+(** [minimize problem x0] runs [rounds] (default 4) penalty escalations,
+    each warm-started from the previous solution. [x0] is clamped into
+    the box first. *)
+
+val multi_start :
+  ?starts:int -> ?rounds:int -> ?options:Nelder_mead.options ->
+  rng:Rng.t -> problem -> solution
+(** [multi_start ~rng problem] seeds [starts] (default 8) random points in
+    the box plus the box centre, and returns the best feasible solution
+    found (or the least-infeasible one when none is feasible). *)

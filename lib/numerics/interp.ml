@@ -1,0 +1,34 @@
+type t = { xs : float array; ys : float array }
+
+let of_points points =
+  match points with
+  | [] -> invalid_arg "Interp.of_points: empty"
+  | _ ->
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) points in
+    let xs = Array.of_list (List.map fst sorted) in
+    let ys = Array.of_list (List.map snd sorted) in
+    for i = 1 to Array.length xs - 1 do
+      if xs.(i) = xs.(i - 1) then invalid_arg "Interp.of_points: duplicate x"
+    done;
+    { xs; ys }
+
+let eval t x =
+  let n = Array.length t.xs in
+  if x <= t.xs.(0) then t.ys.(0)
+  else if x >= t.xs.(n - 1) then t.ys.(n - 1)
+  else begin
+    (* binary search for the segment containing x *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    let x0 = t.xs.(!lo) and x1 = t.xs.(!hi) in
+    let y0 = t.ys.(!lo) and y1 = t.ys.(!hi) in
+    y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
+  end
+
+let domain t = (t.xs.(0), t.xs.(Array.length t.xs - 1))
+
+let points t =
+  Array.to_list (Array.mapi (fun i x -> (x, t.ys.(i))) t.xs)

@@ -1,0 +1,20 @@
+(** Piecewise-linear interpolation over tabulated curves, used for
+    characterized device parameters (e.g. per-packet-size accelerator
+    throughput tables). *)
+
+type t
+
+val of_points : (float * float) list -> t
+(** Builds an interpolator from [(x, y)] samples. Points are sorted by
+    [x]; raises [Invalid_argument] on fewer than one point or duplicate
+    [x] values. *)
+
+val eval : t -> float -> float
+(** Linear interpolation between neighbours; clamps to the edge values
+    outside the tabulated range (device curves saturate rather than
+    extrapolate). *)
+
+val domain : t -> float * float
+(** Smallest and largest tabulated [x]. *)
+
+val points : t -> (float * float) list

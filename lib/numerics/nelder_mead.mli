@@ -1,0 +1,33 @@
+(** Nelder–Mead downhill-simplex minimization.
+
+    This is the local solver behind the LogNIC optimizer (§3.8). The paper
+    uses SciPy's SLSQP; §3.8 explicitly names Nelder–Mead as an acceptable
+    local alternative, which is what we implement (SciPy is unavailable —
+    see DESIGN.md substitutions). Constraints are handled by
+    {!Constrained} via penalties. *)
+
+type options = {
+  max_iter : int;  (** iteration budget (default 2000) *)
+  f_tol : float;
+      (** stop when the simplex's value spread falls below this fraction
+          of the best value's magnitude (default 1e-9) *)
+  x_tol : float;
+      (** stop when the simplex diameter falls below this fraction of
+          (1 + ||best point||) (default 1e-9) *)
+  initial_step : float;
+      (** relative perturbation used to seed the simplex (default 0.05) *)
+}
+
+val default_options : options
+
+type result = {
+  x : Vec.t;  (** best point found *)
+  f : float;  (** objective value at [x] *)
+  iterations : int;
+  converged : bool;  (** false when the iteration budget ran out *)
+}
+
+val minimize : ?options:options -> f:(Vec.t -> float) -> x0:Vec.t -> unit -> result
+(** [minimize ~f ~x0 ()] runs the simplex from [x0]. [f] may return
+    [infinity] to reject a point (used for penalty constraints); [x0]
+    itself must evaluate finite. The dimension is [Array.length x0 >= 1]. *)

@@ -1,0 +1,18 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x10619c; seed lxor 0x5f3759df |]
+
+let split t =
+  let a = Random.State.bits t and b = Random.State.bits t in
+  Random.State.make [| a; b; Random.State.bits t |]
+
+let float t bound =
+  assert (bound > 0.);
+  Random.State.float t bound
+
+let int t bound =
+  assert (bound > 0);
+  Random.State.int t bound
+
+let bool t = Random.State.bool t
+let copy t = Random.State.copy t

@@ -1,0 +1,101 @@
+let require_nonempty xs name =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty input")
+
+let mean xs =
+  require_nonempty xs "Stats.mean";
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  require_nonempty xs "Stats.variance";
+  let n = Array.length xs in
+  if n = 1 then 0.
+  else
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    ss /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let percentile xs p =
+  require_nonempty xs "Stats.percentile";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = percentile xs 50.
+
+let minimum xs =
+  require_nonempty xs "Stats.minimum";
+  Array.fold_left min xs.(0) xs
+
+let maximum xs =
+  require_nonempty xs "Stats.maximum";
+  Array.fold_left max xs.(0) xs
+
+let relative_error ~actual ~expected =
+  if expected = 0. then if actual = 0. then 0. else infinity
+  else abs_float (actual -. expected) /. abs_float expected
+
+let geometric_mean xs =
+  require_nonempty xs "Stats.geometric_mean";
+  if Array.exists (fun x -> x <= 0.) xs then
+    invalid_arg "Stats.geometric_mean: non-positive entry";
+  let log_sum = Array.fold_left (fun acc x -> acc +. log x) 0. xs in
+  exp (log_sum /. float_of_int (Array.length xs))
+
+let weighted_mean pairs =
+  let wsum = List.fold_left (fun acc (_, w) -> acc +. w) 0. pairs in
+  if wsum <= 0. then invalid_arg "Stats.weighted_mean: weight sum must be > 0";
+  List.fold_left (fun acc (v, w) -> acc +. (v *. w)) 0. pairs /. wsum
+
+module Online = struct
+  type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { n = 0; mean = 0.; m2 = 0. }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0. else t.mean
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+end
+
+module Histogram = struct
+  type t = { lo : float; hi : float; counts : int array; mutable total : int }
+
+  let create ~lo ~hi ~bins =
+    if not (lo < hi) then invalid_arg "Histogram.create: requires lo < hi";
+    if bins <= 0 then invalid_arg "Histogram.create: requires bins > 0";
+    { lo; hi; counts = Array.make bins 0; total = 0 }
+
+  let add t x =
+    let bins = Array.length t.counts in
+    let raw =
+      int_of_float (float_of_int bins *. (x -. t.lo) /. (t.hi -. t.lo))
+    in
+    let i = max 0 (min (bins - 1) raw) in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.total <- t.total + 1
+
+  let counts t = Array.copy t.counts
+  let total t = t.total
+
+  let bin_mid t i =
+    let bins = Array.length t.counts in
+    if i < 0 || i >= bins then invalid_arg "Histogram.bin_mid: index";
+    let width = (t.hi -. t.lo) /. float_of_int bins in
+    t.lo +. (width *. (float_of_int i +. 0.5))
+end

@@ -1,0 +1,56 @@
+(** Descriptive statistics for telemetry and model validation. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for singleton input.
+    Raises [Invalid_argument] on an empty array. *)
+
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]], linear interpolation
+    between order statistics. Does not mutate [xs]. *)
+
+val median : float array -> float
+val minimum : float array -> float
+val maximum : float array -> float
+
+val relative_error : actual:float -> expected:float -> float
+(** [|actual - expected| / |expected|]; infinite when [expected = 0] and
+    [actual <> 0], 0 when both are 0. Used throughout the experiment
+    harness to report paper-vs-measured gaps. *)
+
+val geometric_mean : float array -> float
+(** Raises [Invalid_argument] on empty input or non-positive entries. *)
+
+val weighted_mean : (float * float) list -> float
+(** [(value, weight)] pairs; raises [Invalid_argument] when the weight sum
+    is not positive. *)
+
+(** Streaming mean/variance accumulator (Welford). *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+end
+
+(** Fixed-bin histogram over a closed range; out-of-range samples are
+    clamped into the edge bins so mass is never lost. *)
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+  val add : t -> float -> unit
+  val counts : t -> int array
+  val total : t -> int
+
+  val bin_mid : t -> int -> float
+  (** Midpoint value of bin [i]. *)
+end

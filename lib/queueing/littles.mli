@@ -1,0 +1,15 @@
+(** Little's-law helpers (L = λW), used by telemetry cross-checks. *)
+
+val number_in_system : arrival_rate:float -> time_in_system:float -> float
+val time_in_system : arrival_rate:float -> number_in_system:float -> float
+val arrival_rate : number_in_system:float -> time_in_system:float -> float
+
+val consistent :
+  ?tol:float ->
+  arrival_rate:float ->
+  time_in_system:float ->
+  number_in_system:float ->
+  unit ->
+  bool
+(** Checks L ≈ λW within relative tolerance [tol] (default 5%); useful as
+    an invariant over simulator measurements. *)

@@ -1,0 +1,17 @@
+type t = { lambda : float; mu : float }
+
+let create ~lambda ~mu =
+  if lambda <= 0. || mu <= 0. then invalid_arg "Md1.create: rates must be > 0";
+  { lambda; mu }
+
+let utilization t = t.lambda /. t.mu
+let stable t = utilization t < 1.
+
+let mean_waiting_time t =
+  let rho = utilization t in
+  if rho >= 1. then infinity else rho /. (2. *. t.mu *. (1. -. rho))
+
+let mean_time_in_system t = mean_waiting_time t +. (1. /. t.mu)
+
+let mean_number_in_system t =
+  if stable t then t.lambda *. mean_time_in_system t else infinity

@@ -1,0 +1,22 @@
+(** The M/D/1 queue — Poisson arrivals, deterministic service. The
+    Pollaczek–Khinchine mean for zero service variance: queueing delay
+    is exactly half of M/M/1's. Backs the simulator's [Deterministic]
+    service ablation analytically. *)
+
+type t = { lambda : float; mu : float }
+
+val create : lambda:float -> mu:float -> t
+(** [mu] is 1 / service time. Raises [Invalid_argument] on non-positive
+    rates. *)
+
+val utilization : t -> float
+val stable : t -> bool
+
+val mean_waiting_time : t -> float
+(** Wq = ρ / (2μ(1−ρ)); infinite when unstable. *)
+
+val mean_time_in_system : t -> float
+(** W = Wq + 1/μ. *)
+
+val mean_number_in_system : t -> float
+(** L = λW. *)

@@ -1,0 +1,27 @@
+(** The M/M/1 queue: Poisson arrivals at rate [lambda], exponential
+    service at rate [mu], infinite buffer. This is the [N -> infinity]
+    limit of {!Mm1n} and is used as a cross-check in tests and as the
+    "infinite queue" ablation of the LogNIC latency model. *)
+
+type t = { lambda : float; mu : float }
+
+val create : lambda:float -> mu:float -> t
+(** Raises [Invalid_argument] unless both rates are positive. *)
+
+val utilization : t -> float
+(** ρ = λ/μ. *)
+
+val stable : t -> bool
+(** ρ < 1; the closed forms below require stability. *)
+
+val mean_number_in_system : t -> float
+(** L = ρ/(1−ρ). Infinite when unstable. *)
+
+val mean_number_in_queue : t -> float
+(** Lq = ρ²/(1−ρ). *)
+
+val mean_time_in_system : t -> float
+(** W = 1/(μ−λ). *)
+
+val mean_waiting_time : t -> float
+(** Wq = ρ/(μ−λ) — time spent queueing, excluding service. *)

@@ -1,0 +1,47 @@
+type t = { lambda : float; mu : float; capacity : int }
+
+let create ~lambda ~mu ~capacity =
+  if lambda <= 0. || mu <= 0. then invalid_arg "Mm1n.create: rates must be > 0";
+  if capacity < 1 then invalid_arg "Mm1n.create: capacity must be >= 1";
+  { lambda; mu; capacity }
+
+let utilization t = t.lambda /. t.mu
+
+(* The state distribution is geometric truncated at N. Computing it as an
+   explicit normalized vector is O(N), exact at rho = 1, and numerically
+   stable for any utilization — capacities here are queue credits, so N is
+   small. *)
+let probabilities t =
+  let rho = utilization t in
+  let raw = Array.init (t.capacity + 1) (fun k -> rho ** float_of_int k) in
+  let total = Array.fold_left ( +. ) 0. raw in
+  Array.map (fun p -> p /. total) raw
+
+let state_probability t k =
+  if k < 0 || k > t.capacity then 0. else (probabilities t).(k)
+
+let blocking_probability t = (probabilities t).(t.capacity)
+
+let mean_number_in_system t =
+  let probs = probabilities t in
+  let acc = ref 0. in
+  Array.iteri (fun k p -> acc := !acc +. (float_of_int k *. p)) probs;
+  !acc
+
+let effective_arrival_rate t = t.lambda *. (1. -. blocking_probability t)
+let throughput = effective_arrival_rate
+let mean_time_in_system t = mean_number_in_system t /. effective_arrival_rate t
+
+let mean_waiting_time t =
+  Float.max 0. (mean_time_in_system t -. (1. /. t.mu))
+
+let waiting_time_closed_form t =
+  let rho = utilization t in
+  let n = float_of_int t.capacity in
+  let inner =
+    if abs_float (rho -. 1.) < 1e-9 then
+      (* lim_{rho->1} rho/(1-rho) - N rho^N/(1-rho^N) = (N-1)/2 *)
+      (n -. 1.) /. 2.
+    else (rho /. (1. -. rho)) -. (n *. (rho ** n) /. (1. -. (rho ** n)))
+  in
+  Float.max 0. (inner /. t.mu)

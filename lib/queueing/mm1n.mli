@@ -1,0 +1,47 @@
+(** The M/M/1/N queue — Poisson arrivals, exponential service, at most
+    [capacity] requests in the system (arrivals finding it full are
+    dropped). This is the queueing discipline the LogNIC latency model
+    assigns to every IP block (paper Eqs 9–12): the IP's input queues are
+    concatenated into one virtual shared queue whose capacity is the
+    queue-entry provision (e.g. PANIC "credits").
+
+    Unlike M/M/1, the system is well-defined for any ρ, including ρ ≥ 1:
+    the finite buffer sheds load instead of diverging. *)
+
+type t = { lambda : float; mu : float; capacity : int }
+
+val create : lambda:float -> mu:float -> capacity:int -> t
+(** Raises [Invalid_argument] unless rates are positive and
+    [capacity >= 1]. *)
+
+val utilization : t -> float
+(** ρ = λ/μ (offered, not carried, load). *)
+
+val state_probability : t -> int -> float
+(** [state_probability t k] is Pro_k, the steady-state probability of [k]
+    requests in the system (paper Eq 10); 0 outside [0..capacity]. *)
+
+val blocking_probability : t -> float
+(** Pro_N — the packet drop rate of the IP. *)
+
+val mean_number_in_system : t -> float
+(** L = Σ k·Pro_k. *)
+
+val effective_arrival_rate : t -> float
+(** λe = λ(1 − Pro_N): the admitted-traffic rate. *)
+
+val throughput : t -> float
+(** Carried rate — equal to [effective_arrival_rate] in steady state. *)
+
+val mean_time_in_system : t -> float
+(** W = L/λe (Little's law over admitted requests). *)
+
+val mean_waiting_time : t -> float
+(** Q = L/λe − 1/μ — paper Eq 9/12, the queueing delay that enters the
+    per-IP latency term. Never negative (clamped against rounding). *)
+
+val waiting_time_closed_form : t -> float
+(** Paper Eq 12's algebraic form
+    (1/μ)·(ρ/(1−ρ) − Nρ^N/(1−ρ^N)), with the ρ→1 limit handled.
+    Kept separate so tests can confirm it agrees with
+    [mean_waiting_time]. *)

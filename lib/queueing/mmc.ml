@@ -1,0 +1,29 @@
+type t = { lambda : float; mu : float; servers : int }
+
+let create ~lambda ~mu ~servers =
+  if lambda <= 0. || mu <= 0. then invalid_arg "Mmc.create: rates must be > 0";
+  if servers < 1 then invalid_arg "Mmc.create: servers must be >= 1";
+  { lambda; mu; servers }
+
+let utilization t = t.lambda /. (float_of_int t.servers *. t.mu)
+let stable t = utilization t < 1.
+
+(* Erlang C computed via the numerically stable recurrence on the Erlang B
+   blocking formula: B(0,a) = 1, B(k,a) = a*B(k-1,a) / (k + a*B(k-1,a));
+   then C = B / (1 - rho*(1-B)). *)
+let erlang_c t =
+  let a = t.lambda /. t.mu in
+  let c = t.servers in
+  let b = ref 1. in
+  for k = 1 to c do
+    b := a *. !b /. (float_of_int k +. (a *. !b))
+  done;
+  let rho = utilization t in
+  !b /. (1. -. (rho *. (1. -. !b)))
+
+let mean_waiting_time t =
+  if not (stable t) then infinity
+  else erlang_c t /. ((float_of_int t.servers *. t.mu) -. t.lambda)
+
+let mean_time_in_system t = mean_waiting_time t +. (1. /. t.mu)
+let mean_number_in_system t = t.lambda *. mean_time_in_system t

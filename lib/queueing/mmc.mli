@@ -1,0 +1,27 @@
+(** The M/M/c queue — [servers] parallel exponential servers fed by one
+    Poisson stream. Used to sanity-check the simulator's multi-engine IP
+    blocks and as an alternative service model in ablations. *)
+
+type t = { lambda : float; mu : float; servers : int }
+
+val create : lambda:float -> mu:float -> servers:int -> t
+(** [mu] is the per-server rate. Raises [Invalid_argument] unless rates
+    are positive and [servers >= 1]. *)
+
+val utilization : t -> float
+(** ρ = λ/(cμ). *)
+
+val stable : t -> bool
+
+val erlang_c : t -> float
+(** Probability an arrival has to wait (all servers busy). Requires
+    stability. *)
+
+val mean_waiting_time : t -> float
+(** Wq = C(c, λ/μ) / (cμ − λ); infinite when unstable. *)
+
+val mean_time_in_system : t -> float
+(** W = Wq + 1/μ. *)
+
+val mean_number_in_system : t -> float
+(** L = λW. *)

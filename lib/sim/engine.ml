@@ -1,0 +1,31 @@
+type t = { queue : (unit -> unit) Event_queue.t; mutable clock : float }
+
+let create () = { queue = Event_queue.create (); clock = 0. }
+let now t = t.clock
+
+let schedule t ~at thunk =
+  if at < t.clock then invalid_arg "Engine.schedule: event in the past";
+  Event_queue.push t.queue ~time:at thunk
+
+let schedule_after t ~delay thunk =
+  if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(t.clock +. delay) thunk
+
+let run ?until t =
+  let horizon = Option.value until ~default:infinity in
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | None -> ()
+    | Some time when time > horizon -> t.clock <- horizon
+    | Some _ ->
+      (match Event_queue.pop t.queue with
+      | None -> ()
+      | Some (time, thunk) ->
+        t.clock <- time;
+        thunk ();
+        loop ())
+  in
+  loop ();
+  if horizon < infinity && t.clock < horizon then t.clock <- horizon
+
+let pending t = Event_queue.size t.queue

@@ -1,0 +1,23 @@
+(** The discrete-event simulation core: a virtual clock plus an event
+    queue of closures. Components schedule callbacks at absolute times;
+    [run] drains the queue in time order. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds; 0 before the first event. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** Raises [Invalid_argument] when [at] is in the past. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> unit
+(** Convenience for [schedule ~at:(now t +. delay)]; [delay >= 0]. *)
+
+val run : ?until:float -> t -> unit
+(** Processes events in order until the queue empties or virtual time
+    would exceed [until] (remaining events stay queued, and the clock is
+    left at [until]). *)
+
+val pending : t -> int

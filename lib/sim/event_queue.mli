@@ -1,0 +1,18 @@
+(** A binary min-heap of timestamped events.
+
+    Ties in time are broken by insertion order, so simulations are fully
+    deterministic given a seed. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Raises [Invalid_argument] on a NaN time. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the earliest event. *)
+
+val peek_time : 'a t -> float option

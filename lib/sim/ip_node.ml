@@ -1,0 +1,171 @@
+type service_dist = Deterministic | Exponential
+
+type request = { work : float; k : unit -> unit }
+
+type t = {
+  engine : Engine.t;
+  rng : Lognic_numerics.Rng.t;
+  label : string;
+  engines : int;
+  rate_per_engine : float;
+  entries_per_queue : int;
+  single_queue : bool;
+      (* single-queue nodes use the M/M/n/N convention: capacity counts
+         queued + in-service requests *)
+  service_dist : service_dist;
+  queues : request Queue.t array;
+  drops_per_queue : int array;
+  pattern : int array;  (* expanded WRR schedule over queue indices *)
+  mutable cursor : int;  (* next position in [pattern] *)
+  mutable busy_engines : int;
+  mutable completions : int;
+  mutable busy : float;
+}
+
+let expand_pattern weights =
+  let total = Array.fold_left ( + ) 0 weights in
+  let pattern = Array.make total 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun q w ->
+      for _ = 1 to w do
+        pattern.(!pos) <- q;
+        incr pos
+      done)
+    weights;
+  pattern
+
+let validate_common ~engines ~rate_per_engine ~capacity =
+  if engines < 1 then invalid_arg "Ip_node.create: engines must be >= 1";
+  if rate_per_engine <= 0. then
+    invalid_arg "Ip_node.create: rate_per_engine must be > 0";
+  if capacity < 1 then invalid_arg "Ip_node.create: queue_capacity must be >= 1"
+
+let make engine ~rng ~label ~engines ~rate_per_engine ~entries_per_queue
+    ~weights ~single_queue ~service_dist =
+  {
+    engine;
+    rng;
+    label;
+    engines;
+    rate_per_engine;
+    entries_per_queue;
+    single_queue;
+    service_dist;
+    queues = Array.init (Array.length weights) (fun _ -> Queue.create ());
+    drops_per_queue = Array.make (Array.length weights) 0;
+    pattern = expand_pattern weights;
+    cursor = 0;
+    busy_engines = 0;
+    completions = 0;
+    busy = 0.;
+  }
+
+let create engine ~rng ~label ~engines ~rate_per_engine ~queue_capacity
+    ~service_dist =
+  validate_common ~engines ~rate_per_engine ~capacity:queue_capacity;
+  make engine ~rng ~label ~engines ~rate_per_engine
+    ~entries_per_queue:queue_capacity ~weights:[| 1 |] ~single_queue:true
+    ~service_dist
+
+let create_multiqueue engine ~rng ~label ~engines ~rate_per_engine
+    ~entries_per_queue ~weights ~service_dist =
+  validate_common ~engines ~rate_per_engine ~capacity:entries_per_queue;
+  if Array.length weights = 0 then
+    invalid_arg "Ip_node.create_multiqueue: no queues";
+  if Array.exists (fun w -> w < 1) weights then
+    invalid_arg "Ip_node.create_multiqueue: weights must be >= 1";
+  make engine ~rng ~label ~engines ~rate_per_engine ~entries_per_queue ~weights
+    ~single_queue:false ~service_dist
+
+let label t = t.label
+let queue_count t = Array.length t.queues
+
+let in_system t =
+  Array.fold_left (fun acc q -> acc + Queue.length q) t.busy_engines t.queues
+
+let queue_length t i =
+  if i < 0 || i >= Array.length t.queues then
+    invalid_arg "Ip_node.queue_length: bad queue index";
+  Queue.length t.queues.(i)
+
+let drops t = Array.fold_left ( + ) 0 t.drops_per_queue
+
+let drops_of_queue t i =
+  if i < 0 || i >= Array.length t.drops_per_queue then
+    invalid_arg "Ip_node.drops_of_queue: bad queue index";
+  t.drops_per_queue.(i)
+
+let completions t = t.completions
+let busy_time t = t.busy
+
+let utilization t ~until =
+  if until <= 0. then 0. else t.busy /. (float_of_int t.engines *. until)
+
+let service_time t work =
+  let mean = work /. t.rate_per_engine in
+  match t.service_dist with
+  | Deterministic -> mean
+  | Exponential ->
+    if mean <= 0. then 0.
+    else
+      Lognic_numerics.Dist.sample
+        (Lognic_numerics.Dist.exponential ~rate:(1. /. mean))
+        t.rng
+
+(* The WRR pull: scan the expanded pattern from the cursor, skipping
+   empty queues (work conserving); at most one full cycle. *)
+let next_request t =
+  let n = Array.length t.pattern in
+  let rec scan tries =
+    if tries >= n then None
+    else begin
+      let q = t.pattern.(t.cursor) in
+      t.cursor <- (t.cursor + 1) mod n;
+      if Queue.is_empty t.queues.(q) then scan (tries + 1)
+      else Some (Queue.pop t.queues.(q))
+    end
+  in
+  scan 0
+
+let rec start_service t req =
+  t.busy_engines <- t.busy_engines + 1;
+  let duration = service_time t req.work in
+  t.busy <- t.busy +. duration;
+  Engine.schedule_after t.engine ~delay:duration (fun () ->
+      t.busy_engines <- t.busy_engines - 1;
+      t.completions <- t.completions + 1;
+      (* Work-conserving: the freed engine immediately pulls the next
+         request before the completion continuation runs downstream. *)
+      dispatch t;
+      req.k ())
+
+and dispatch t =
+  if t.busy_engines < t.engines then
+    match next_request t with
+    | Some req -> start_service t req
+    | None -> ()
+
+let submit ?(queue = 0) t ~work k =
+  if queue < 0 || queue >= Array.length t.queues then
+    invalid_arg "Ip_node.submit: bad queue index";
+  if work < 0. then invalid_arg "Ip_node.submit: negative work";
+  if work = 0. || t.rate_per_engine = infinity then begin
+    k ();
+    true
+  end
+  else begin
+    let full =
+      if t.single_queue then in_system t >= t.entries_per_queue
+      else Queue.length t.queues.(queue) >= t.entries_per_queue
+    in
+    if full then begin
+      t.drops_per_queue.(queue) <- t.drops_per_queue.(queue) + 1;
+      false
+    end
+    else begin
+      Queue.push { work; k } t.queues.(queue);
+      dispatch t;
+      true
+    end
+  end

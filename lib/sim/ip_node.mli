@@ -1,0 +1,71 @@
+(** A simulated IP block (§3.2, Figure 2-b): [m] bounded input queues, a
+    work-conserving (weighted) round-robin dispatcher, and [engines]
+    parallel execution engines sharing the block's aggregate rate.
+
+    With one queue, capacity counts requests {e in the system} (queued +
+    in service), so the node behaves as M/M/n/N under Poisson arrivals
+    and [Exponential] service — the queueing model LogNIC assumes after
+    merging an IP's queues into one {e virtual shared queue} (§3.6).
+    Multiple queues let experiments probe what that merge abstracts
+    away: per-class isolation and head-of-line blocking under a
+    weighted-round-robin scheduler (see {!Lognic_apps.Hol_study}). *)
+
+type service_dist =
+  | Deterministic  (** service takes exactly [work / engine_rate] *)
+  | Exponential  (** exponentially distributed with that mean *)
+
+type t
+
+val create :
+  Engine.t ->
+  rng:Lognic_numerics.Rng.t ->
+  label:string ->
+  engines:int ->
+  rate_per_engine:float ->
+  queue_capacity:int ->
+  service_dist:service_dist ->
+  t
+(** A single-queue node ([queues = 1]). Raises [Invalid_argument] on
+    non-positive engine count / rate / capacity. [rate_per_engine] may
+    be [infinity] for a transparent node. *)
+
+val create_multiqueue :
+  Engine.t ->
+  rng:Lognic_numerics.Rng.t ->
+  label:string ->
+  engines:int ->
+  rate_per_engine:float ->
+  entries_per_queue:int ->
+  weights:int array ->
+  service_dist:service_dist ->
+  t
+(** [weights] gives both the queue count (its length, ≥ 1) and each
+    queue's WRR share: a freed engine serves queues in a round-robin
+    pattern where queue [i] appears [weights.(i)] times per cycle,
+    skipping empty queues (work conserving). Each queue holds at most
+    [entries_per_queue] waiting requests (in-service requests are not
+    charged to any queue). Raises [Invalid_argument] on an empty or
+    non-positive weight array. *)
+
+val label : t -> string
+val queue_count : t -> int
+
+val submit : ?queue:int -> t -> work:float -> (unit -> unit) -> bool
+(** [submit node ~work k] enqueues a request needing [work] bytes of
+    processing into [queue] (default 0); [k] fires at service
+    completion. Returns [false] (and counts a drop) when that queue is
+    full. Zero work completes immediately. Raises [Invalid_argument] on
+    a bad queue index. *)
+
+val in_system : t -> int
+val queue_length : t -> int -> int
+val drops : t -> int
+val drops_of_queue : t -> int -> int
+val completions : t -> int
+
+val busy_time : t -> float
+(** Aggregate engine-busy seconds (divide by engines × horizon for
+    utilization). *)
+
+val utilization : t -> until:float -> float
+(** Mean fraction of engines busy over [\[0, until\]]. *)

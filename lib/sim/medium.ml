@@ -1,0 +1,43 @@
+type t = {
+  engine : Engine.t;
+  label : string;
+  bandwidth : float;
+  buffer : float;
+  mutable next_free : float;
+  mutable busy : float;
+  mutable rejections : int;
+}
+
+let create engine ~label ~bandwidth ?(buffer = 2. *. 1024. *. 1024.) () =
+  if bandwidth <= 0. then invalid_arg "Medium.create: bandwidth must be > 0";
+  if buffer <= 0. then invalid_arg "Medium.create: buffer must be > 0";
+  { engine; label; bandwidth; buffer; next_free = 0.; busy = 0.; rejections = 0 }
+
+let label t = t.label
+
+let transfer t ~bytes k =
+  if bytes < 0. then invalid_arg "Medium.transfer: negative bytes";
+  if bytes = 0. then begin
+    k ();
+    true
+  end
+  else begin
+    let now = Engine.now t.engine in
+    let backlog_bytes = Float.max 0. (t.next_free -. now) *. t.bandwidth in
+    if backlog_bytes +. bytes > t.buffer then begin
+      t.rejections <- t.rejections + 1;
+      false
+    end
+    else begin
+      let start = Float.max now t.next_free in
+      let duration = bytes /. t.bandwidth in
+      t.next_free <- start +. duration;
+      t.busy <- t.busy +. duration;
+      Engine.schedule t.engine ~at:(start +. duration) k;
+      true
+    end
+  end
+
+let busy_time t = t.busy
+let utilization t ~until = if until <= 0. then 0. else t.busy /. until
+let rejections t = t.rejections

@@ -1,0 +1,34 @@
+(** A bandwidth-arbitrated shared transfer resource — the SoC interface,
+    the memory subsystem, or a dedicated IP-IP link.
+
+    Transfers serialize FIFO at the medium's bandwidth: a request issued
+    at [t] begins at [max t next_free] and occupies the medium for
+    [bytes / bandwidth]. Zero-byte transfers complete immediately
+    without touching the medium.
+
+    The medium holds a bounded backlog ([buffer] bytes, matching the
+    multi-megabyte rate-matching buffers §3.2 assumes); a transfer that
+    would overflow it is rejected, which is how the simulated NIC sheds
+    load when a shared interconnect is the bottleneck. *)
+
+type t
+
+val create : Engine.t -> label:string -> bandwidth:float -> ?buffer:float -> unit -> t
+(** [buffer] defaults to 2 MiB. Raises [Invalid_argument] on a
+    non-positive bandwidth or buffer. *)
+
+val label : t -> string
+
+val transfer : t -> bytes:float -> (unit -> unit) -> bool
+(** [transfer medium ~bytes k] schedules [k] at the completion time and
+    returns [true], or returns [false] (counting a rejection) when the
+    pending backlog exceeds the buffer. Raises [Invalid_argument] on
+    negative [bytes]. *)
+
+val busy_time : t -> float
+(** Cumulative seconds the medium has spent transferring. *)
+
+val utilization : t -> until:float -> float
+(** [busy_time / until]. *)
+
+val rejections : t -> int

@@ -1,0 +1,253 @@
+module G = Lognic.Graph
+module N = Lognic_numerics
+
+type config = {
+  seed : int;
+  duration : float;
+  warmup : float;
+  service_dist : Ip_node.service_dist;
+  arrival : Traffic_gen.arrival;
+}
+
+let default_config =
+  {
+    seed = 1;
+    duration = 0.1;
+    warmup = 0.01;
+    service_dist = Ip_node.Exponential;
+    arrival = Traffic_gen.Poisson;
+  }
+
+type vertex_stats = {
+  vid : G.vertex_id;
+  vlabel : string;
+  drops : int;
+  completions : int;
+  utilization : float;
+}
+
+type measurement = {
+  summary : Telemetry.summary;
+  vertex_stats : vertex_stats list;
+  interface_utilization : float;
+  memory_utilization : float;
+  generated : int;
+}
+
+(* Probability that a packet's walk crosses each vertex/edge, from the
+   delta-proportional routing; needed to scale per-packet quantities so
+   aggregate loads match the model's W-fractions. *)
+let reach_probabilities g =
+  let p_vertex = Hashtbl.create 16 in
+  let p_edge = Hashtbl.create 16 in
+  let ingresses = G.ingress_vertices g in
+  let ingress_share = 1. /. float_of_int (List.length ingresses) in
+  List.iter (fun (v : G.vertex) -> Hashtbl.replace p_vertex v.id ingress_share) ingresses;
+  let order =
+    match G.topological_order g with
+    | Some o -> o
+    | None -> invalid_arg "Netsim: graph has a cycle"
+  in
+  List.iter
+    (fun id ->
+      let p = Option.value (Hashtbl.find_opt p_vertex id) ~default:0. in
+      let outs = G.out_edges g id in
+      let total = List.fold_left (fun acc (e : G.edge) -> acc +. e.delta) 0. outs in
+      if total > 0. then
+        List.iter
+          (fun (e : G.edge) ->
+            let pe = p *. e.delta /. total in
+            Hashtbl.replace p_edge (e.src, e.dst) pe;
+            let prev = Option.value (Hashtbl.find_opt p_vertex e.dst) ~default:0. in
+            Hashtbl.replace p_vertex e.dst (prev +. pe))
+          outs)
+    order;
+  (p_vertex, p_edge)
+
+let run ?(config = default_config) g ~hw ~mix =
+  (match G.validate g with
+  | Ok () -> ()
+  | Error errors ->
+    invalid_arg ("Netsim.run: invalid graph: " ^ String.concat "; " errors));
+  let engine = Engine.create () in
+  let rng = N.Rng.create ~seed:config.seed in
+  let gen_rng = N.Rng.split rng in
+  let route_rng = N.Rng.split rng in
+  let telemetry = Telemetry.create ~warmup:config.warmup in
+  let p_vertex, p_edge = reach_probabilities g in
+  let prob_vertex id = Option.value (Hashtbl.find_opt p_vertex id) ~default:0. in
+  let prob_edge e = Option.value (Hashtbl.find_opt p_edge e) ~default:0. in
+  let interface =
+    Medium.create engine ~label:"interface"
+      ~bandwidth:hw.Lognic.Params.bw_interface ()
+  in
+  let memory =
+    Medium.create engine ~label:"memory" ~bandwidth:hw.Lognic.Params.bw_memory ()
+  in
+  let links = Hashtbl.create 8 in
+  List.iter
+    (fun (e : G.edge) ->
+      match e.bandwidth with
+      | Some bw ->
+        Hashtbl.replace links (e.src, e.dst)
+          (Medium.create engine
+             ~label:(Printf.sprintf "link-%d-%d" e.src e.dst)
+             ~bandwidth:bw ())
+      | None -> ())
+    (G.edges g);
+  let nodes = Hashtbl.create 16 in
+  List.iter
+    (fun (v : G.vertex) ->
+      if v.service.throughput < infinity then begin
+        let d = v.service.parallelism in
+        let aggregate =
+          v.service.partition *. v.service.accel *. v.service.throughput
+        in
+        let node =
+          Ip_node.create engine ~rng:(N.Rng.split rng) ~label:v.label ~engines:d
+            ~rate_per_engine:(aggregate /. float_of_int d)
+            ~queue_capacity:v.service.queue_capacity
+            ~service_dist:config.service_dist
+        in
+        Hashtbl.replace nodes v.id node
+      end)
+    (G.vertices g);
+  (* Per-vertex processing-work multiplier: size * inflow / p(v). *)
+  let work_factor id =
+    let p = prob_vertex id in
+    if p <= 0. then 0. else Lognic.Throughput.vertex_inflow g id /. p
+  in
+  let choose_out_edge id =
+    let outs = G.out_edges g id in
+    let total = List.fold_left (fun acc (e : G.edge) -> acc +. e.delta) 0. outs in
+    if total <= 0. then None
+    else begin
+      let target = N.Rng.float route_rng total in
+      let rec pick acc = function
+        | [] -> None
+        | [ e ] -> Some e
+        | (e : G.edge) :: rest ->
+          let acc = acc +. e.delta in
+          if target < acc then Some e else pick acc rest
+      in
+      pick 0. outs
+    end
+  in
+  let rec arrive id (packet : Packet.t) =
+    let v = G.vertex g id in
+    let work = packet.size *. work_factor id in
+    let on_served () = depart id v packet in
+    match Hashtbl.find_opt nodes id with
+    | None -> on_served ()
+    | Some node ->
+      if not (Ip_node.submit node ~work on_served) then
+        Telemetry.record_drop telemetry ~now:(Engine.now engine)
+  and depart id (v : G.vertex) packet =
+    if v.kind = G.Egress then
+      Telemetry.record_completion telemetry ~now:(Engine.now engine)
+        ~born:packet.born ~size:packet.size ~klass:packet.klass
+    else
+      match choose_out_edge id with
+      | None ->
+        (* Dead end without egress: validation rejects IPs like this, so
+           only an ingress with zero-delta out-edges can reach here. *)
+        ()
+      | Some e ->
+        let continue () = traverse e packet in
+        if v.service.overhead > 0. then
+          Engine.schedule_after engine ~delay:v.service.overhead continue
+        else continue ()
+  and traverse (e : G.edge) packet =
+    let pe = prob_edge (e.src, e.dst) in
+    let scale x = if pe <= 0. then 0. else packet.size *. x /. pe in
+    let drop () = Telemetry.record_drop telemetry ~now:(Engine.now engine) in
+    let via_link () =
+      match Hashtbl.find_opt links (e.src, e.dst) with
+      | Some link ->
+        if
+          not
+            (Medium.transfer link ~bytes:(scale e.delta) (fun () ->
+                 arrive e.dst packet))
+        then drop ()
+      | None -> arrive e.dst packet
+    in
+    let via_memory () =
+      if not (Medium.transfer memory ~bytes:(scale e.beta) via_link) then drop ()
+    in
+    if not (Medium.transfer interface ~bytes:(scale e.alpha) via_memory) then
+      drop ()
+  in
+  let ingresses = G.ingress_vertices g in
+  let ingress_ids = Array.of_list (List.map (fun (v : G.vertex) -> v.id) ingresses) in
+  let on_packet packet =
+    Telemetry.record_arrival telemetry ~now:(Engine.now engine)
+      ~size:packet.Packet.size;
+    let entry =
+      if Array.length ingress_ids = 1 then ingress_ids.(0)
+      else ingress_ids.(N.Rng.int route_rng (Array.length ingress_ids))
+    in
+    arrive entry packet
+  in
+  let gen =
+    Traffic_gen.create engine ~rng:gen_rng ~arrival:config.arrival ~mix
+      ~on_packet
+  in
+  Traffic_gen.start gen ~until:config.duration;
+  Engine.run ~until:config.duration engine;
+  let summary = Telemetry.summarize telemetry ~horizon:config.duration in
+  let vertex_stats =
+    List.filter_map
+      (fun (v : G.vertex) ->
+        match Hashtbl.find_opt nodes v.id with
+        | None -> None
+        | Some node ->
+          Some
+            {
+              vid = v.id;
+              vlabel = v.label;
+              drops = Ip_node.drops node;
+              completions = Ip_node.completions node;
+              utilization = Ip_node.utilization node ~until:config.duration;
+            })
+      (G.vertices g)
+  in
+  {
+    summary;
+    vertex_stats;
+    interface_utilization = Medium.utilization interface ~until:config.duration;
+    memory_utilization = Medium.utilization memory ~until:config.duration;
+    generated = Traffic_gen.generated gen;
+  }
+
+let run_single ?config g ~hw ~traffic = run ?config g ~hw ~mix:[ (traffic, 1.) ]
+
+type replicated = {
+  runs : int;
+  throughput_mean : float;
+  throughput_stddev : float;
+  latency_mean : float;
+  latency_stddev : float;
+  loss_mean : float;
+}
+
+let run_replicated ?(config = default_config) ?(runs = 5) g ~hw ~mix =
+  if runs < 2 then invalid_arg "Netsim.run_replicated: needs runs >= 2";
+  let summaries =
+    List.init runs (fun i ->
+        (run ~config:{ config with seed = config.seed + i } g ~hw ~mix).summary)
+  in
+  let stat f =
+    Array.of_list (List.map f summaries)
+  in
+  let throughputs = stat (fun s -> s.Telemetry.throughput) in
+  let latencies = stat (fun s -> s.Telemetry.mean_latency) in
+  let losses = stat (fun s -> s.Telemetry.loss_rate) in
+  let module St = Lognic_numerics.Stats in
+  {
+    runs;
+    throughput_mean = St.mean throughputs;
+    throughput_stddev = St.stddev throughputs;
+    latency_mean = St.mean latencies;
+    latency_stddev = St.stddev latencies;
+    loss_mean = St.mean losses;
+  }

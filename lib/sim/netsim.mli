@@ -1,0 +1,78 @@
+(** The bridge from a LogNIC execution graph to a runnable packet-level
+    simulation — our stand-in for the paper's hardware testbeds (see
+    DESIGN.md, substitutions).
+
+    The simulator instantiates exactly the entities the model abstracts:
+    one {!Ip_node} per finite-throughput vertex ([D] engines sharing
+    γ·A·P, an N-entry bounded queue, drops when full), one shared
+    {!Medium} each for the SoC interface and the memory subsystem, one
+    private medium per dedicated-bandwidth edge, and fixed per-vertex
+    computation-transfer overheads. Packets are routed at fan-out
+    vertices with probabilities proportional to the out-edge δ, and the
+    per-packet work/transfer quantities are scaled so that aggregate
+    loads match the model's W-fractions: a packet crossing edge [e]
+    (probability [p_e]) moves [size·α_e/p_e] bytes over the interface,
+    [size·β_e/p_e] through memory, and costs its destination
+    [size·Σδ_in/p_v] bytes of processing. *)
+
+type config = {
+  seed : int;
+  duration : float;  (** simulated seconds (default 0.1) *)
+  warmup : float;  (** discarded prefix (default 10% of duration) *)
+  service_dist : Ip_node.service_dist;  (** default [Exponential] *)
+  arrival : Traffic_gen.arrival;  (** default [Poisson] *)
+}
+
+val default_config : config
+
+type vertex_stats = {
+  vid : Lognic.Graph.vertex_id;
+  vlabel : string;
+  drops : int;
+  completions : int;
+  utilization : float;
+}
+
+type measurement = {
+  summary : Telemetry.summary;
+  vertex_stats : vertex_stats list;
+  interface_utilization : float;
+  memory_utilization : float;
+  generated : int;  (** packets offered over the whole run *)
+}
+
+val run :
+  ?config:config ->
+  Lognic.Graph.t ->
+  hw:Lognic.Params.hardware ->
+  mix:Lognic.Traffic.mix ->
+  measurement
+(** Raises [Invalid_argument] if the graph fails validation. *)
+
+val run_single :
+  ?config:config ->
+  Lognic.Graph.t ->
+  hw:Lognic.Params.hardware ->
+  traffic:Lognic.Traffic.t ->
+  measurement
+(** Single-class convenience wrapper. *)
+
+type replicated = {
+  runs : int;
+  throughput_mean : float;
+  throughput_stddev : float;
+  latency_mean : float;
+  latency_stddev : float;
+  loss_mean : float;
+}
+
+val run_replicated :
+  ?config:config ->
+  ?runs:int ->
+  Lognic.Graph.t ->
+  hw:Lognic.Params.hardware ->
+  mix:Lognic.Traffic.mix ->
+  replicated
+(** [runs] (default 5) independent replications with derived seeds
+    (config.seed + i); reports across-run means and sample standard
+    deviations so measurements carry an uncertainty estimate. *)

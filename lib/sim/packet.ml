@@ -1,0 +1,3 @@
+type t = { id : int; size : float; klass : int; born : float }
+
+let make ~id ~size ~klass ~born = { id; size; klass; born }

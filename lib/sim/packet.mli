@@ -1,0 +1,10 @@
+(** Packets flowing through the simulated SmartNIC. *)
+
+type t = {
+  id : int;
+  size : float;  (** wire size in bytes *)
+  klass : int;  (** traffic-class index (position in the mix) *)
+  born : float;  (** ingress arrival time, seconds *)
+}
+
+val make : id:int -> size:float -> klass:int -> born:float -> t

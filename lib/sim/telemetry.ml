@@ -1,0 +1,104 @@
+(* Growable float buffer (stdlib Dynarray only arrives in OCaml 5.2). *)
+module Buf = struct
+  type t = { mutable data : float array; mutable len : int }
+
+  let create () = { data = Array.make 1024 0.; len = 0 }
+
+  let add t x =
+    if t.len = Array.length t.data then begin
+      let bigger = Array.make (2 * t.len) 0. in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let to_array t = Array.sub t.data 0 t.len
+end
+
+type t = {
+  warmup : float;
+  mutable offered : int;
+  mutable dropped : int;
+  mutable delivered : int;
+  mutable delivered_bytes : float;
+  latencies : Buf.t;
+  classes : (int, int * float) Hashtbl.t;
+      (* class -> (count, latency sum) *)
+}
+
+let create ~warmup =
+  {
+    warmup;
+    offered = 0;
+    dropped = 0;
+    delivered = 0;
+    delivered_bytes = 0.;
+    latencies = Buf.create ();
+    classes = Hashtbl.create 8;
+  }
+
+let record_arrival t ~now ~size =
+  ignore size;
+  if now >= t.warmup then t.offered <- t.offered + 1
+
+let record_drop t ~now = if now >= t.warmup then t.dropped <- t.dropped + 1
+
+let record_completion t ~now ~born ~size ~klass =
+  (* Attribute the packet to the measurement window by its birth time so
+     arrival accounting and completion accounting agree. *)
+  if born >= t.warmup then begin
+    t.delivered <- t.delivered + 1;
+    t.delivered_bytes <- t.delivered_bytes +. size;
+    Buf.add t.latencies (now -. born);
+    let count, sum =
+      Option.value (Hashtbl.find_opt t.classes klass) ~default:(0, 0.)
+    in
+    Hashtbl.replace t.classes klass (count + 1, sum +. (now -. born))
+  end
+
+type summary = {
+  window : float;
+  offered_packets : int;
+  delivered_packets : int;
+  dropped_packets : int;
+  delivered_bytes : float;
+  throughput : float;
+  packet_rate : float;
+  mean_latency : float;
+  p50_latency : float;
+  p99_latency : float;
+  max_latency : float;
+  loss_rate : float;
+  per_class : (int * int * float) list;
+}
+
+let summarize t ~horizon =
+  let window = Float.max 0. (horizon -. t.warmup) in
+  let latencies = Buf.to_array t.latencies in
+  let stat f = if Array.length latencies = 0 then 0. else f latencies in
+  let per_class =
+    Hashtbl.fold
+      (fun klass (count, sum) acc ->
+        (klass, count, if count = 0 then 0. else sum /. float_of_int count) :: acc)
+      t.classes []
+    |> List.sort compare
+  in
+  {
+    window;
+    offered_packets = t.offered;
+    delivered_packets = t.delivered;
+    dropped_packets = t.dropped;
+    delivered_bytes = t.delivered_bytes;
+    throughput = (if window > 0. then t.delivered_bytes /. window else 0.);
+    packet_rate =
+      (if window > 0. then float_of_int t.delivered /. window else 0.);
+    mean_latency = stat Lognic_numerics.Stats.mean;
+    p50_latency = stat (fun l -> Lognic_numerics.Stats.percentile l 50.);
+    p99_latency = stat (fun l -> Lognic_numerics.Stats.percentile l 99.);
+    max_latency = stat Lognic_numerics.Stats.maximum;
+    loss_rate =
+      (if t.offered = 0 then 0.
+       else float_of_int t.dropped /. float_of_int t.offered);
+    per_class;
+  }

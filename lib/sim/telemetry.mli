@@ -1,0 +1,33 @@
+(** Measurement collection for simulation runs. Samples recorded before
+    the warmup cutoff are discarded so steady-state statistics are not
+    polluted by the empty-system transient. *)
+
+type t
+
+val create : warmup:float -> t
+
+val record_arrival : t -> now:float -> size:float -> unit
+(** Every offered packet (admitted or not). *)
+
+val record_drop : t -> now:float -> unit
+
+val record_completion : t -> now:float -> born:float -> size:float -> klass:int -> unit
+
+type summary = {
+  window : float;  (** measured seconds (horizon − warmup) *)
+  offered_packets : int;
+  delivered_packets : int;
+  dropped_packets : int;
+  delivered_bytes : float;
+  throughput : float;  (** delivered bytes / window, bytes/s *)
+  packet_rate : float;  (** delivered packets / window *)
+  mean_latency : float;  (** seconds; 0 when nothing completed *)
+  p50_latency : float;
+  p99_latency : float;
+  max_latency : float;
+  loss_rate : float;  (** dropped / offered within the window *)
+  per_class : (int * int * float) list;
+      (** class, delivered packets, mean latency *)
+}
+
+val summarize : t -> horizon:float -> summary

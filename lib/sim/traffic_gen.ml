@@ -1,0 +1,87 @@
+type arrival = Poisson | Paced | Bursty of { burstiness : float; mean_on : float }
+
+type t = {
+  engine : Engine.t;
+  rng : Lognic_numerics.Rng.t;
+  arrival : arrival;
+  classes : (float * float) array;  (* (size, packet rate) per class *)
+  total_pps : float;
+  on_packet : Packet.t -> unit;
+  mutable count : int;
+  mutable phase_until : float;  (* end of the current ON phase (Bursty) *)
+}
+
+let create engine ~rng ~arrival ~mix ~on_packet =
+  let classes =
+    Array.of_list
+      (List.map
+         (fun ((c : Lognic.Traffic.t), _) ->
+           (c.packet_size, Lognic.Traffic.packet_rate c))
+         mix)
+  in
+  let total_pps = Array.fold_left (fun acc (_, r) -> acc +. r) 0. classes in
+  if total_pps <= 0. then invalid_arg "Traffic_gen.create: zero packet rate";
+  (match arrival with
+  | Bursty { burstiness; mean_on } ->
+    if burstiness <= 1. then
+      invalid_arg "Traffic_gen.create: burstiness must be > 1";
+    if mean_on <= 0. then invalid_arg "Traffic_gen.create: mean_on must be > 0"
+  | Poisson | Paced -> ());
+  { engine; rng; arrival; classes; total_pps; on_packet; count = 0; phase_until = 0. }
+
+let pick_class t =
+  let target = Lognic_numerics.Rng.float t.rng t.total_pps in
+  let rec scan i acc =
+    if i = Array.length t.classes - 1 then i
+    else
+      let acc = acc +. snd t.classes.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.
+
+let sample_exp t rate =
+  Lognic_numerics.Dist.sample (Lognic_numerics.Dist.exponential ~rate) t.rng
+
+(* Next arrival time from [now]. For Bursty, packets are only generated
+   inside ON phases; crossing the phase boundary inserts an OFF gap and
+   draws a fresh ON phase (memorylessness makes restarting the
+   inter-arrival draw at the new phase start exact). *)
+let rec next_arrival t now =
+  match t.arrival with
+  | Paced -> now +. (1. /. t.total_pps)
+  | Poisson -> now +. sample_exp t t.total_pps
+  | Bursty { burstiness; mean_on } ->
+    if now >= t.phase_until then begin
+      (* we are in an OFF gap (or at start): open a new ON phase *)
+      let off =
+        if t.phase_until = 0. && now = 0. then 0.
+        else sample_exp t (1. /. (mean_on *. (burstiness -. 1.)))
+      in
+      let start = Float.max now t.phase_until +. off in
+      t.phase_until <- start +. sample_exp t (1. /. mean_on);
+      next_arrival t start
+    end
+    else begin
+      let candidate = now +. sample_exp t (t.total_pps *. burstiness) in
+      if candidate < t.phase_until then candidate
+      else
+        (* the draw crossed the phase end: resume from the boundary,
+           where the OFF branch above takes over *)
+        next_arrival t t.phase_until
+    end
+
+let start t ~until =
+  let rec emit () =
+    let now = Engine.now t.engine in
+    let klass = pick_class t in
+    let size, _ = t.classes.(klass) in
+    let packet = Packet.make ~id:t.count ~size ~klass ~born:now in
+    t.count <- t.count + 1;
+    t.on_packet packet;
+    let next = next_arrival t now in
+    if next < until then Engine.schedule t.engine ~at:next emit
+  in
+  let first = next_arrival t (Engine.now t.engine) in
+  if first < until then Engine.schedule t.engine ~at:first emit
+
+let generated t = t.count

@@ -1,0 +1,37 @@
+(* Shared assertion helpers for the test suites. *)
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if
+    not
+      (Float.is_finite actual && Float.is_finite expected
+       && abs_float (actual -. expected)
+          <= tol *. Float.max 1. (abs_float expected))
+  then
+    Alcotest.failf "%s: expected %.9g, got %.9g (tol %g)" msg expected actual tol
+
+let check_within ~pct msg expected actual =
+  (* relative agreement within pct percent *)
+  if expected = 0. then check_close msg expected actual
+  else begin
+    let rel = abs_float (actual -. expected) /. abs_float expected in
+    if rel > pct /. 100. then
+      Alcotest.failf "%s: expected %.6g within %.1f%%, got %.6g (off by %.2f%%)"
+        msg expected pct actual (100. *. rel)
+  end
+
+let check_raises_invalid msg f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+  | exception Invalid_argument _ -> ()
+
+let quick name f = Alcotest.test_case name `Quick f
+let slow name f = Alcotest.test_case name `Slow f
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let prop name ?(count = 200) arbitrary predicate =
+  QCheck_alcotest.to_alcotest ~speed_level:`Quick
+    (QCheck.Test.make ~name ~count arbitrary predicate)

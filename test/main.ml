@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "lognic"
+    [
+      ("numerics", Test_numerics.suite);
+      ("queueing", Test_queueing.suite);
+      ("graph", Test_graph.suite);
+      ("model", Test_model.suite);
+      ("extensions-optimizer", Test_extensions.suite);
+      ("sim", Test_sim.suite);
+      ("devices", Test_devices.suite);
+      ("apps", Test_apps.suite);
+      ("dsl", Test_dsl.suite);
+      ("tail-extensions", Test_tail.suite);
+      ("switch", Test_switch.suite);
+      ("analysis", Test_analysis.suite);
+    ]

@@ -1,0 +1,425 @@
+(* Unit and property tests for lognic_numerics. *)
+
+open Helpers
+module N = Lognic_numerics
+
+(* Rng *)
+
+let rng_deterministic () =
+  let a = N.Rng.create ~seed:7 and b = N.Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check_close "same seed, same stream" (N.Rng.float a 1.) (N.Rng.float b 1.)
+  done
+
+let rng_seed_changes_stream () =
+  let a = N.Rng.create ~seed:1 and b = N.Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if N.Rng.float a 1. = N.Rng.float b 1. then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 8)
+
+let rng_split_independent () =
+  let parent = N.Rng.create ~seed:3 in
+  let child = N.Rng.split parent in
+  (* Drawing from the child must not equal drawing the same positions
+     from a fresh parent clone (the split advanced the parent). *)
+  let fresh = N.Rng.create ~seed:3 in
+  let _ = N.Rng.split fresh in
+  check_close "split is a pure function of parent state"
+    (N.Rng.float (N.Rng.split (N.Rng.create ~seed:3)) 1.)
+    (N.Rng.float child 1.)
+
+let rng_bounds () =
+  let rng = N.Rng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let f = N.Rng.float rng 3.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0. && f < 3.5);
+    let i = N.Rng.int rng 17 in
+    Alcotest.(check bool) "int in range" true (i >= 0 && i < 17)
+  done
+
+(* Dist *)
+
+let dist_means () =
+  check_close "constant" 5. N.Dist.(mean (constant 5.));
+  check_close "uniform" 3. N.Dist.(mean (uniform ~lo:2. ~hi:4.));
+  check_close "exponential" 0.25 N.Dist.(mean (exponential ~rate:4.));
+  check_close ~tol:1e-6 "lognormal" (exp 0.5)
+    N.Dist.(mean (lognormal ~mu:0. ~sigma:1.));
+  check_close "empirical" 2.5
+    N.Dist.(mean (empirical [ (1., 1.); (4., 1.) ]))
+
+let dist_sample_statistics () =
+  let rng = N.Rng.create ~seed:5 in
+  let sample_mean dist n =
+    let acc = ref 0. in
+    for _ = 1 to n do
+      acc := !acc +. N.Dist.sample dist rng
+    done;
+    !acc /. float_of_int n
+  in
+  check_within ~pct:3. "exponential sample mean" 0.5
+    (sample_mean (N.Dist.exponential ~rate:2.) 50_000);
+  check_within ~pct:3. "uniform sample mean" 5.
+    (sample_mean (N.Dist.uniform ~lo:0. ~hi:10.) 50_000);
+  check_close "constant sample" 7. (sample_mean (N.Dist.constant 7.) 10)
+
+let dist_empirical_weights () =
+  let rng = N.Rng.create ~seed:9 in
+  let dist = N.Dist.empirical [ (1., 3.); (2., 1.) ] in
+  let ones = ref 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    if N.Dist.sample dist rng = 1. then incr ones
+  done;
+  check_within ~pct:3. "3:1 point masses" 0.75
+    (float_of_int !ones /. float_of_int n)
+
+let dist_poisson_mean () =
+  let rng = N.Rng.create ~seed:13 in
+  let total = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    total := !total + N.Dist.sample_poisson ~rate:3.5 rng
+  done;
+  check_within ~pct:3. "poisson mean" 3.5 (float_of_int !total /. float_of_int n);
+  (* large-rate branch *)
+  let big = N.Dist.sample_poisson ~rate:1000. rng in
+  Alcotest.(check bool) "large-rate sane" true (big > 800 && big < 1200)
+
+let dist_validation () =
+  Alcotest.(check bool)
+    "negative exponential rejected" true
+    (Result.is_error N.Dist.(validate (Exponential (-1.))));
+  Alcotest.(check bool)
+    "inverted uniform rejected" true
+    (Result.is_error N.Dist.(validate (Uniform (2., 1.))));
+  Alcotest.(check bool)
+    "valid accepted" true
+    (Result.is_ok N.Dist.(validate (Exponential 2.)));
+  check_raises_invalid "empty empirical" (fun () -> N.Dist.empirical []);
+  check_raises_invalid "negative weight" (fun () ->
+      N.Dist.empirical [ (1., -1.); (2., 2.) ])
+
+(* Stats *)
+
+let stats_basics () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_close "mean" 5. (N.Stats.mean xs);
+  check_close ~tol:1e-6 "variance" (32. /. 7.) (N.Stats.variance xs);
+  check_close "median" 4.5 (N.Stats.median xs);
+  check_close "min" 2. (N.Stats.minimum xs);
+  check_close "max" 9. (N.Stats.maximum xs);
+  check_close "p0" 2. (N.Stats.percentile xs 0.);
+  check_close "p100" 9. (N.Stats.percentile xs 100.)
+
+let stats_percentile_interpolates () =
+  let xs = [| 10.; 20. |] in
+  check_close "p50 interpolation" 15. (N.Stats.percentile xs 50.);
+  check_close "p25 interpolation" 12.5 (N.Stats.percentile xs 25.)
+
+let stats_percentile_does_not_mutate () =
+  let xs = [| 3.; 1.; 2. |] in
+  let _ = N.Stats.percentile xs 50. in
+  Alcotest.(check (list (float 0.))) "input order preserved" [ 3.; 1.; 2. ]
+    (Array.to_list xs)
+
+let stats_relative_error () =
+  check_close "10% error" 0.1 (N.Stats.relative_error ~actual:110. ~expected:100.);
+  check_close "zero-zero" 0. (N.Stats.relative_error ~actual:0. ~expected:0.);
+  Alcotest.(check bool)
+    "zero expected" true
+    (N.Stats.relative_error ~actual:1. ~expected:0. = infinity)
+
+let stats_weighted_geometric () =
+  check_close "weighted mean" 2.5
+    (N.Stats.weighted_mean [ (1., 1.); (3., 3.) ]);
+  check_close ~tol:1e-9 "geometric mean" 2. (N.Stats.geometric_mean [| 1.; 4. |]);
+  check_raises_invalid "geometric needs positive" (fun () ->
+      N.Stats.geometric_mean [| 1.; 0. |]);
+  check_raises_invalid "weighted needs mass" (fun () ->
+      N.Stats.weighted_mean [ (1., 0.) ])
+
+let stats_online_matches_batch () =
+  let xs = [| 1.5; 2.5; 3.5; 10.; -4.; 0.25 |] in
+  let online = N.Stats.Online.create () in
+  Array.iter (N.Stats.Online.add online) xs;
+  check_close ~tol:1e-12 "online mean" (N.Stats.mean xs)
+    (N.Stats.Online.mean online);
+  check_close ~tol:1e-9 "online variance" (N.Stats.variance xs)
+    (N.Stats.Online.variance online);
+  Alcotest.(check int) "count" 6 (N.Stats.Online.count online)
+
+let stats_histogram () =
+  let h = N.Stats.Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  List.iter (N.Stats.Histogram.add h) [ 1.; 3.; 3.; 9.; -5.; 50. ];
+  Alcotest.(check int) "total" 6 (N.Stats.Histogram.total h);
+  let counts = N.Stats.Histogram.counts h in
+  Alcotest.(check int) "clamped low" 2 counts.(0);
+  Alcotest.(check int) "middle" 2 counts.(1);
+  Alcotest.(check int) "clamped high" 2 counts.(4);
+  check_close "bin midpoint" 3. (N.Stats.Histogram.bin_mid h 1)
+
+let stats_empty_rejected () =
+  check_raises_invalid "mean of empty" (fun () -> N.Stats.mean [||]);
+  check_raises_invalid "percentile of empty" (fun () ->
+      N.Stats.percentile [||] 50.)
+
+(* Vec *)
+
+let vec_arithmetic () =
+  let a = [| 1.; 2.; 3. |] and b = [| 4.; 5.; 6. |] in
+  Alcotest.(check (array (float 1e-12))) "add" [| 5.; 7.; 9. |] (N.Vec.add a b);
+  Alcotest.(check (array (float 1e-12))) "sub" [| 3.; 3.; 3. |] (N.Vec.sub b a);
+  Alcotest.(check (array (float 1e-12))) "scale" [| 2.; 4.; 6. |] (N.Vec.scale 2. a);
+  check_close "dot" 32. (N.Vec.dot a b);
+  check_close "norm" 5. (N.Vec.norm2 [| 3.; 4. |]);
+  check_close "dist" 5. (N.Vec.dist [| 0.; 0. |] [| 3.; 4. |]);
+  Alcotest.(check (array (float 1e-12)))
+    "axpy" [| 6.; 9.; 12. |]
+    (N.Vec.axpy 2. a b)
+
+let vec_centroid_clamp_linspace () =
+  Alcotest.(check (array (float 1e-12)))
+    "centroid" [| 2.; 3. |]
+    (N.Vec.centroid [ [| 1.; 2. |]; [| 3.; 4. |] ]);
+  Alcotest.(check (array (float 1e-12)))
+    "clamp" [| 0.; 1.; 0.5 |]
+    (N.Vec.clamp ~lo:[| 0.; 0.; 0. |] ~hi:[| 1.; 1.; 1. |] [| -3.; 7.; 0.5 |]);
+  Alcotest.(check (array (float 1e-12)))
+    "linspace" [| 0.; 0.5; 1. |] (N.Vec.linspace 0. 1. 3);
+  check_raises_invalid "length mismatch" (fun () -> N.Vec.add [| 1. |] [| 1.; 2. |]);
+  check_raises_invalid "empty centroid" (fun () -> N.Vec.centroid [])
+
+(* Optimizers *)
+
+let nelder_mead_quadratic () =
+  let f x = ((x.(0) -. 3.) ** 2.) +. ((x.(1) +. 1.) ** 2.) in
+  let r = N.Nelder_mead.minimize ~f ~x0:[| 0.; 0. |] () in
+  Alcotest.(check bool) "converged" true r.converged;
+  check_close ~tol:1e-3 "x0" 3. r.x.(0);
+  check_close ~tol:1e-3 "x1" (-1.) r.x.(1)
+
+let nelder_mead_rosenbrock () =
+  let f x =
+    (100. *. ((x.(1) -. (x.(0) *. x.(0))) ** 2.)) +. ((1. -. x.(0)) ** 2.)
+  in
+  let r =
+    N.Nelder_mead.minimize
+      ~options:{ N.Nelder_mead.default_options with max_iter = 10_000 }
+      ~f ~x0:[| -1.2; 1. |] ()
+  in
+  check_close ~tol:1e-2 "rosenbrock x" 1. r.x.(0);
+  check_close ~tol:1e-2 "rosenbrock y" 1. r.x.(1)
+
+let nelder_mead_rejects_infinite_regions () =
+  (* f = infinity outside the unit box; minimum at the box corner. *)
+  let f x =
+    if x.(0) < 0. || x.(0) > 1. then infinity else (x.(0) -. 2.) ** 2.
+  in
+  let r = N.Nelder_mead.minimize ~f ~x0:[| 0.5 |] () in
+  check_close ~tol:1e-3 "clamped to boundary" 1. r.x.(0)
+
+let golden_section () =
+  let x, v = N.Golden.minimize ~f:(fun x -> (x -. 1.7) ** 2.) ~lo:0. ~hi:10. () in
+  check_close ~tol:1e-5 "argmin" 1.7 x;
+  check_close ~tol:1e-9 "min value" 0. v;
+  check_raises_invalid "bad interval" (fun () ->
+      N.Golden.minimize ~f:Fun.id ~lo:1. ~hi:0. ())
+
+let grid_search () =
+  let x, v = N.Grid.minimize_int ~f:(fun i -> float_of_int ((i - 4) * (i - 4))) ~lo:0 ~hi:10 () in
+  Alcotest.(check int) "argmin int" 4 x;
+  check_close "min value" 0. v;
+  let x, v = N.Grid.maximize_int ~f:(fun i -> float_of_int i) ~lo:2 ~hi:9 () in
+  Alcotest.(check int) "argmax" 9 x;
+  check_close "max" 9. v
+
+let grid_multidim () =
+  let f idx =
+    let x = float_of_int idx.(0) and y = float_of_int idx.(1) in
+    ((x -. 2.) ** 2.) +. ((y -. 5.) ** 2.)
+  in
+  let best, v = N.Grid.minimize_ints ~f ~ranges:[| (0, 4); (3, 8) |] () in
+  Alcotest.(check (array int)) "argmin" [| 2; 5 |] best;
+  check_close "value" 0. v;
+  let axes = [| [| 0.; 0.5; 1.0 |]; [| 10.; 20. |] |] in
+  let pt, _ =
+    N.Grid.minimize_floats ~f:(fun p -> abs_float (p.(0) -. 0.5) +. p.(1)) ~axes ()
+  in
+  Alcotest.(check (array (float 1e-12))) "float grid" [| 0.5; 10. |] pt
+
+let grid_smallest_within () =
+  (* cost plateaus from 5 onward *)
+  let f n = if n >= 5 then 10. else 10. +. float_of_int (5 - n) in
+  let n = N.Grid.argmin_smallest_within ~f ~lo:1 ~hi:10 ~slack:0.01 () in
+  Alcotest.(check int) "smallest within slack" 5 n
+
+let constrained_penalty () =
+  (* minimize x^2 + y^2 subject to x + y >= 1 -> (0.5, 0.5) *)
+  let problem =
+    {
+      N.Constrained.objective = (fun x -> (x.(0) ** 2.) +. (x.(1) ** 2.));
+      inequality = [ (fun x -> 1. -. x.(0) -. x.(1)) ];
+      lower = [| -2.; -2. |];
+      upper = [| 2.; 2. |];
+    }
+  in
+  let s = N.Constrained.multi_start ~rng:(N.Rng.create ~seed:21) problem in
+  Alcotest.(check bool) "feasible" true s.feasible;
+  check_close ~tol:2e-2 "x" 0.5 s.x.(0);
+  check_close ~tol:2e-2 "y" 0.5 s.x.(1)
+
+let constrained_box_only () =
+  let problem =
+    {
+      N.Constrained.objective = (fun x -> -.x.(0));
+      inequality = [];
+      lower = [| 0. |];
+      upper = [| 3. |];
+    }
+  in
+  let s = N.Constrained.minimize problem [| 1. |] in
+  check_close ~tol:1e-2 "pushed to upper bound" 3. s.x.(0)
+
+(* Curve fitting *)
+
+let linear_fit () =
+  let data = Array.init 10 (fun i -> (float_of_int i, (2.5 *. float_of_int i) +. 1.)) in
+  let slope, intercept = N.Curve_fit.linear ~data in
+  check_close ~tol:1e-9 "slope" 2.5 slope;
+  check_close ~tol:1e-9 "intercept" 1. intercept;
+  check_raises_invalid "degenerate x" (fun () ->
+      N.Curve_fit.linear ~data:[| (1., 1.); (1., 2.) |])
+
+let nonlinear_fit_recovers_parameters () =
+  let truth = [| 2e-5; 1e9 |] in
+  let data =
+    Array.init 12 (fun i ->
+        let rate = 0.9e9 *. float_of_int (i + 1) /. 12. in
+        (rate, N.Curve_fit.mm1_latency_model truth rate))
+  in
+  let fit =
+    N.Curve_fit.fit ~model:N.Curve_fit.mm1_latency_model ~data
+      ~p0:[| 1e-5; 2e9 |] ()
+  in
+  check_within ~pct:2. "t0 recovered" truth.(0) fit.params.(0);
+  check_within ~pct:2. "capacity recovered" truth.(1) fit.params.(1);
+  Alcotest.(check bool) "good r^2" true (fit.r_squared > 0.999)
+
+let mm1_model_domain () =
+  Alcotest.(check bool)
+    "beyond capacity is infinite" true
+    (N.Curve_fit.mm1_latency_model [| 1e-5; 1e9 |] 1.5e9 = infinity)
+
+(* Interp *)
+
+let interp_basics () =
+  let t = N.Interp.of_points [ (0., 0.); (10., 100.); (20., 100.) ] in
+  check_close "interpolates" 50. (N.Interp.eval t 5.);
+  check_close "knot value" 100. (N.Interp.eval t 10.);
+  check_close "clamps below" 0. (N.Interp.eval t (-5.));
+  check_close "clamps above" 100. (N.Interp.eval t 999.);
+  Alcotest.(check (pair (float 0.) (float 0.))) "domain" (0., 20.) (N.Interp.domain t);
+  check_raises_invalid "duplicate x" (fun () ->
+      N.Interp.of_points [ (1., 1.); (1., 2.) ]);
+  check_raises_invalid "empty" (fun () -> N.Interp.of_points [])
+
+let interp_sorts_input () =
+  let t = N.Interp.of_points [ (10., 1.); (0., 0.) ] in
+  check_close "unsorted input handled" 0.5 (N.Interp.eval t 5.)
+
+(* Properties *)
+
+let properties =
+  [
+    prop "percentile is monotone in p"
+      QCheck.(
+        pair
+          (array_of_size (Gen.int_range 1 50) (float_range (-1e3) 1e3))
+          (pair (float_range 0. 100.) (float_range 0. 100.)))
+      (fun (xs, (p1, p2)) ->
+        let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+        N.Stats.percentile xs lo <= N.Stats.percentile xs hi +. 1e-9);
+    prop "mean between min and max"
+      QCheck.(array_of_size (Gen.int_range 1 50) (float_range (-1e3) 1e3))
+      (fun xs ->
+        let m = N.Stats.mean xs in
+        N.Stats.minimum xs -. 1e-9 <= m && m <= N.Stats.maximum xs +. 1e-9);
+    prop "exponential samples are positive"
+      QCheck.(pair (float_range 0.1 100.) small_int)
+      (fun (rate, seed) ->
+        let rng = N.Rng.create ~seed in
+        N.Dist.sample (N.Dist.exponential ~rate) rng > 0.);
+    prop "interp stays within y-range"
+      QCheck.(
+        pair
+          (list_of_size (Gen.int_range 2 20)
+             (pair (float_range 0. 100.) (float_range (-50.) 50.)))
+          (float_range (-10.) 110.))
+      (fun (points, x) ->
+        (* dedupe x values to satisfy the precondition *)
+        let seen = Hashtbl.create 16 in
+        let points =
+          List.filter
+            (fun (x, _) ->
+              if Hashtbl.mem seen x then false
+              else begin
+                Hashtbl.add seen x ();
+                true
+              end)
+            points
+        in
+        QCheck.assume (List.length points >= 1);
+        let t = N.Interp.of_points points in
+        let ys = List.map snd points in
+        let y = N.Interp.eval t x in
+        y >= List.fold_left Float.min infinity ys -. 1e-9
+        && y <= List.fold_left Float.max neg_infinity ys +. 1e-9);
+    prop "golden finds the vertex of shifted parabolas"
+      QCheck.(float_range (-50.) 50.)
+      (fun c ->
+        let x, _ =
+          N.Golden.minimize ~f:(fun x -> (x -. c) ** 2.) ~lo:(-100.) ~hi:100. ()
+        in
+        abs_float (x -. c) < 1e-4);
+  ]
+
+let suite =
+  [
+    quick "rng: deterministic" rng_deterministic;
+    quick "rng: seed changes stream" rng_seed_changes_stream;
+    quick "rng: split reproducible" rng_split_independent;
+    quick "rng: bounds" rng_bounds;
+    quick "dist: closed-form means" dist_means;
+    slow "dist: sample statistics" dist_sample_statistics;
+    slow "dist: empirical weights" dist_empirical_weights;
+    slow "dist: poisson mean" dist_poisson_mean;
+    quick "dist: validation" dist_validation;
+    quick "stats: basics" stats_basics;
+    quick "stats: percentile interpolation" stats_percentile_interpolates;
+    quick "stats: percentile purity" stats_percentile_does_not_mutate;
+    quick "stats: relative error" stats_relative_error;
+    quick "stats: weighted/geometric means" stats_weighted_geometric;
+    quick "stats: online accumulator" stats_online_matches_batch;
+    quick "stats: histogram" stats_histogram;
+    quick "stats: empty inputs rejected" stats_empty_rejected;
+    quick "vec: arithmetic" vec_arithmetic;
+    quick "vec: centroid/clamp/linspace" vec_centroid_clamp_linspace;
+    quick "nelder-mead: quadratic" nelder_mead_quadratic;
+    quick "nelder-mead: rosenbrock" nelder_mead_rosenbrock;
+    quick "nelder-mead: infinite regions" nelder_mead_rejects_infinite_regions;
+    quick "golden: parabola" golden_section;
+    quick "grid: 1d" grid_search;
+    quick "grid: multi-dimensional" grid_multidim;
+    quick "grid: smallest within slack" grid_smallest_within;
+    quick "constrained: penalty method" constrained_penalty;
+    quick "constrained: box bounds" constrained_box_only;
+    quick "curve-fit: linear" linear_fit;
+    quick "curve-fit: nonlinear recovery" nonlinear_fit_recovers_parameters;
+    quick "curve-fit: mm1 domain" mm1_model_domain;
+    quick "interp: basics" interp_basics;
+    quick "interp: sorts input" interp_sorts_input;
+  ]
+  @ properties

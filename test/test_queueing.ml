@@ -1,0 +1,283 @@
+(* Tests for the queueing-theory substrate: closed forms, identities
+   between the paper's Eq 12 and first-principles computation, and
+   limiting behaviours. *)
+
+open Helpers
+module Q = Lognic_queueing
+
+(* M/M/1 *)
+
+let mm1_textbook () =
+  (* rho = 0.5: L = 1, W = 1/(mu - lambda) = 0.2s with mu = 10. *)
+  let q = Q.Mm1.create ~lambda:5. ~mu:10. in
+  check_close "utilization" 0.5 (Q.Mm1.utilization q);
+  check_close "L" 1. (Q.Mm1.mean_number_in_system q);
+  check_close "Lq" 0.5 (Q.Mm1.mean_number_in_queue q);
+  check_close "W" 0.2 (Q.Mm1.mean_time_in_system q);
+  check_close "Wq" 0.1 (Q.Mm1.mean_waiting_time q)
+
+let mm1_littles_law () =
+  let q = Q.Mm1.create ~lambda:3. ~mu:7. in
+  check_close ~tol:1e-12 "L = lambda W"
+    (3. *. Q.Mm1.mean_time_in_system q)
+    (Q.Mm1.mean_number_in_system q)
+
+let mm1_unstable () =
+  let q = Q.Mm1.create ~lambda:10. ~mu:5. in
+  Alcotest.(check bool) "unstable" false (Q.Mm1.stable q);
+  Alcotest.(check bool) "infinite W" true (Q.Mm1.mean_time_in_system q = infinity)
+
+let mm1_validation () =
+  check_raises_invalid "negative rate" (fun () -> Q.Mm1.create ~lambda:(-1.) ~mu:1.)
+
+(* M/M/1/N *)
+
+let mm1n_paper_worked_example () =
+  (* rho = 0.5, N = 2: probabilities 4/7, 2/7, 1/7; L = 4/7;
+     Q = L/lambda_e - 1/mu = 1/3 x (1/mu). Checked by hand against the
+     paper's Eq 9-12 with mu = 1, lambda = 0.5. *)
+  let q = Q.Mm1n.create ~lambda:0.5 ~mu:1. ~capacity:2 in
+  check_close ~tol:1e-12 "Pro_0" (4. /. 7.) (Q.Mm1n.state_probability q 0);
+  check_close ~tol:1e-12 "Pro_1" (2. /. 7.) (Q.Mm1n.state_probability q 1);
+  check_close ~tol:1e-12 "Pro_2" (1. /. 7.) (Q.Mm1n.state_probability q 2);
+  check_close ~tol:1e-12 "blocking" (1. /. 7.) (Q.Mm1n.blocking_probability q);
+  check_close ~tol:1e-12 "L" (4. /. 7.) (Q.Mm1n.mean_number_in_system q);
+  check_close ~tol:1e-9 "Q (Eq 9)" (1. /. 3.) (Q.Mm1n.mean_waiting_time q)
+
+let mm1n_closed_form_agrees () =
+  (* The paper's algebraic Eq 12 must equal the first-principles
+     L/lambda_e - 1/mu across loads and capacities. *)
+  List.iter
+    (fun rho ->
+      List.iter
+        (fun capacity ->
+          let q = Q.Mm1n.create ~lambda:rho ~mu:1. ~capacity in
+          check_close ~tol:1e-9
+            (Printf.sprintf "Eq12 at rho=%g N=%d" rho capacity)
+            (Q.Mm1n.mean_waiting_time q)
+            (Q.Mm1n.waiting_time_closed_form q))
+        [ 1; 2; 5; 8; 32; 128 ])
+    [ 0.05; 0.3; 0.7; 0.95; 1.2; 3. ]
+
+let mm1n_rho_one_limit () =
+  (* At rho = 1 the distribution is uniform; closed form uses the
+     (N-1)/2 limit. *)
+  let q = Q.Mm1n.create ~lambda:2. ~mu:2. ~capacity:4 in
+  check_close ~tol:1e-9 "uniform states" 0.2 (Q.Mm1n.state_probability q 3);
+  check_close ~tol:1e-6 "closed form at rho=1"
+    (Q.Mm1n.mean_waiting_time q)
+    (Q.Mm1n.waiting_time_closed_form q)
+
+let mm1n_converges_to_mm1 () =
+  (* N -> infinity recovers the infinite-buffer queue when stable. *)
+  let lambda = 0.6 and mu = 1. in
+  let finite = Q.Mm1n.create ~lambda ~mu ~capacity:500 in
+  let infinite = Q.Mm1.create ~lambda ~mu in
+  check_within ~pct:0.01 "Wq converges"
+    (Q.Mm1.mean_waiting_time infinite)
+    (Q.Mm1n.mean_waiting_time finite);
+  Alcotest.(check bool)
+    "blocking vanishes" true
+    (Q.Mm1n.blocking_probability finite < 1e-9)
+
+let mm1n_overload_carries_capacity () =
+  (* Far beyond saturation the queue ships ~mu. *)
+  let q = Q.Mm1n.create ~lambda:100. ~mu:1. ~capacity:16 in
+  check_within ~pct:2. "carried rate ~ mu" 1. (Q.Mm1n.throughput q)
+
+let mm1n_blocking_decreases_with_capacity () =
+  let blocking n =
+    Q.Mm1n.blocking_probability (Q.Mm1n.create ~lambda:0.9 ~mu:1. ~capacity:n)
+  in
+  let rec check n =
+    if n <= 8 then begin
+      Alcotest.(check bool)
+        (Printf.sprintf "P_block(%d) > P_block(%d)" n (n + 1))
+        true
+        (blocking n > blocking (n + 1));
+      check (n + 1)
+    end
+  in
+  check 1
+
+(* M/M/c *)
+
+let mmc_reduces_to_mm1 () =
+  let mmc = Q.Mmc.create ~lambda:0.7 ~mu:1. ~servers:1 in
+  let mm1 = Q.Mm1.create ~lambda:0.7 ~mu:1. in
+  check_close ~tol:1e-9 "Wq agreement"
+    (Q.Mm1.mean_waiting_time mm1)
+    (Q.Mmc.mean_waiting_time mmc)
+
+let mmc_textbook () =
+  (* Classic M/M/2 example: lambda = 2, mu = 1.5 -> rho = 2/3,
+     C(2, 4/3) = 0.5333..., Wq = C/(c mu - lambda) = 0.5333/1. *)
+  let q = Q.Mmc.create ~lambda:2. ~mu:1.5 ~servers:2 in
+  check_close ~tol:1e-6 "erlang C" (8. /. 15.) (Q.Mmc.erlang_c q);
+  check_close ~tol:1e-6 "Wq" (8. /. 15.) (Q.Mmc.mean_waiting_time q)
+
+let mmc_pooling_helps () =
+  (* 4 servers with one stream beat 1 fast-server-per-quarter-stream
+     arrangement in queueing delay at the same total capacity. *)
+  let pooled = Q.Mmc.create ~lambda:3.2 ~mu:1. ~servers:4 in
+  let single = Q.Mm1.create ~lambda:0.8 ~mu:1. in
+  Alcotest.(check bool)
+    "pooling reduces waiting" true
+    (Q.Mmc.mean_waiting_time pooled < Q.Mm1.mean_waiting_time single)
+
+(* M/M/c/N *)
+
+let mmcn_reduces_to_mm1n () =
+  List.iter
+    (fun rho ->
+      let a = Q.Mmcn.create ~lambda:rho ~mu:1. ~servers:1 ~capacity:8 in
+      let b = Q.Mm1n.create ~lambda:rho ~mu:1. ~capacity:8 in
+      check_close ~tol:1e-9 "blocking" (Q.Mm1n.blocking_probability b)
+        (Q.Mmcn.blocking_probability a);
+      check_close ~tol:1e-9 "waiting" (Q.Mm1n.mean_waiting_time b)
+        (Q.Mmcn.mean_waiting_time a))
+    [ 0.2; 0.9; 1.5 ]
+
+let mmcn_multi_server_waits_less () =
+  (* Same utilization and capacity: more servers, less queueing. *)
+  let single = Q.Mmcn.create ~lambda:0.9 ~mu:1. ~servers:1 ~capacity:64 in
+  let multi = Q.Mmcn.create ~lambda:7.2 ~mu:1. ~servers:8 ~capacity:64 in
+  check_close "same rho" (Q.Mmcn.utilization single) (Q.Mmcn.utilization multi);
+  Alcotest.(check bool)
+    "multi-server waits less" true
+    (Q.Mmcn.mean_waiting_time multi < 0.5 *. Q.Mmcn.mean_waiting_time single)
+
+let mmcn_probabilities_normalize () =
+  let q = Q.Mmcn.create ~lambda:5. ~mu:1. ~servers:4 ~capacity:32 in
+  let total = Array.fold_left ( +. ) 0. (Q.Mmcn.state_probabilities q) in
+  check_close ~tol:1e-12 "sums to one" 1. total
+
+let mmcn_extreme_load_stable () =
+  (* The normalized-weights computation must not overflow. *)
+  let q = Q.Mmcn.create ~lambda:1e6 ~mu:1. ~servers:2 ~capacity:256 in
+  let p = Q.Mmcn.blocking_probability q in
+  Alcotest.(check bool) "finite" true (Float.is_finite p);
+  Alcotest.(check bool) "nearly always blocked" true (p > 0.99)
+
+let mmcn_validation () =
+  check_raises_invalid "capacity below servers" (fun () ->
+      Q.Mmcn.create ~lambda:1. ~mu:1. ~servers:4 ~capacity:2)
+
+(* M/G/1 (Pollaczek-Khinchine) *)
+
+let mg1_recovers_mm1_and_md1 () =
+  let lambda = 0.7 and mu = 1. in
+  check_close ~tol:1e-12 "scv=1 is M/M/1"
+    (Q.Mm1.mean_waiting_time (Q.Mm1.create ~lambda ~mu))
+    (Q.Mg1.mean_waiting_time (Q.Mg1.create ~lambda ~mu ~scv:1.));
+  check_close ~tol:1e-12 "scv=0 is M/D/1"
+    (Q.Md1.mean_waiting_time (Q.Md1.create ~lambda ~mu))
+    (Q.Mg1.mean_waiting_time (Q.Mg1.create ~lambda ~mu ~scv:0.))
+
+let mg1_service_mix () =
+  (* bimodal 64B/1500B services: scv > 1 and waiting exceeds M/M/1's *)
+  let services = [ (64e-9, 0.5); (1500e-9, 0.5) ] in
+  let q = Q.Mg1.of_service_mix ~lambda:1e6 ~services in
+  Alcotest.(check bool) "bimodal scv > 0.8" true (q.Q.Mg1.scv > 0.8);
+  Alcotest.(check bool)
+    "underestimate factor matches scv" true
+    (abs_float (Q.Mg1.mm1_underestimate q -. ((1. +. q.Q.Mg1.scv) /. 2.)) < 1e-12);
+  check_close ~tol:1e-12 "mean service blended" (782e-9) (1. /. q.Q.Mg1.mu)
+
+let mg1_waiting_grows_with_scv () =
+  let wq scv = Q.Mg1.mean_waiting_time (Q.Mg1.create ~lambda:0.8 ~mu:1. ~scv) in
+  Alcotest.(check bool) "monotone in scv" true (wq 0. < wq 1. && wq 1. < wq 4.);
+  Alcotest.(check bool)
+    "unstable diverges" true
+    (Q.Mg1.mean_waiting_time (Q.Mg1.create ~lambda:2. ~mu:1. ~scv:1.) = infinity);
+  check_raises_invalid "negative scv" (fun () ->
+      Q.Mg1.create ~lambda:1. ~mu:1. ~scv:(-1.));
+  check_raises_invalid "bad mix" (fun () ->
+      Q.Mg1.of_service_mix ~lambda:1. ~services:[ (0., 1.) ])
+
+(* Little's law *)
+
+let littles_helpers () =
+  check_close "L" 6. (Q.Littles.number_in_system ~arrival_rate:2. ~time_in_system:3.);
+  check_close "W" 3. (Q.Littles.time_in_system ~arrival_rate:2. ~number_in_system:6.);
+  check_close "lambda" 2.
+    (Q.Littles.arrival_rate ~number_in_system:6. ~time_in_system:3.);
+  Alcotest.(check bool)
+    "consistent" true
+    (Q.Littles.consistent ~arrival_rate:2. ~time_in_system:3. ~number_in_system:6.1
+       ());
+  Alcotest.(check bool)
+    "inconsistent" false
+    (Q.Littles.consistent ~arrival_rate:2. ~time_in_system:3. ~number_in_system:9.
+       ())
+
+(* Properties *)
+
+let properties =
+  [
+    prop "mm1n waiting time is non-negative and finite"
+      QCheck.(pair (float_range 0.01 5.) (int_range 1 64))
+      (fun (rho, capacity) ->
+        let q = Q.Mm1n.create ~lambda:rho ~mu:1. ~capacity in
+        let w = Q.Mm1n.mean_waiting_time q in
+        Float.is_finite w && w >= 0.);
+    prop "mm1n closed form matches first principles"
+      QCheck.(pair (float_range 0.01 3.) (int_range 1 64))
+      (fun (rho, capacity) ->
+        let q = Q.Mm1n.create ~lambda:rho ~mu:1. ~capacity in
+        abs_float (Q.Mm1n.mean_waiting_time q -. Q.Mm1n.waiting_time_closed_form q)
+        < 1e-6 *. Float.max 1. (Q.Mm1n.mean_waiting_time q));
+    prop "mm1n blocking grows with load"
+      QCheck.(triple (float_range 0.05 2.) (float_range 0.05 1.) (int_range 1 32))
+      (fun (rho, bump, capacity) ->
+        let p1 =
+          Q.Mm1n.blocking_probability (Q.Mm1n.create ~lambda:rho ~mu:1. ~capacity)
+        in
+        let p2 =
+          Q.Mm1n.blocking_probability
+            (Q.Mm1n.create ~lambda:(rho +. bump) ~mu:1. ~capacity)
+        in
+        p2 >= p1 -. 1e-12);
+    prop "mmcn effective rate never exceeds capacity or offered load"
+      QCheck.(triple (float_range 0.1 20.) (int_range 1 8) (int_range 0 56))
+      (fun (lambda, servers, extra) ->
+        let capacity = servers + extra in
+        let q = Q.Mmcn.create ~lambda ~mu:1. ~servers ~capacity in
+        let carried = Q.Mmcn.effective_arrival_rate q in
+        carried <= lambda +. 1e-9
+        && carried <= (float_of_int servers *. 1.) +. 1e-9);
+    prop "mmc waiting time decreases with extra servers"
+      QCheck.(pair (float_range 0.1 0.95) (int_range 1 6))
+      (fun (rho, servers) ->
+        let lambda = rho *. float_of_int servers in
+        let a = Q.Mmc.create ~lambda ~mu:1. ~servers in
+        let b = Q.Mmc.create ~lambda ~mu:1. ~servers:(servers + 1) in
+        Q.Mmc.mean_waiting_time b <= Q.Mmc.mean_waiting_time a +. 1e-12);
+  ]
+
+let suite =
+  [
+    quick "mm1: textbook numbers" mm1_textbook;
+    quick "mm1: little's law" mm1_littles_law;
+    quick "mm1: instability" mm1_unstable;
+    quick "mm1: validation" mm1_validation;
+    quick "mm1n: paper worked example" mm1n_paper_worked_example;
+    quick "mm1n: Eq 12 identity" mm1n_closed_form_agrees;
+    quick "mm1n: rho = 1 limit" mm1n_rho_one_limit;
+    quick "mm1n: converges to mm1" mm1n_converges_to_mm1;
+    quick "mm1n: overload carries capacity" mm1n_overload_carries_capacity;
+    quick "mm1n: blocking monotone in capacity" mm1n_blocking_decreases_with_capacity;
+    quick "mmc: reduces to mm1" mmc_reduces_to_mm1;
+    quick "mmc: textbook numbers" mmc_textbook;
+    quick "mmc: pooling helps" mmc_pooling_helps;
+    quick "mmcn: reduces to mm1n" mmcn_reduces_to_mm1n;
+    quick "mmcn: multi-server waits less" mmcn_multi_server_waits_less;
+    quick "mmcn: probabilities normalize" mmcn_probabilities_normalize;
+    quick "mmcn: extreme load stays finite" mmcn_extreme_load_stable;
+    quick "mmcn: validation" mmcn_validation;
+    quick "mg1: recovers mm1 and md1" mg1_recovers_mm1_and_md1;
+    quick "mg1: service mixes" mg1_service_mix;
+    quick "mg1: scv monotonicity" mg1_waiting_grows_with_scv;
+    quick "littles: helpers" littles_helpers;
+  ]
+  @ properties
