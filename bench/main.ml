@@ -3,14 +3,18 @@
    Part 1 regenerates every table and figure of the paper's evaluation
    (the same rows/series, model + simulator) — run with no arguments, or
    pass figure ids ("fig5 fig9") to regenerate a subset, or --quick for
-   shorter simulations.
+   shorter simulations. --jobs N renders/runs sweeps N domains wide
+   (output is identical at any job count).
 
    Part 2 (skipped by --figures-only; alone with --bench-only) is a
    Bechamel microbenchmark suite: one Test.make per figure/table
    measuring the cost of the model work that backs it, plus
    core-primitive benches. These quantify the paper's "analytical model
    instead of a cycle-level simulator" speed pitch: estimating a graph
-   takes microseconds. *)
+   takes microseconds.
+
+   --json PATH additionally dumps the microbenchmark estimates and the
+   wall-clock as machine-readable JSON (for CI artifacts/trend lines). *)
 
 module U = Lognic.Units
 module G = Lognic.Graph
@@ -18,19 +22,55 @@ module D = Lognic_devices
 open Bechamel
 open Toolkit
 
-let flag name = Array.exists (fun a -> a = name) Sys.argv
-let quick = flag "--quick"
-let bench_only = flag "--bench-only"
-let figures_only = flag "--figures-only"
+(* Hand-rolled argv walk: flags, value-taking options (--json PATH,
+   --jobs N), and bare figure ids. A plain "is this string present"
+   scan would misread option values as figure names. *)
+type cli = {
+  quick : bool;
+  bench_only : bool;
+  figures_only : bool;
+  jobs : int option;
+  json : string option;
+  requested : string list;
+}
 
-let requested =
-  Array.to_list Sys.argv |> List.tl
-  |> List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--"))
+let cli =
+  let usage () =
+    prerr_endline
+      "usage: main.exe [--quick] [--bench-only|--figures-only] [--jobs N] \
+       [--json PATH] [FIG...]";
+    exit 2
+  in
+  let rec walk acc = function
+    | [] -> { acc with requested = List.rev acc.requested }
+    | "--quick" :: rest -> walk { acc with quick = true } rest
+    | "--bench-only" :: rest -> walk { acc with bench_only = true } rest
+    | "--figures-only" :: rest -> walk { acc with figures_only = true } rest
+    | "--jobs" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> walk { acc with jobs = Some n } rest
+      | _ -> usage ())
+    | "--json" :: path :: rest -> walk { acc with json = Some path } rest
+    | a :: _ when String.length a >= 2 && String.sub a 0 2 = "--" -> usage ()
+    | fig :: rest -> walk { acc with requested = fig :: acc.requested } rest
+  in
+  walk
+    {
+      quick = false;
+      bench_only = false;
+      figures_only = false;
+      jobs = None;
+      json = None;
+      requested = [];
+    }
+    (List.tl (Array.to_list Sys.argv))
 
+let quick = cli.quick
+let () = Option.iter Lognic_numerics.Parallel.set_default_jobs cli.jobs
 let speed = if quick then Lognic_apps.Figures.Quick else Lognic_apps.Figures.Full
 
 let render_figures () =
-  match requested with
+  match cli.requested with
   | [] -> Lognic_apps.Figures.all ~speed Fmt.stdout
   | names ->
     List.iter
@@ -140,6 +180,7 @@ let primitive_benches =
              ~x0:[| 0.; 0. |] ()));
   ]
 
+(* Returns (name, ns_per_run) rows in the order printed, for --json. *)
 let run_benchmarks () =
   let benchmark test =
     let quota = Time.second (if quick then 0.25 else 1.0) in
@@ -153,17 +194,60 @@ let run_benchmarks () =
     Analyze.all ols Instance.monotonic_clock raw
   in
   Fmt.pr "@.== Bechamel microbenchmarks (ns per evaluation) ==@.";
-  List.iter
+  List.concat_map
     (fun test ->
       let results = analyze (benchmark test) in
-      Hashtbl.iter
-        (fun name ols ->
+      Hashtbl.fold
+        (fun name ols rows ->
           match Analyze.OLS.estimates ols with
-          | Some [ estimate ] -> Fmt.pr "%-36s %12.1f ns/run@." name estimate
-          | Some _ | None -> Fmt.pr "%-36s (no estimate)@." name)
-        results)
+          | Some [ estimate ] ->
+            Fmt.pr "%-36s %12.1f ns/run@." name estimate;
+            (name, estimate) :: rows
+          | Some _ | None ->
+            Fmt.pr "%-36s (no estimate)@." name;
+            rows)
+        results [])
     (model_benches @ primitive_benches)
 
+(* --- JSON dump (--json PATH) --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path ~rows ~wall_s =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"results\": [";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "%s\n    { \"name\": \"%s\", \"ns_per_run\": %.1f }"
+        (if i = 0 then "" else ",")
+        (json_escape name) ns)
+    rows;
+  Printf.fprintf oc "\n  ],\n  \"wall_s\": %.3f\n}\n" wall_s;
+  close_out oc
+
 let () =
-  if not bench_only then render_figures ();
-  if not figures_only then run_benchmarks ()
+  let started = Unix.gettimeofday () in
+  if not cli.bench_only then render_figures ();
+  let figures_wall = Unix.gettimeofday () -. started in
+  let rows = if cli.figures_only then [] else run_benchmarks () in
+  Option.iter
+    (fun path ->
+      (* wall_s is the figure-regeneration wall-clock when figures ran
+         (the quantity --jobs accelerates); otherwise the total. *)
+      let wall_s =
+        if cli.bench_only then Unix.gettimeofday () -. started else figures_wall
+      in
+      write_json path ~rows ~wall_s)
+    cli.json

@@ -64,6 +64,15 @@ let queue_model_arg =
   in
   Arg.(value & opt model_conv Lognic.Latency.Mm1n_model & info [ "queue-model" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel sweeps and searches (default: the \
+     machine's core count). Results are identical at any job count."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let apply_jobs jobs = Option.iter Lognic_numerics.Parallel.set_default_jobs jobs
+
 
 (* estimate *)
 
@@ -253,7 +262,8 @@ let objective_arg =
   Arg.(value & opt objective_conv `Max_throughput & info [ "objective" ] ~doc)
 
 let optimize_cmd =
-  let run graph_path rate packet splits queues objective =
+  let run graph_path rate packet splits queues objective jobs =
+    apply_jobs jobs;
     let ( let* ) = Result.bind in
     let* doc = load_document graph_path in
     let* traffic = resolve_traffic doc rate packet in
@@ -304,13 +314,16 @@ let optimize_cmd =
     Fmt.pr "%a@."
       (Lognic.Estimate.pp_report solution.graph)
       solution.report;
+    Fmt.pr "search: %d model evaluations, %d memo hits@."
+      solution.stats.Lognic.Optimizer.evaluations
+      solution.stats.Lognic.Optimizer.memo_hits;
     Ok ()
   in
   let term =
     Term.(
       term_result
         (const run $ graph_arg $ rate_arg $ packet_arg $ split_arg $ queue_arg
-       $ objective_arg))
+       $ objective_arg $ jobs_arg))
   in
   Cmd.v
     (Cmd.info "optimize"
@@ -352,7 +365,8 @@ let roofline_cmd =
 (* sensitivity *)
 
 let sensitivity_cmd =
-  let run graph_path rate packet queue_model =
+  let run graph_path rate packet queue_model jobs =
+    apply_jobs jobs;
     let ( let* ) = Result.bind in
     let* doc = load_document graph_path in
     let* traffic = resolve_traffic doc rate packet in
@@ -375,7 +389,8 @@ let sensitivity_cmd =
   let term =
     Term.(
       term_result
-        (const run $ graph_arg $ rate_arg $ packet_arg $ queue_model_arg))
+        (const run $ graph_arg $ rate_arg $ packet_arg $ queue_model_arg
+       $ jobs_arg))
   in
   Cmd.v
     (Cmd.info "sensitivity"
@@ -406,7 +421,8 @@ let figures_cmd =
     let doc = "Shorter simulations (less precise measured series)." in
     Arg.(value & flag & info [ "quick" ] ~doc)
   in
-  let run figures quick =
+  let run figures quick jobs =
+    apply_jobs jobs;
     let speed = if quick then Lognic_apps.Figures.Quick else Lognic_apps.Figures.Full in
     match figures with
     | [] ->
@@ -426,7 +442,7 @@ let figures_cmd =
   Cmd.v
     (Cmd.info "figures"
        ~doc:"Regenerate the paper's evaluation figures (model + simulator).")
-    Term.(term_result (const run $ figure_arg $ quick_arg))
+    Term.(term_result (const run $ figure_arg $ quick_arg $ jobs_arg))
 
 let () =
   let info =

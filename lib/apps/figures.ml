@@ -237,23 +237,31 @@ let ext_tail ?(speed = Full) ppf =
     [ "load"; "model-p50"; "sim-p50"; "model-p99"; "sim-p99 (us)" ];
   let g = validation_chain () in
   let duration = match speed with Quick -> 0.1 | Full -> 0.5 in
+  (* The four load points are independent simulations; compute them in
+     parallel and print the rows afterwards in load order. *)
   List.iter
-    (fun load ->
-      let traffic =
-        Lognic.Traffic.make ~rate:(load *. 4. *. U.gbps) ~packet_size:U.mtu
-      in
-      let q = Lognic.Tail.overall (Lognic.Tail.evaluate g ~hw:validation_hw ~traffic) in
-      let m =
-        Lognic_sim.Netsim.run_single
-          ~config:
-            { Lognic_sim.Netsim.default_config with duration; warmup = duration /. 10. }
-          g ~hw:validation_hw ~traffic
-      in
-      Fmt.pf ppf "%4.2f  %8.2f  %8.2f  %8.2f  %8.2f@." load (U.to_usec q.p50)
-        (U.to_usec m.summary.Lognic_sim.Telemetry.p50_latency)
-        (U.to_usec q.p99)
-        (U.to_usec m.summary.Lognic_sim.Telemetry.p99_latency))
-    [ 0.3; 0.5; 0.7; 0.9 ]
+    (fun (load, q, (summary : Lognic_sim.Telemetry.summary)) ->
+      Fmt.pf ppf "%4.2f  %8.2f  %8.2f  %8.2f  %8.2f@." load
+        (U.to_usec q.Lognic.Tail.p50)
+        (U.to_usec summary.Lognic_sim.Telemetry.p50_latency)
+        (U.to_usec q.Lognic.Tail.p99)
+        (U.to_usec summary.Lognic_sim.Telemetry.p99_latency))
+    (Lognic_sim.Parallel.map
+       (fun load ->
+         let traffic =
+           Lognic.Traffic.make ~rate:(load *. 4. *. U.gbps) ~packet_size:U.mtu
+         in
+         let q =
+           Lognic.Tail.overall (Lognic.Tail.evaluate g ~hw:validation_hw ~traffic)
+         in
+         let m =
+           Lognic_sim.Netsim.run_single
+             ~config:
+               { Lognic_sim.Netsim.default_config with duration; warmup = duration /. 10. }
+             g ~hw:validation_hw ~traffic
+         in
+         (load, q, m.summary))
+       [ 0.3; 0.5; 0.7; 0.9 ])
 
 let ext_hol ?(speed = Full) ppf =
   header ppf
@@ -398,4 +406,17 @@ let render ?speed name ppf =
     Ok ()
   | None -> Error (Printf.sprintf "unknown figure %S (try: %s)" name (String.concat ", " names))
 
-let all ?speed ppf = List.iter (fun (_, f) -> f ppf) (registry ?speed ())
+let all ?speed ?jobs ppf =
+  (* Figures only share the output formatter, so render each one into
+     its own buffer on the domain pool and emit the buffers in registry
+     order. The printed bytes are identical to a sequential [all]. *)
+  List.iter
+    (fun contents -> Fmt.pf ppf "%s" contents)
+    (Lognic_sim.Parallel.map ?jobs
+       (fun (_, f) ->
+         let buf = Buffer.create 4096 in
+         let bppf = Format.formatter_of_buffer buf in
+         f bppf;
+         Format.pp_print_flush bppf ();
+         Buffer.contents buf)
+       (registry ?speed ()))

@@ -87,4 +87,8 @@ val names : string list
 val render : ?speed:speed -> string -> Format.formatter -> (unit, string) result
 (** Render one figure by id. *)
 
-val all : ?speed:speed -> Format.formatter -> unit
+val all : ?speed:speed -> ?jobs:int -> Format.formatter -> unit
+(** Render every figure. [jobs] (default
+    {!Lognic_numerics.Parallel.default_jobs}) renders figures
+    concurrently into per-figure buffers; the emitted text is
+    byte-identical to a sequential run. *)

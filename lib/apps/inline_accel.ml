@@ -25,7 +25,9 @@ let fig5_granularity_sweep ?(sim_duration = 0.05) ?granularities ~spec () =
   let granularities = Option.value granularities ~default:default_granularities in
   let packet_size = 1024. in
   let traffic = line_traffic ~packet_size in
-  List.map
+  (* Each point runs an independent fixed-seed simulation; fan the
+     sweep out over the domain pool (order and results unchanged). *)
+  Lognic_sim.Parallel.map
     (fun granularity ->
       let g =
         D.Liquidio.inline_accel_graph ~granularity ~spec ~packet_size ()
@@ -46,7 +48,7 @@ let fig9_parallelism_sweep ?(sim_duration = 0.05) ?cores ~spec () =
   let cores = Option.value cores ~default:(List.init 16 (fun i -> i + 1)) in
   let packet_size = U.mtu in
   let traffic = line_traffic ~packet_size in
-  List.map
+  Lognic_sim.Parallel.map
     (fun n ->
       let g = D.Liquidio.inline_accel_graph ~cores:n ~spec ~packet_size () in
       let report = Lognic.Estimate.run g ~hw:D.Liquidio.hardware ~traffic in
@@ -81,7 +83,7 @@ let default_sizes = [ 64.; 128.; 256.; 512.; 1024.; U.mtu ]
 
 let fig10_packet_size_sweep ?(sim_duration = 0.05) ?sizes ~spec () =
   let sizes = Option.value sizes ~default:default_sizes in
-  List.map
+  Lognic_sim.Parallel.map
     (fun packet_size ->
       let traffic = line_traffic ~packet_size in
       let g = D.Liquidio.inline_accel_graph ~spec ~packet_size () in

@@ -25,7 +25,8 @@ let fig6_profile_sweep ?(sim_duration = 0.4) ?(points = 10) ~io () =
   let eff = D.Ssd.effective D.Ssd.default ~io ~gc:D.Ssd.Gc_realistic in
   let graph = D.Stingray.nvme_of_graph ~gc:D.Ssd.Gc_realistic ~io () in
   let max_rate = 0.9 *. eff.D.Ssd.capacity in
-  List.init points (fun i ->
+  Lognic_sim.Parallel.map
+    (fun i ->
       let offered = max_rate *. float_of_int (i + 1) /. float_of_int points in
       let traffic = Lognic.Traffic.make ~rate:offered ~packet_size:io.D.Ssd.io_size in
       (* Mmcn_model is the calibration-equivalent of §4.3's curve fit:
@@ -47,6 +48,7 @@ let fig6_profile_sweep ?(sim_duration = 0.4) ?(points = 10) ~io () =
         model_throughput = report.throughput.Lognic.Throughput.attained;
         measured_throughput = m.summary.Lognic_sim.Telemetry.throughput;
       })
+    (List.init points Fun.id)
 
 let fig6_error_rate points =
   let errors =
@@ -73,8 +75,8 @@ let fig7_read_ratio_sweep ?(sim_duration = 0.4) ?ratios () =
   let ratios =
     Option.value ratios ~default:[ 0.; 0.1; 0.25; 0.5; 0.75; 0.9; 1.0 ]
   in
-  List.mapi
-    (fun i read_ratio ->
+  Lognic_sim.Parallel.map
+    (fun (i, read_ratio) ->
       let io = D.Ssd.mixed_4k ~read_fraction:read_ratio in
       (* Drive the drive into saturation so bandwidth, not offered load,
          is measured. *)
@@ -96,7 +98,7 @@ let fig7_read_ratio_sweep ?(sim_duration = 0.4) ?ratios () =
         measured_bandwidth = m.summary.Lognic_sim.Telemetry.throughput;
         model_bandwidth = report.throughput.Lognic.Throughput.attained;
       })
-    ratios
+    (List.mapi (fun i r -> (i, r)) ratios)
 
 let calibration_demo ~io () =
   let eff = D.Ssd.effective D.Ssd.default ~io ~gc:D.Ssd.Gc_realistic in

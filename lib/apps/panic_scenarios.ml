@@ -37,7 +37,10 @@ let model_point ~offered ~profile ~credits =
 
 let fig15_credit_sweep ?(sim_duration = 0.03) ?(offered = default_offered)
     ~profile () =
-  List.init 8 (fun i ->
+  (* One independent fixed-seed simulation per credit setting; fan the
+     sweep over the domain pool (order and results unchanged). *)
+  Lognic_sim.Parallel.map
+    (fun i ->
       let credits = i + 1 in
       let mix = T.mix_of_sizes ~rate:offered ~sizes:profile.sizes in
       let g = P.pipelined_graph ~credits ~sizes:profile.sizes () in
@@ -59,6 +62,7 @@ let fig15_credit_sweep ?(sim_duration = 0.03) ?(offered = default_offered)
         model_bandwidth;
         model_latency;
       })
+    (List.init 8 Fun.id)
 
 let suggest_credits ?(offered = default_offered) ~profile () =
   (* Fewest credits whose goodput stays within 7% of the 8-credit
@@ -131,7 +135,8 @@ let parallelism_offered = 95. *. U.gbps
 let mtu_traffic offered = T.make ~rate:offered ~packet_size:U.mtu
 
 let fig18_19_parallelism ?(offered = parallelism_offered) ~split () =
-  List.init 8 (fun i ->
+  Lognic_sim.Parallel.map
+    (fun i ->
       let degree = i + 1 in
       let g = P.hybrid_graph ~ip4_parallelism:degree ~ip1_split:split ~packet_size:U.mtu () in
       let report =
@@ -145,6 +150,7 @@ let fig18_19_parallelism ?(offered = parallelism_offered) ~split () =
             report.latency.Lognic.Latency.carried_rate
             report.throughput.Lognic.Throughput.attained;
       })
+    (List.init 8 Fun.id)
 
 let suggest_parallelism ?(offered = parallelism_offered) ~split () =
   let points = fig18_19_parallelism ~offered ~split () in

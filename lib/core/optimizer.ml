@@ -22,11 +22,14 @@ type assignment =
   | Set_accel of Graph.vertex_id * float
   | Set_ingress_rate of float
 
+type search_stats = { evaluations : int; memo_hits : int }
+
 type solution = {
   graph : Graph.t;
   assignment : assignment list;
   report : Estimate.report;
   feasible : bool;
+  stats : search_stats;
 }
 
 let apply_assignment g assignment =
@@ -172,19 +175,90 @@ let assignment_of_discrete axes idx =
       | `Accel (id, candidates) -> Set_accel (id, candidates.(idx.(d))))
     axes
 
-let optimize ?(rng = N.Rng.create ~seed:42) ?queue_model g ~hw ~traffic ~knobs
-    objective =
+(* Canonical memo key: assignments sorted by (kind, vertex) and floats
+   serialized by their IEEE bit pattern, so two assignments collide iff
+   they produce the same graph and traffic. Nelder–Mead and
+   golden-section refinement revisit configurations exactly (clamped
+   boundary points, the final re-evaluation of the winning simplex
+   vertex, duplicate discrete candidates), and each hit skips a full
+   [Throughput.evaluate]/[Latency.evaluate] pass. *)
+let memo_key assignment =
+  let rank = function
+    | Set_throughput _ -> 0
+    | Set_queue_capacity _ -> 1
+    | Set_split _ -> 2
+    | Set_partition _ -> 3
+    | Set_accel _ -> 4
+    | Set_ingress_rate _ -> 5
+  in
+  let vid = function
+    | Set_throughput (id, _)
+    | Set_queue_capacity (id, _)
+    | Set_split (id, _)
+    | Set_partition (id, _)
+    | Set_accel (id, _) ->
+      id
+    | Set_ingress_rate _ -> -1
+  in
+  let cmp a b = compare (rank a, vid a) (rank b, vid b) in
+  let b = Buffer.create 64 in
+  let flt x =
+    Buffer.add_string b (Int64.to_string (Int64.bits_of_float x));
+    Buffer.add_char b ','
+  in
+  let tag a =
+    Buffer.add_char b (Char.chr (Char.code '0' + rank a));
+    Buffer.add_char b ':';
+    Buffer.add_string b (string_of_int (vid a));
+    Buffer.add_char b '='
+  in
+  List.iter
+    (fun a ->
+      tag a;
+      match a with
+      | Set_throughput (_, p) -> flt p
+      | Set_queue_capacity (_, n) ->
+        Buffer.add_string b (string_of_int n);
+        Buffer.add_char b ','
+      | Set_split (_, fs) -> List.iter flt fs
+      | Set_partition (_, gamma) -> flt gamma
+      | Set_accel (_, a) -> flt a
+      | Set_ingress_rate r -> flt r)
+    (List.sort cmp assignment);
+  Buffer.contents b
+
+let optimize ?(rng = N.Rng.create ~seed:42) ?queue_model ?jobs g ~hw ~traffic
+    ~knobs objective =
   validate_knobs g knobs;
   let slices, dim = continuous_layout knobs g in
   let axes = discrete_axes knobs in
+  (* The memo is shared by every candidate of this search (including
+     across domains when the discrete grid is evaluated in parallel —
+     hence the mutex); hit/evaluation counts surface in the solution's
+     [stats]. *)
+  let memo = N.Lru.create ~capacity:4096 in
+  let memo_mutex = Mutex.create () in
+  let evaluations = Atomic.make 0 and memo_hits = Atomic.make 0 in
   let evaluate assignment =
-    let g' = apply_assignment g assignment in
-    let traffic' = apply_traffic traffic assignment in
-    let report = Estimate.run ?queue_model g' ~hw ~traffic:traffic' in
-    (score ?queue_model objective report, g', report)
+    Atomic.incr evaluations;
+    let key = memo_key assignment in
+    match Mutex.protect memo_mutex (fun () -> N.Lru.find_opt memo key) with
+    | Some result ->
+      Atomic.incr memo_hits;
+      result
+    | None ->
+      let g' = apply_assignment g assignment in
+      let traffic' = apply_traffic traffic assignment in
+      let report = Estimate.run ?queue_model g' ~hw ~traffic:traffic' in
+      let result = (score ?queue_model objective report, g', report) in
+      Mutex.protect memo_mutex (fun () -> N.Lru.add memo key result);
+      result
   in
-  (* For one discrete choice, settle the continuous knobs (if any). *)
-  let solve_continuous discrete_assignment =
+  (* For one discrete choice, settle the continuous knobs (if any).
+     [mrng] is that grid point's pre-split multi-start rng — split in
+     enumeration order by the caller so parallel evaluation draws the
+     exact sequence the sequential walk did. *)
+  let solve_continuous mrng discrete_assignment =
     if dim = 0 then
       let s, g', report = evaluate discrete_assignment in
       (s, discrete_assignment, g', report)
@@ -218,7 +292,10 @@ let optimize ?(rng = N.Rng.create ~seed:42) ?queue_model g ~hw ~traffic ~knobs
           upper;
         }
       in
-      let sol = N.Constrained.multi_start ~rng:(N.Rng.split rng) problem in
+      let mrng =
+        match mrng with Some r -> r | None -> assert false
+      in
+      let sol = N.Constrained.multi_start ~rng:mrng problem in
       let assignment =
         discrete_assignment @ assignment_of_continuous knobs slices sol.N.Constrained.x
       in
@@ -226,6 +303,7 @@ let optimize ?(rng = N.Rng.create ~seed:42) ?queue_model g ~hw ~traffic ~knobs
       (s, assignment, g', report)
     end
   in
+  let split_for_point () = if dim = 0 then None else Some (N.Rng.split rng) in
   let best = ref None in
   let consider candidate =
     match !best with
@@ -234,26 +312,76 @@ let optimize ?(rng = N.Rng.create ~seed:42) ?queue_model g ~hw ~traffic ~knobs
       let s', _, _, _ = candidate in
       if s' < s then best := Some candidate
   in
-  (if axes = [] then consider (solve_continuous [])
+  (if axes = [] then consider (solve_continuous (split_for_point ()) [])
    else begin
+     (* Exhaustive grid over the discrete axes, evaluated [jobs]-wide:
+        grid points are enumerated in odometer order (chunked so huge
+        spaces never materialize at once), mapped in parallel, and
+        folded in order with a strict [<] — the same winner the
+        sequential [Grid.minimize_ints] walk picked. *)
      let ranges = Array.of_list (List.map (fun (_, n) -> (0, n - 1)) axes) in
-     let objective idx =
-       let candidate = solve_continuous (assignment_of_discrete axes idx) in
-       consider candidate;
-       let s, _, _, _ = candidate in
-       s
+     let total =
+       Array.fold_left (fun acc (lo, hi) -> acc * (hi - lo + 1)) 1 ranges
      in
-     ignore (N.Grid.minimize_ints ~f:objective ~ranges ())
+     if total > 10_000_000 then
+       invalid_arg "Optimizer.optimize: discrete search space too large";
+     let n_axes = Array.length ranges in
+     let current = Array.map fst ranges in
+     let advance () =
+       let rec go i =
+         if i < 0 then false
+         else begin
+           let _, hi = ranges.(i) in
+           if current.(i) < hi then begin
+             current.(i) <- current.(i) + 1;
+             true
+           end
+           else begin
+             current.(i) <- fst ranges.(i);
+             go (i - 1)
+           end
+         end
+       in
+       go (n_axes - 1)
+     in
+     let exhausted = ref false in
+     while not !exhausted do
+       let chunk = ref [] and filled = ref 0 in
+       while (not !exhausted) && !filled < 1024 do
+         chunk := (Array.copy current, split_for_point ()) :: !chunk;
+         incr filled;
+         if not (advance ()) then exhausted := true
+       done;
+       List.iter consider
+         (N.Parallel.map ?jobs
+            (fun (idx, mrng) ->
+              solve_continuous mrng (assignment_of_discrete axes idx))
+            (List.rev !chunk))
+     done
    end);
   match !best with
   | None -> assert false
   | Some (_, assignment, graph, report) ->
-    { graph; assignment; report; feasible = feasible objective report }
+    {
+      graph;
+      assignment;
+      report;
+      feasible = feasible objective report;
+      stats =
+        {
+          evaluations = Atomic.get evaluations;
+          memo_hits = Atomic.get memo_hits;
+        };
+    }
 
-let pareto ?rng ?queue_model ?(points = 8) g ~hw ~traffic ~knobs =
+let pareto ?rng ?queue_model ?jobs ?(points = 8) g ~hw ~traffic ~knobs =
   (* anchor the bound range at the two single-objective extremes *)
-  let fastest = optimize ?rng ?queue_model g ~hw ~traffic ~knobs Minimize_latency in
-  let widest = optimize ?rng ?queue_model g ~hw ~traffic ~knobs Maximize_throughput in
+  let fastest =
+    optimize ?rng ?queue_model ?jobs g ~hw ~traffic ~knobs Minimize_latency
+  in
+  let widest =
+    optimize ?rng ?queue_model ?jobs g ~hw ~traffic ~knobs Maximize_throughput
+  in
   let lo = fastest.report.latency.Latency.mean in
   let hi = widest.report.latency.Latency.mean in
   if not (Float.is_finite lo && lo > 0.) then
@@ -267,7 +395,7 @@ let pareto ?rng ?queue_model ?(points = 8) g ~hw ~traffic ~knobs =
   List.filter_map
     (fun bound ->
       let s =
-        optimize ?rng ?queue_model g ~hw ~traffic ~knobs
+        optimize ?rng ?queue_model ?jobs g ~hw ~traffic ~knobs
           (Maximize_throughput_max_latency bound)
       in
       if s.feasible then Some (bound, s) else None)

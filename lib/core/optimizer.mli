@@ -44,11 +44,20 @@ type assignment =
   | Set_accel of Graph.vertex_id * float
   | Set_ingress_rate of float
 
+type search_stats = {
+  evaluations : int;  (** model evaluations requested by the search *)
+  memo_hits : int;
+      (** of those, served from the LRU memo of canonicalized knob
+          assignments instead of re-running
+          [Throughput.evaluate]/[Latency.evaluate] *)
+}
+
 type solution = {
   graph : Graph.t;  (** the base graph with the assignment applied *)
   assignment : assignment list;
   report : Estimate.report;  (** model outputs on the optimized graph *)
   feasible : bool;  (** constraint (if any) met *)
+  stats : search_stats;  (** search effort and memo hit-rate *)
 }
 
 val apply_assignment : Graph.t -> assignment list -> Graph.t
@@ -61,6 +70,7 @@ val apply_traffic : Traffic.t -> assignment list -> Traffic.t
 val optimize :
   ?rng:Lognic_numerics.Rng.t ->
   ?queue_model:Latency.queue_model ->
+  ?jobs:int ->
   Graph.t ->
   hw:Params.hardware ->
   traffic:Traffic.t ->
@@ -69,11 +79,16 @@ val optimize :
   solution
 (** Raises [Invalid_argument] on an empty knob list, an empty candidate
     array, or knobs referring to unknown vertices. The [rng] (default
-    seed 42) only affects the continuous multi-start. *)
+    seed 42) only affects the continuous multi-start. [jobs] (default:
+    {!Lognic_numerics.Parallel.default_jobs}) evaluates the exhaustive
+    discrete grid that many domains wide; the result is identical at
+    every job count (grid points are independent, folded in enumeration
+    order, and the multi-start rngs are pre-split in that same order). *)
 
 val pareto :
   ?rng:Lognic_numerics.Rng.t ->
   ?queue_model:Latency.queue_model ->
+  ?jobs:int ->
   ?points:int ->
   Graph.t ->
   hw:Params.hardware ->

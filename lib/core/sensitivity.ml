@@ -51,7 +51,7 @@ let elasticity_of ?step:(h = 0.02) ?queue_model g ~hw ~traffic parameter =
     latency_elasticity = log_slope up_l down_l;
   }
 
-let analyze ?step ?queue_model g ~hw ~traffic =
+let analyze ?step ?queue_model ?jobs g ~hw ~traffic =
   (match Graph.validate g with
   | Ok () -> ()
   | Error errors ->
@@ -62,7 +62,10 @@ let analyze ?step ?queue_model g ~hw ~traffic =
         if v.service.throughput < infinity then Some (P_vertex v.id) else None)
       (Graph.vertices g)
   in
-  List.map
+  (* Each parameter's two model evaluations are independent; fan them
+     out over the domain pool (order-preserving, so the report rows
+     stay stable). *)
+  Lognic_numerics.Parallel.map ?jobs
     (elasticity_of ?step ?queue_model g ~hw ~traffic)
     (vertex_params @ [ Bw_interface; Bw_memory; Offered_rate ])
 

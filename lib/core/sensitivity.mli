@@ -30,6 +30,7 @@ type elasticity = {
 val analyze :
   ?step:float ->
   ?queue_model:Latency.queue_model ->
+  ?jobs:int ->
   Graph.t ->
   hw:Params.hardware ->
   traffic:Traffic.t ->
@@ -37,7 +38,8 @@ val analyze :
 (** Elasticities for every finite-throughput vertex plus the two shared
     media and the offered load, via central differences with relative
     [step] (default 2%%). Uses the blocking-discounted carried rate as
-    the throughput output. *)
+    the throughput output. [jobs] (default the global setting) computes
+    per-parameter differences in parallel; the row order is unchanged. *)
 
 val most_binding : elasticity list -> parameter
 (** The parameter with the largest throughput elasticity — "upgrade

@@ -14,16 +14,12 @@ let schedule_after t ~delay thunk =
 let run ?until t =
   let horizon = Option.value until ~default:infinity in
   let rec loop () =
-    match Event_queue.peek_time t.queue with
+    match Event_queue.pop_if_before t.queue ~horizon with
+    | Some (time, thunk) ->
+      t.clock <- time;
+      thunk ();
+      loop ()
     | None -> ()
-    | Some time when time > horizon -> t.clock <- horizon
-    | Some _ ->
-      (match Event_queue.pop t.queue with
-      | None -> ()
-      | Some (time, thunk) ->
-        t.clock <- time;
-        thunk ();
-        loop ())
   in
   loop ();
   if horizon < infinity && t.clock < horizon then t.clock <- horizon

@@ -1,4 +1,7 @@
-(** A binary min-heap of timestamped events.
+(** A binary min-heap of timestamped events, stored struct-of-arrays
+    (unboxed float times, int sequence numbers, payloads apart) so the
+    simulator's hot sift loops compare machine floats without chasing
+    pointers, and vacated slots drop their payload references.
 
     Ties in time are broken by insertion order, so simulations are fully
     deterministic given a seed. *)
@@ -14,5 +17,10 @@ val push : 'a t -> time:float -> 'a -> unit
 
 val pop : 'a t -> (float * 'a) option
 (** Removes and returns the earliest event. *)
+
+val pop_if_before : 'a t -> horizon:float -> (float * 'a) option
+(** [pop_if_before t ~horizon] pops the earliest event only when its
+    time is [<= horizon] — the engine's peek-then-pop fused into one
+    heap operation. *)
 
 val peek_time : 'a t -> float option

@@ -230,12 +230,13 @@ type replicated = {
   loss_mean : float;
 }
 
-let run_replicated ?(config = default_config) ?(runs = 5) g ~hw ~mix =
+let replication_configs config runs =
   if runs < 2 then invalid_arg "Netsim.run_replicated: needs runs >= 2";
-  let summaries =
-    List.init runs (fun i ->
-        (run ~config:{ config with seed = config.seed + i } g ~hw ~mix).summary)
-  in
+  List.init runs (fun i -> { config with seed = config.seed + i })
+
+let replicated_of_summaries summaries =
+  let runs = List.length summaries in
+  if runs < 2 then invalid_arg "Netsim.replicated_of_summaries: needs >= 2";
   let stat f =
     Array.of_list (List.map f summaries)
   in
@@ -251,3 +252,9 @@ let run_replicated ?(config = default_config) ?(runs = 5) g ~hw ~mix =
     latency_stddev = St.stddev latencies;
     loss_mean = St.mean losses;
   }
+
+let run_replicated ?(config = default_config) ?(runs = 5) g ~hw ~mix =
+  replicated_of_summaries
+    (List.map
+       (fun config -> (run ~config g ~hw ~mix).summary)
+       (replication_configs config runs))

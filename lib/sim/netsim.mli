@@ -76,3 +76,14 @@ val run_replicated :
 (** [runs] (default 5) independent replications with derived seeds
     (config.seed + i); reports across-run means and sample standard
     deviations so measurements carry an uncertainty estimate. *)
+
+val replication_configs : config -> int -> config list
+(** The per-replication configs [run_replicated] uses (seeds
+    [config.seed + i] for [i < runs]), exposed so alternative execution
+    strategies ({!Parallel.run_replicated}) derive identical seeds.
+    Raises [Invalid_argument] when [runs < 2]. *)
+
+val replicated_of_summaries : Telemetry.summary list -> replicated
+(** The fold from per-run summaries to {!replicated} statistics, shared
+    with {!Parallel.run_replicated} so both paths are bit-identical.
+    Raises [Invalid_argument] on fewer than two summaries. *)

@@ -1,0 +1,11 @@
+module P = Lognic_numerics.Parallel
+
+let map = P.map
+let sweep = P.sweep
+
+let run_replicated ?jobs ?(config = Netsim.default_config) ?(runs = 5) g ~hw
+    ~mix =
+  Netsim.replicated_of_summaries
+    (map ?jobs
+       (fun config -> (Netsim.run ~config g ~hw ~mix).Netsim.summary)
+       (Netsim.replication_configs config runs))

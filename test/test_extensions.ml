@@ -385,6 +385,61 @@ let calibrate_overhead_intercept () =
   check_within ~pct:1. "slope = 1/bandwidth" 1e-9 per_byte;
   check_within ~pct:1. "intercept = O" 2e-6 fixed
 
+let optimizer_memoizes_duplicate_candidates () =
+  (* Duplicate candidate values canonicalize to the same memo key, so
+     the second enumeration of each must be served from the LRU. *)
+  let g, w = chain ~alpha:0. (1. *. U.gbps) in
+  let traffic = T.make ~rate:(2.1 *. U.gbps) ~packet_size:1500. in
+  let s =
+    O.optimize g ~hw ~traffic
+      ~knobs:[ O.Vertex_throughput (w, [| 1e9; 2e9; 1e9; 2e9 |]) ]
+      O.Maximize_throughput
+  in
+  Alcotest.(check bool) "evaluations counted" true (s.stats.O.evaluations >= 4);
+  Alcotest.(check bool)
+    "duplicate grid points hit the memo" true
+    (s.stats.O.memo_hits >= 2);
+  Alcotest.(check bool)
+    "hits don't exceed evaluations" true
+    (s.stats.O.memo_hits < s.stats.O.evaluations);
+  let plain =
+    O.optimize g ~hw ~traffic
+      ~knobs:[ O.Vertex_throughput (w, [| 1e9; 2e9 |]) ]
+      O.Maximize_throughput
+  in
+  check_close "result unaffected by memoization"
+    plain.report.throughput.Lognic.Throughput.attained
+    s.report.throughput.Lognic.Throughput.attained
+
+let optimizer_jobs_invariant () =
+  (* The whole point of ?jobs: the solution must be identical at any
+     parallelism, including the continuous multi-start's rng stream. *)
+  let g = G.empty in
+  let g, i = G.add_vertex ~kind:G.Ingress ~label:"in" ~service:(svc (40. *. U.gbps)) g in
+  let g, x = G.add_vertex ~kind:G.Ip ~label:"x" ~service:(svc ~queue_capacity:16 (2. *. U.gbps)) g in
+  let g, y = G.add_vertex ~kind:G.Ip ~label:"y" ~service:(svc (6. *. U.gbps)) g in
+  let g, e = G.add_vertex ~kind:G.Egress ~label:"out" ~service:(svc (40. *. U.gbps)) g in
+  let g = G.add_edge ~delta:0.5 ~src:i ~dst:x g in
+  let g = G.add_edge ~delta:0.5 ~src:i ~dst:y g in
+  let g = G.add_edge ~delta:0.5 ~src:x ~dst:e g in
+  let g = G.add_edge ~delta:0.5 ~src:y ~dst:e g in
+  let traffic = T.make ~rate:(10. *. U.gbps) ~packet_size:1500. in
+  let knobs = [ O.Queue_capacity (x, 2, 10); O.Out_split i ] in
+  let solve jobs = O.optimize ~jobs g ~hw ~traffic ~knobs O.Maximize_throughput in
+  let reference = solve 1 in
+  List.iter
+    (fun jobs ->
+      let s = solve jobs in
+      Alcotest.(check bool)
+        (Printf.sprintf "identical assignment at jobs:%d" jobs)
+        true
+        (s.assignment = reference.assignment);
+      check_close
+        (Printf.sprintf "identical objective at jobs:%d" jobs)
+        reference.report.throughput.Lognic.Throughput.attained
+        s.report.throughput.Lognic.Throughput.attained)
+    [ 2; 4 ]
+
 let properties =
   [
     prop "optimizer never loses to the default graph"
@@ -422,6 +477,8 @@ let suite =
     quick "optimizer: knob validation" optimizer_validation;
     quick "optimizer: matches exhaustive search" optimizer_matches_exhaustive;
     quick "optimizer: mixed discrete+continuous" optimizer_mixed_discrete_continuous;
+    quick "optimizer: memoizes duplicate candidates" optimizer_memoizes_duplicate_candidates;
+    quick "optimizer: identical at any job count" optimizer_jobs_invariant;
     quick "estimate: run_mix" estimate_run_mix;
     quick "optimizer: pareto frontier" optimizer_pareto_frontier;
     quick "calibrate: saturation and knee" calibrate_saturation_and_knee;

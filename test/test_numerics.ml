@@ -386,9 +386,46 @@ let properties =
         abs_float (x -. c) < 1e-4);
   ]
 
+(* Lru *)
+
+let lru_evicts_least_recent () =
+  let c = Lognic_numerics.Lru.create ~capacity:2 in
+  Lognic_numerics.Lru.add c "a" 1;
+  Lognic_numerics.Lru.add c "b" 2;
+  (* touch "a" so "b" is the eviction victim when "c" arrives *)
+  Alcotest.(check (option int)) "hit a" (Some 1) (Lognic_numerics.Lru.find_opt c "a");
+  Lognic_numerics.Lru.add c "c" 3;
+  Alcotest.(check int) "stays at capacity" 2 (Lognic_numerics.Lru.length c);
+  Alcotest.(check (option int)) "b evicted" None (Lognic_numerics.Lru.find_opt c "b");
+  Alcotest.(check (option int)) "a survives" (Some 1) (Lognic_numerics.Lru.find_opt c "a");
+  Alcotest.(check (option int)) "c present" (Some 3) (Lognic_numerics.Lru.find_opt c "c")
+
+let lru_counts_hits_and_misses () =
+  let c = Lognic_numerics.Lru.create ~capacity:4 in
+  Alcotest.(check (option int)) "cold miss" None (Lognic_numerics.Lru.find_opt c 1);
+  Lognic_numerics.Lru.add c 1 10;
+  ignore (Lognic_numerics.Lru.find_opt c 1);
+  ignore (Lognic_numerics.Lru.find_opt c 1);
+  ignore (Lognic_numerics.Lru.find_opt c 2);
+  Alcotest.(check int) "hits" 2 (Lognic_numerics.Lru.hits c);
+  Alcotest.(check int) "misses" 2 (Lognic_numerics.Lru.misses c);
+  Alcotest.(check int) "capacity" 4 (Lognic_numerics.Lru.capacity c)
+
+let lru_refresh_updates_value () =
+  let c = Lognic_numerics.Lru.create ~capacity:2 in
+  Lognic_numerics.Lru.add c "k" 1;
+  Lognic_numerics.Lru.add c "k" 2;
+  Alcotest.(check int) "no duplicate" 1 (Lognic_numerics.Lru.length c);
+  Alcotest.(check (option int)) "latest value" (Some 2) (Lognic_numerics.Lru.find_opt c "k");
+  check_raises_invalid "capacity >= 1" (fun () ->
+      Lognic_numerics.Lru.create ~capacity:0)
+
 let suite =
   [
     quick "rng: deterministic" rng_deterministic;
+    quick "lru: evicts least-recently used" lru_evicts_least_recent;
+    quick "lru: hit/miss counters" lru_counts_hits_and_misses;
+    quick "lru: refresh in place" lru_refresh_updates_value;
     quick "rng: seed changes stream" rng_seed_changes_stream;
     quick "rng: split reproducible" rng_split_independent;
     quick "rng: bounds" rng_bounds;

@@ -51,6 +51,23 @@ let event_queue_rejects_nan () =
   let q = S.Event_queue.create () in
   check_raises_invalid "nan time" (fun () -> S.Event_queue.push q ~time:Float.nan ())
 
+let event_queue_pop_if_before () =
+  let q = S.Event_queue.create () in
+  List.iter (fun (t, v) -> S.Event_queue.push q ~time:t v) [ (1., "a"); (5., "b") ];
+  Alcotest.(check (option (pair (float 0.) string)))
+    "pops events within the horizon" (Some (1., "a"))
+    (S.Event_queue.pop_if_before q ~horizon:3.);
+  Alcotest.(check (option (pair (float 0.) string)))
+    "leaves events past the horizon" None
+    (S.Event_queue.pop_if_before q ~horizon:3.);
+  Alcotest.(check int) "later event still queued" 1 (S.Event_queue.size q);
+  Alcotest.(check (option (pair (float 0.) string)))
+    "inclusive at the horizon" (Some (5., "b"))
+    (S.Event_queue.pop_if_before q ~horizon:5.);
+  Alcotest.(check (option (pair (float 0.) string)))
+    "empty queue" None
+    (S.Event_queue.pop_if_before q ~horizon:infinity)
+
 (* Engine *)
 
 let engine_runs_in_order () =
@@ -457,17 +474,24 @@ let netsim_rejects_invalid_graph () =
 
 let properties =
   [
-    prop "event queue pops in sorted order"
-      QCheck.(list_of_size (Gen.int_range 1 100) (float_range 0. 1000.))
+    prop "event queue pops in sorted order, FIFO on ties"
+      (* Small integer times force many ties, exercising the seq
+         tiebreak; indexed payloads make the expected order exact. *)
+      QCheck.(list_of_size (Gen.int_range 1 100) (int_range 0 10))
       (fun times ->
         let q = S.Event_queue.create () in
-        List.iter (fun t -> S.Event_queue.push q ~time:t ()) times;
-        let rec drain last =
+        let entries = List.mapi (fun i t -> (float_of_int t, i)) times in
+        List.iter (fun (t, i) -> S.Event_queue.push q ~time:t i) entries;
+        let rec drain acc =
           match S.Event_queue.pop q with
-          | None -> true
-          | Some (t, ()) -> t >= last && drain t
+          | None -> List.rev acc
+          | Some entry -> drain (entry :: acc)
         in
-        drain neg_infinity);
+        let expected =
+          (* stable sort by time = time order with push order on ties *)
+          List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) entries
+        in
+        drain [] = expected);
     prop "sim throughput never exceeds offered load"
       QCheck.(pair (float_range 0.2 3.) small_int)
       (fun (load, seed) ->
