@@ -173,6 +173,19 @@ let primitive_benches =
                  warmup = 1e-4;
                }
              md5_graph ~hw:D.Liquidio.hardware ~traffic:md5_traffic));
+    Test.make ~name:"sim:1ms-telemetry-sampled"
+      (* same run with 50 samples of every entity: the observability
+         overhead the sampling path must keep negligible *)
+      (Staged.stage (fun () ->
+           Lognic_sim.Netsim.run_single
+             ~config:
+               {
+                 Lognic_sim.Netsim.default_config with
+                 duration = 1e-3;
+                 warmup = 1e-4;
+                 sample_interval = Some 2e-5;
+               }
+             md5_graph ~hw:D.Liquidio.hardware ~traffic:md5_traffic));
     Test.make ~name:"optimizer:nelder-mead-2d"
       (Staged.stage (fun () ->
            Lognic_numerics.Nelder_mead.minimize

@@ -219,6 +219,111 @@ let simulate_cmd =
        ~doc:"Run the packet-level simulator on an execution graph.")
     term
 
+(* report *)
+
+let report_cmd =
+  let trace_arg =
+    let doc = "Write the full measurement (summary, per-entity stats, drop \
+               sites, sampled series) as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc)
+  in
+  let csv_arg =
+    let doc = "Write the sampled time series as CSV files $(docv).SERIES.csv." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PREFIX" ~doc)
+  in
+  let interval_arg =
+    let doc = "Sampling interval in simulated seconds (default: duration/200)." in
+    Arg.(value & opt (some float) None & info [ "sample-interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let run graph_path rate packet duration seed interval trace csv =
+    let ( let* ) = Result.bind in
+    let* doc = load_document graph_path in
+    let dt =
+      match interval with Some dt -> dt | None -> duration /. 200.
+    in
+    let config =
+      {
+        Lognic_sim.Netsim.default_config with
+        duration;
+        warmup = duration /. 10.;
+        seed;
+        sample_interval = Some dt;
+      }
+    in
+    let* mix =
+      match (doc.mix, rate, packet) with
+      | Some mix, None, None -> Ok mix
+      | _ ->
+        let* traffic = resolve_traffic doc rate packet in
+        Ok [ (traffic, 1.) ]
+    in
+    let m = Lognic_sim.Netsim.run ~config doc.graph ~hw:(hardware_of doc) ~mix in
+    let s = m.summary in
+    let module Tel = Lognic_sim.Telemetry in
+    Fmt.pr "throughput: %.3f Gbps (%d delivered, %d dropped, loss %.2f%%)@."
+      (Lognic.Units.to_gbps s.Tel.throughput)
+      s.delivered_packets s.dropped_packets (100. *. s.loss_rate);
+    let terms = s.latency_terms in
+    Fmt.pr
+      "latency: mean %.2f us = queueing %.2f + service %.2f + wire %.2f + \
+       overhead %.2f@."
+      (Lognic.Units.to_usec s.mean_latency)
+      (Lognic.Units.to_usec terms.Tel.queueing)
+      (Lognic.Units.to_usec terms.Tel.service)
+      (Lognic.Units.to_usec terms.Tel.wire)
+      (Lognic.Units.to_usec terms.Tel.overhead);
+    List.iter
+      (fun (v : Lognic_sim.Netsim.vertex_stats) ->
+        Fmt.pr "node %-16s utilization %5.2f, completions %8d, drops %d@."
+          v.vlabel v.utilization v.completions v.drops)
+      m.vertex_stats;
+    List.iter
+      (fun (md : Lognic_sim.Netsim.medium_stats) ->
+        Fmt.pr "medium %-14s utilization %5.2f, rejections %d@." md.mlabel
+          md.m_utilization md.m_rejections)
+      m.medium_stats;
+    if m.drop_breakdown <> [] then begin
+      Fmt.pr "drops by site:@.";
+      List.iter
+        (fun (site, n) -> Fmt.pr "  %-24s %d@." (Tel.drop_site_name site) n)
+        m.drop_breakdown
+    end;
+    Option.iter
+      (fun path ->
+        Out_channel.with_open_text path (fun oc ->
+            output_string oc
+              (Tel.Json.to_string (Lognic_sim.Netsim.measurement_to_json m));
+            output_char oc '\n');
+        Fmt.pr "trace written to %s@." path)
+      trace;
+    Option.iter
+      (fun prefix ->
+        List.iter
+          (fun series ->
+            let path =
+              Printf.sprintf "%s.%s.csv" prefix (Tel.Series.label series)
+            in
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc (Tel.Series.to_csv series)))
+          m.series;
+        Fmt.pr "%d series written to %s.*.csv@." (List.length m.series) prefix)
+      csv;
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ graph_arg $ rate_arg $ packet_arg $ duration_arg
+       $ seed_arg $ interval_arg $ trace_arg $ csv_arg))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Simulate with full observability: per-entity utilization and drop \
+          attribution, latency decomposition, sampled queue-depth traces, \
+          and structured JSON/CSV export.")
+    term
+
 (* validate *)
 
 let validate_cmd =
@@ -452,8 +557,8 @@ let () =
   let group =
     Cmd.group info
       [
-        estimate_cmd; sweep_cmd; simulate_cmd; validate_cmd; optimize_cmd;
-        sensitivity_cmd; roofline_cmd; params_cmd; figures_cmd;
+        estimate_cmd; sweep_cmd; simulate_cmd; report_cmd; validate_cmd;
+        optimize_cmd; sensitivity_cmd; roofline_cmd; params_cmd; figures_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -355,6 +355,65 @@ let ext_hybrid ppf =
     q.Lognic_queueing.Mg1.scv
     (Lognic_queueing.Mg1.mm1_underestimate q)
 
+let ext_observability ?(speed = Full) ppf =
+  header ppf
+    "Extension: per-entity observability (drop sites and Eq 2 latency terms, \
+     validation chain)"
+    [ "load"; "queueing"; "service"; "wire"; "overhead (us)"; "loss"; "top drop site" ];
+  let module Tel = Lognic_sim.Telemetry in
+  let g = validation_chain () in
+  let duration = match speed with Quick -> 0.02 | Full -> 0.1 in
+  List.iter
+    (fun (load, (m : Lognic_sim.Netsim.measurement)) ->
+      let s = m.summary in
+      let t = s.Tel.latency_terms in
+      let top =
+        match m.drop_breakdown with
+        | [] -> "-"
+        | (site, n) :: _ -> Fmt.str "%s (%d)" (Tel.drop_site_name site) n
+      in
+      Fmt.pf ppf "%4.2f  %8.2f  %7.2f  %6.2f  %8.2f  %.3f  %s@." load
+        (U.to_usec t.Tel.queueing) (U.to_usec t.Tel.service)
+        (U.to_usec t.Tel.wire) (U.to_usec t.Tel.overhead)
+        s.Tel.loss_rate top)
+    (Lognic_sim.Parallel.map
+       (fun load ->
+         let traffic =
+           Lognic.Traffic.make ~rate:(load *. 4. *. U.gbps) ~packet_size:U.mtu
+         in
+         let m =
+           Lognic_sim.Netsim.run_single
+             ~config:
+               { Lognic_sim.Netsim.default_config with duration; warmup = duration /. 10. }
+             g ~hw:validation_hw ~traffic
+         in
+         (load, m))
+       [ 0.5; 0.9; 1.5 ]);
+  (* peak sampled queue depth at the bottleneck, from the ring traces *)
+  let m =
+    Lognic_sim.Netsim.run_single
+      ~config:
+        {
+          Lognic_sim.Netsim.default_config with
+          duration;
+          warmup = duration /. 10.;
+          sample_interval = Some (duration /. 100.);
+        }
+      g ~hw:validation_hw
+      ~traffic:(Lognic.Traffic.make ~rate:(1.5 *. 4. *. U.gbps) ~packet_size:U.mtu)
+  in
+  List.iter
+    (fun series ->
+      if Tel.Series.label series = "ip.depth" then
+        let peak =
+          Array.fold_left
+            (fun acc (_, v) -> Float.max acc v)
+            0.
+            (Tel.Series.to_array series)
+        in
+        Fmt.pf ppf "bottleneck peak sampled depth at 1.5x load: %.0f@." peak)
+    m.series
+
 let ext_offpath ppf =
   header ppf
     "Extension (§2.1): on-path vs off-path deployment"
@@ -395,6 +454,7 @@ let registry ?speed () =
     ("ext-netcache", fun ppf -> ext_netcache ?speed ppf);
     ("ext-offpath", ext_offpath);
     ("ext-hybrid", ext_hybrid);
+    ("ext-observability", fun ppf -> ext_observability ?speed ppf);
   ]
 
 let names = List.map fst (registry ())

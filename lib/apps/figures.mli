@@ -79,6 +79,13 @@ val ext_netcache : ?speed:speed -> Format.formatter -> unit
 (** Extension: the §5.3 programmable-switch generalization — an
     in-network KV cache hit-ratio sweep (see {!Netcache}). *)
 
+val ext_observability : ?speed:speed -> Format.formatter -> unit
+(** Extension: the simulator's observability layer on the validation
+    chain — Eq 2 latency decomposition (queueing / service / wire /
+    overhead), loss and top drop site per load, and the bottleneck's
+    peak sampled queue depth from the {!Lognic_sim.Telemetry.Series}
+    traces. *)
+
 val names : string list
 (** All renderable ids: "fig5".."fig19", "table2", and the extension
     sections "ext-tail", "ext-hol", "ext-queue-models",

@@ -20,7 +20,9 @@ let percentile xs p =
   require_nonempty xs "Stats.percentile";
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0,100]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  (* Float.compare, not polymorphic compare: unboxed comparisons on the
+     latency hot path, and a total order in the presence of NaN. *)
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let rank = p /. 100. *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) in
@@ -34,11 +36,11 @@ let median xs = percentile xs 50.
 
 let minimum xs =
   require_nonempty xs "Stats.minimum";
-  Array.fold_left min xs.(0) xs
+  Array.fold_left Float.min xs.(0) xs
 
 let maximum xs =
   require_nonempty xs "Stats.maximum";
-  Array.fold_left max xs.(0) xs
+  Array.fold_left Float.max xs.(0) xs
 
 let relative_error ~actual ~expected =
   if expected = 0. then if actual = 0. then 0. else infinity

@@ -1,6 +1,11 @@
 type service_dist = Deterministic | Exponential
 
-type request = { work : float; k : unit -> unit }
+type request = {
+  work : float;
+  submitted : float;
+  timing : (queued:float -> service:float -> unit) option;
+  k : unit -> unit;
+}
 
 type t = {
   engine : Engine.t;
@@ -20,6 +25,9 @@ type t = {
   mutable busy_engines : int;
   mutable completions : int;
   mutable busy : float;
+  mutable in_flight : float list;
+      (* completion times of services still running; what [busy]
+         counts beyond the horizon lives entirely in this list *)
 }
 
 let expand_pattern weights =
@@ -59,6 +67,7 @@ let make engine ~rng ~label ~engines ~rate_per_engine ~entries_per_queue
     busy_engines = 0;
     completions = 0;
     busy = 0.;
+    in_flight = [];
   }
 
 let create engine ~rng ~label ~engines ~rate_per_engine ~queue_capacity
@@ -89,6 +98,8 @@ let queue_length t i =
     invalid_arg "Ip_node.queue_length: bad queue index";
   Queue.length t.queues.(i)
 
+let busy_engines t = t.busy_engines
+
 let drops t = Array.fold_left ( + ) 0 t.drops_per_queue
 
 let drops_of_queue t i =
@@ -99,8 +110,19 @@ let drops_of_queue t i =
 let completions t = t.completions
 let busy_time t = t.busy
 
+(* Clip scheduled busy time to the [\[0, until\]] window: every service
+   still in [in_flight] at query time started at or before the horizon,
+   so its overrun past [until] is exactly [end - until]. Without the
+   clip, service durations extending past the horizon count fully and
+   utilization can exceed 1 for an overloaded node. *)
+let busy_within t ~until =
+  List.fold_left
+    (fun acc finish -> acc -. Float.max 0. (finish -. until))
+    t.busy t.in_flight
+
 let utilization t ~until =
-  if until <= 0. then 0. else t.busy /. (float_of_int t.engines *. until)
+  if until <= 0. then 0.
+  else Float.max 0. (busy_within t ~until) /. (float_of_int t.engines *. until)
 
 let service_time t work =
   let mean = work /. t.rate_per_engine in
@@ -128,12 +150,23 @@ let next_request t =
   in
   scan 0
 
+let rec remove_first x = function
+  | [] -> []
+  | y :: rest -> if y = x then rest else y :: remove_first x rest
+
 let rec start_service t req =
   t.busy_engines <- t.busy_engines + 1;
+  let now = Engine.now t.engine in
   let duration = service_time t req.work in
+  let finish = now +. duration in
   t.busy <- t.busy +. duration;
+  t.in_flight <- finish :: t.in_flight;
+  (match req.timing with
+  | Some f -> f ~queued:(now -. req.submitted) ~service:duration
+  | None -> ());
   Engine.schedule_after t.engine ~delay:duration (fun () ->
       t.busy_engines <- t.busy_engines - 1;
+      t.in_flight <- remove_first finish t.in_flight;
       t.completions <- t.completions + 1;
       (* Work-conserving: the freed engine immediately pulls the next
          request before the completion continuation runs downstream. *)
@@ -146,11 +179,18 @@ and dispatch t =
     | Some req -> start_service t req
     | None -> ()
 
-let submit ?(queue = 0) t ~work k =
+let submit ?(queue = 0) ?timing t ~work k =
   if queue < 0 || queue >= Array.length t.queues then
     invalid_arg "Ip_node.submit: bad queue index";
   if work < 0. then invalid_arg "Ip_node.submit: negative work";
-  if work = 0. || t.rate_per_engine = infinity then begin
+  (* Fast path: a request needing no engine time completes immediately —
+     but only when its queue is empty, otherwise it would overtake
+     queued requests and reorder the stream. *)
+  if
+    (work = 0. || t.rate_per_engine = infinity)
+    && Queue.is_empty t.queues.(queue)
+  then begin
+    (match timing with Some f -> f ~queued:0. ~service:0. | None -> ());
     k ();
     true
   end
@@ -164,7 +204,8 @@ let submit ?(queue = 0) t ~work k =
       false
     end
     else begin
-      Queue.push { work; k } t.queues.(queue);
+      Queue.push { work; submitted = Engine.now t.engine; timing; k }
+        t.queues.(queue);
       dispatch t;
       true
     end

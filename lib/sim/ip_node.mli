@@ -50,22 +50,46 @@ val create_multiqueue :
 val label : t -> string
 val queue_count : t -> int
 
-val submit : ?queue:int -> t -> work:float -> (unit -> unit) -> bool
+val submit :
+  ?queue:int ->
+  ?timing:(queued:float -> service:float -> unit) ->
+  t ->
+  work:float ->
+  (unit -> unit) ->
+  bool
 (** [submit node ~work k] enqueues a request needing [work] bytes of
     processing into [queue] (default 0); [k] fires at service
     completion. Returns [false] (and counts a drop) when that queue is
-    full. Zero work completes immediately. Raises [Invalid_argument] on
-    a bad queue index. *)
+    full. [timing], when given, is called once at service start with
+    the request's time-in-queue and drawn service duration — the
+    per-hop inputs to {!Telemetry.latency_terms}.
+
+    Zero-work requests (and any request on an infinite-rate node) take
+    a fast path {e only while their queue is empty}: they complete
+    immediately without consuming an engine. When the queue is
+    non-empty they are routed through it like any other request —
+    preserving FIFO order (no overtaking) and subject to the capacity
+    check. Raises [Invalid_argument] on a bad queue index or negative
+    work. *)
 
 val in_system : t -> int
 val queue_length : t -> int -> int
+
+val busy_engines : t -> int
+(** Engines currently serving a request. *)
+
 val drops : t -> int
 val drops_of_queue : t -> int -> int
 val completions : t -> int
 
 val busy_time : t -> float
-(** Aggregate engine-busy seconds (divide by engines × horizon for
-    utilization). *)
+(** Aggregate scheduled engine-busy seconds, including any service time
+    extending past the simulation horizon. *)
+
+val busy_within : t -> until:float -> float
+(** {!busy_time} with each in-flight service clipped to
+    [\[0, until\]] — exact at the run horizon. *)
 
 val utilization : t -> until:float -> float
-(** Mean fraction of engines busy over [\[0, until\]]. *)
+(** Mean fraction of engines busy over [\[0, until\]]; never exceeds 1
+    at the horizon, even for an overloaded node. *)

@@ -15,9 +15,10 @@ let create engine ~label ~bandwidth ?(buffer = 2. *. 1024. *. 1024.) () =
 
 let label t = t.label
 
-let transfer t ~bytes k =
+let transfer ?timing t ~bytes k =
   if bytes < 0. then invalid_arg "Medium.transfer: negative bytes";
   if bytes = 0. then begin
+    (match timing with Some f -> f ~queued:0. ~wire:0. | None -> ());
     k ();
     true
   end
@@ -33,11 +34,27 @@ let transfer t ~bytes k =
       let duration = bytes /. t.bandwidth in
       t.next_free <- start +. duration;
       t.busy <- t.busy +. duration;
+      (match timing with
+      | Some f -> f ~queued:(start -. now) ~wire:duration
+      | None -> ());
       Engine.schedule t.engine ~at:(start +. duration) k;
       true
     end
   end
 
+let backlog t =
+  Float.max 0. (t.next_free -. Engine.now t.engine) *. t.bandwidth
+
 let busy_time t = t.busy
-let utilization t ~until = if until <= 0. then 0. else t.busy /. until
+
+(* Transfers admitted while backlogged run back to back, so everything
+   scheduled past [until] is the single contiguous run ending at
+   [next_free]: clipping it out of the schedule-time total is exact
+   whenever [until] is at or after the last admission (the horizon
+   always is). Without the clip, work extending past the simulation
+   horizon counts fully and utilization can exceed 1 near saturation. *)
+let busy_within t ~until =
+  Float.max 0. (t.busy -. Float.max 0. (t.next_free -. until))
+
+let utilization t ~until = if until <= 0. then 0. else busy_within t ~until /. until
 let rejections t = t.rejections

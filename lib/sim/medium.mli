@@ -19,16 +19,35 @@ val create : Engine.t -> label:string -> bandwidth:float -> ?buffer:float -> uni
 
 val label : t -> string
 
-val transfer : t -> bytes:float -> (unit -> unit) -> bool
+val transfer :
+  ?timing:(queued:float -> wire:float -> unit) ->
+  t ->
+  bytes:float ->
+  (unit -> unit) ->
+  bool
 (** [transfer medium ~bytes k] schedules [k] at the completion time and
     returns [true], or returns [false] (counting a rejection) when the
-    pending backlog exceeds the buffer. Raises [Invalid_argument] on
-    negative [bytes]. *)
+    pending backlog exceeds the buffer. [timing], when given, is called
+    once at admission with the transfer's backlog wait and transmission
+    time (both zero for zero-byte transfers) — the per-hop inputs to
+    {!Telemetry.latency_terms}. Raises [Invalid_argument] on negative
+    [bytes]. *)
+
+val backlog : t -> float
+(** Bytes admitted but not yet transferred, at the engine's current
+    virtual time. *)
 
 val busy_time : t -> float
-(** Cumulative seconds the medium has spent transferring. *)
+(** Cumulative seconds of scheduled transfer time, including any tail
+    extending past the simulation horizon. *)
+
+val busy_within : t -> until:float -> float
+(** {!busy_time} clipped to [\[0, until\]]. Exact whenever [until] is
+    at or after the last admission time (in particular at the run
+    horizon). *)
 
 val utilization : t -> until:float -> float
-(** [busy_time / until]. *)
+(** [busy_within ~until / until]; never exceeds 1 at the horizon, even
+    when admitted work extends past it. *)
 
 val rejections : t -> int

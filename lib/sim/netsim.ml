@@ -7,6 +7,8 @@ type config = {
   warmup : float;
   service_dist : Ip_node.service_dist;
   arrival : Traffic_gen.arrival;
+  sample_interval : float option;
+  series_capacity : int;
 }
 
 let default_config =
@@ -16,22 +18,44 @@ let default_config =
     warmup = 0.01;
     service_dist = Ip_node.Exponential;
     arrival = Traffic_gen.Poisson;
+    sample_interval = None;
+    series_capacity = 4096;
   }
 
 type vertex_stats = {
   vid : G.vertex_id;
   vlabel : string;
   drops : int;
+  queue_drops : int array;
   completions : int;
   utilization : float;
+}
+
+type medium_stats = {
+  mlabel : string;
+  m_utilization : float;
+  m_busy : float;
+  m_rejections : int;
 }
 
 type measurement = {
   summary : Telemetry.summary;
   vertex_stats : vertex_stats list;
+  medium_stats : medium_stats list;
+  drop_breakdown : (Telemetry.drop_site * int) list;
+  series : Telemetry.Series.t list;
   interface_utilization : float;
   memory_utilization : float;
   generated : int;
+}
+
+(* The per-packet latency ledger threaded through a packet's walk; at
+   egress it becomes the completion's Telemetry.latency_terms. *)
+type tally = {
+  mutable t_queueing : float;
+  mutable t_service : float;
+  mutable t_wire : float;
+  mutable t_overhead : float;
 }
 
 (* Probability that a packet's walk crosses each vertex/edge, from the
@@ -133,19 +157,36 @@ let run ?(config = default_config) g ~hw ~mix =
       pick 0. outs
     end
   in
-  let rec arrive id (packet : Packet.t) =
+  let record_drop (packet : Packet.t) site =
+    Telemetry.record_drop telemetry ~now:(Engine.now engine) ~born:packet.born
+      ~site
+  in
+  let rec arrive id (packet : Packet.t) tally =
     let v = G.vertex g id in
     let work = packet.size *. work_factor id in
-    let on_served () = depart id v packet in
+    let on_served () = depart id v packet tally in
     match Hashtbl.find_opt nodes id with
     | None -> on_served ()
     | Some node ->
-      if not (Ip_node.submit node ~work on_served) then
-        Telemetry.record_drop telemetry ~now:(Engine.now engine)
-  and depart id (v : G.vertex) packet =
+      let timing ~queued ~service =
+        tally.t_queueing <- tally.t_queueing +. queued;
+        tally.t_service <- tally.t_service +. service
+      in
+      if not (Ip_node.submit node ~timing ~work on_served) then
+        record_drop packet
+          (Telemetry.Node_queue { node = v.label; queue = 0 })
+  and depart id (v : G.vertex) packet tally =
     if v.kind = G.Egress then
       Telemetry.record_completion telemetry ~now:(Engine.now engine)
-        ~born:packet.born ~size:packet.size ~klass:packet.klass
+        ~born:packet.born
+        ~terms:
+          {
+            Telemetry.queueing = tally.t_queueing;
+            service = tally.t_service;
+            wire = tally.t_wire;
+            overhead = tally.t_overhead;
+          }
+        ~size:packet.size ~klass:packet.klass ()
     else
       match choose_out_edge id with
       | None ->
@@ -153,29 +194,35 @@ let run ?(config = default_config) g ~hw ~mix =
            only an ingress with zero-delta out-edges can reach here. *)
         ()
       | Some e ->
-        let continue () = traverse e packet in
-        if v.service.overhead > 0. then
+        let continue () = traverse e packet tally in
+        if v.service.overhead > 0. then begin
+          tally.t_overhead <- tally.t_overhead +. v.service.overhead;
           Engine.schedule_after engine ~delay:v.service.overhead continue
+        end
         else continue ()
-  and traverse (e : G.edge) packet =
+  and traverse (e : G.edge) packet tally =
     let pe = prob_edge (e.src, e.dst) in
     let scale x = if pe <= 0. then 0. else packet.size *. x /. pe in
-    let drop () = Telemetry.record_drop telemetry ~now:(Engine.now engine) in
+    let timing ~queued ~wire =
+      tally.t_queueing <- tally.t_queueing +. queued;
+      tally.t_wire <- tally.t_wire +. wire
+    in
     let via_link () =
       match Hashtbl.find_opt links (e.src, e.dst) with
       | Some link ->
         if
           not
-            (Medium.transfer link ~bytes:(scale e.delta) (fun () ->
-                 arrive e.dst packet))
-        then drop ()
-      | None -> arrive e.dst packet
+            (Medium.transfer ~timing link ~bytes:(scale e.delta) (fun () ->
+                 arrive e.dst packet tally))
+        then record_drop packet (Telemetry.Medium_buffer (Medium.label link))
+      | None -> arrive e.dst packet tally
     in
     let via_memory () =
-      if not (Medium.transfer memory ~bytes:(scale e.beta) via_link) then drop ()
+      if not (Medium.transfer ~timing memory ~bytes:(scale e.beta) via_link)
+      then record_drop packet (Telemetry.Medium_buffer "memory")
     in
-    if not (Medium.transfer interface ~bytes:(scale e.alpha) via_memory) then
-      drop ()
+    if not (Medium.transfer ~timing interface ~bytes:(scale e.alpha) via_memory)
+    then record_drop packet (Telemetry.Medium_buffer "interface")
   in
   let ingresses = G.ingress_vertices g in
   let ingress_ids = Array.of_list (List.map (fun (v : G.vertex) -> v.id) ingresses) in
@@ -186,7 +233,67 @@ let run ?(config = default_config) g ~hw ~mix =
       if Array.length ingress_ids = 1 then ingress_ids.(0)
       else ingress_ids.(N.Rng.int route_rng (Array.length ingress_ids))
     in
-    arrive entry packet
+    let tally =
+      { t_queueing = 0.; t_service = 0.; t_wire = 0.; t_overhead = 0. }
+    in
+    arrive entry packet tally
+  in
+  (* Media in deterministic report order: the two shared media first,
+     then dedicated links in edge order. *)
+  let media =
+    (interface :: memory :: [])
+    @ List.filter_map
+        (fun (e : G.edge) -> Hashtbl.find_opt links (e.src, e.dst))
+        (G.edges g)
+  in
+  (* Periodic state sampling into ring-buffer series (read-only probes:
+     enabling sampling never changes simulation results). *)
+  let series =
+    match config.sample_interval with
+    | None -> []
+    | Some dt ->
+      if dt <= 0. then invalid_arg "Netsim.run: sample_interval must be > 0";
+      let mk label probe =
+        ( Telemetry.Series.create ~capacity:config.series_capacity ~label
+            ~interval:dt (),
+          probe )
+      in
+      let probes =
+        List.concat_map
+          (fun (v : G.vertex) ->
+            match Hashtbl.find_opt nodes v.id with
+            | None -> []
+            | Some node ->
+              [
+                mk
+                  (Printf.sprintf "%s.depth" v.label)
+                  (fun () -> float_of_int (Ip_node.in_system node));
+                mk
+                  (Printf.sprintf "%s.busy" v.label)
+                  (fun () -> float_of_int (Ip_node.busy_engines node));
+              ])
+          (G.vertices g)
+        @ List.map
+            (fun m ->
+              mk
+                (Printf.sprintf "%s.backlog" (Medium.label m))
+                (fun () -> Medium.backlog m))
+            media
+      in
+      (* sample times are multiples of dt, computed multiplicatively so
+         accumulated rounding never drops the final sample *)
+      let time_of i = float_of_int i *. dt in
+      let rec sample i =
+        let at = time_of i in
+        List.iter
+          (fun (s, probe) -> Telemetry.Series.add s ~time:at ~value:(probe ()))
+          probes;
+        if time_of (i + 1) <= config.duration then
+          Engine.schedule engine ~at:(time_of (i + 1)) (fun () -> sample (i + 1))
+      in
+      if dt <= config.duration then
+        Engine.schedule engine ~at:dt (fun () -> sample 1);
+      List.map fst probes
   in
   let gen =
     Traffic_gen.create engine ~rng:gen_rng ~arrival:config.arrival ~mix
@@ -206,20 +313,83 @@ let run ?(config = default_config) g ~hw ~mix =
               vid = v.id;
               vlabel = v.label;
               drops = Ip_node.drops node;
+              queue_drops =
+                Array.init (Ip_node.queue_count node)
+                  (Ip_node.drops_of_queue node);
               completions = Ip_node.completions node;
               utilization = Ip_node.utilization node ~until:config.duration;
             })
       (G.vertices g)
   in
+  let medium_stats =
+    List.map
+      (fun m ->
+        {
+          mlabel = Medium.label m;
+          m_utilization = Medium.utilization m ~until:config.duration;
+          m_busy = Medium.busy_within m ~until:config.duration;
+          m_rejections = Medium.rejections m;
+        })
+      media
+  in
   {
     summary;
     vertex_stats;
+    medium_stats;
+    drop_breakdown = summary.Telemetry.drop_breakdown;
+    series;
     interface_utilization = Medium.utilization interface ~until:config.duration;
     memory_utilization = Medium.utilization memory ~until:config.duration;
     generated = Traffic_gen.generated gen;
   }
 
 let run_single ?config g ~hw ~traffic = run ?config g ~hw ~mix:[ (traffic, 1.) ]
+
+let measurement_to_json m =
+  let module J = Telemetry.Json in
+  J.Obj
+    [
+      ("summary", Telemetry.to_json m.summary);
+      ( "vertices",
+        J.Arr
+          (List.map
+             (fun v ->
+               J.Obj
+                 [
+                   ("id", J.Num (float_of_int v.vid));
+                   ("label", J.Str v.vlabel);
+                   ("drops", J.Num (float_of_int v.drops));
+                   ( "queue_drops",
+                     J.Arr
+                       (Array.to_list
+                          (Array.map
+                             (fun d -> J.Num (float_of_int d))
+                             v.queue_drops)) );
+                   ("completions", J.Num (float_of_int v.completions));
+                   ("utilization", J.Num v.utilization);
+                 ])
+             m.vertex_stats) );
+      ( "media",
+        J.Arr
+          (List.map
+             (fun s ->
+               J.Obj
+                 [
+                   ("label", J.Str s.mlabel);
+                   ("utilization", J.Num s.m_utilization);
+                   ("busy", J.Num s.m_busy);
+                   ("rejections", J.Num (float_of_int s.m_rejections));
+                 ])
+             m.medium_stats) );
+      ("series", J.Arr (List.map Telemetry.Series.to_json m.series));
+      ("generated", J.Num (float_of_int m.generated));
+    ]
+
+type entity_replicated = {
+  entity : string;
+  utilization_mean : float;
+  drops_mean : float;
+}
 
 type replicated = {
   runs : int;
@@ -228,15 +398,15 @@ type replicated = {
   latency_mean : float;
   latency_stddev : float;
   loss_mean : float;
+  entities : entity_replicated list;
 }
 
 let replication_configs config runs =
   if runs < 2 then invalid_arg "Netsim.run_replicated: needs runs >= 2";
   List.init runs (fun i -> { config with seed = config.seed + i })
 
-let replicated_of_summaries summaries =
+let replicated_stats summaries =
   let runs = List.length summaries in
-  if runs < 2 then invalid_arg "Netsim.replicated_of_summaries: needs >= 2";
   let stat f =
     Array.of_list (List.map f summaries)
   in
@@ -251,10 +421,53 @@ let replicated_of_summaries summaries =
     latency_mean = St.mean latencies;
     latency_stddev = St.stddev latencies;
     loss_mean = St.mean losses;
+    entities = [];
+  }
+
+let replicated_of_summaries summaries =
+  if List.length summaries < 2 then
+    invalid_arg "Netsim.replicated_of_summaries: needs >= 2";
+  replicated_stats summaries
+
+let replicated_of_measurements measurements =
+  if List.length measurements < 2 then
+    invalid_arg "Netsim.replicated_of_measurements: needs >= 2";
+  let runs = float_of_int (List.length measurements) in
+  (* Per-entity across-run means, in the first run's (deterministic)
+     entity order: every replication simulates the same graph, so the
+     entity lists line up run to run. *)
+  let entity_rows m =
+    List.map (fun v -> (v.vlabel, v.utilization, float_of_int v.drops))
+      m.vertex_stats
+    @ List.map
+        (fun s -> (s.mlabel, s.m_utilization, float_of_int s.m_rejections))
+        m.medium_stats
+  in
+  let acc = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (entity, util, drops) ->
+          let u, d =
+            Option.value (Hashtbl.find_opt acc entity) ~default:(0., 0.)
+          in
+          Hashtbl.replace acc entity (u +. util, d +. drops))
+        (entity_rows m))
+    measurements;
+  let entities =
+    List.map
+      (fun (entity, _, _) ->
+        let u, d = Hashtbl.find acc entity in
+        { entity; utilization_mean = u /. runs; drops_mean = d /. runs })
+      (entity_rows (List.hd measurements))
+  in
+  {
+    (replicated_stats (List.map (fun m -> m.summary) measurements)) with
+    entities;
   }
 
 let run_replicated ?(config = default_config) ?(runs = 5) g ~hw ~mix =
-  replicated_of_summaries
+  replicated_of_measurements
     (List.map
-       (fun config -> (run ~config g ~hw ~mix).summary)
+       (fun config -> run ~config g ~hw ~mix)
        (replication_configs config runs))

@@ -13,7 +13,13 @@
     loads match the model's W-fractions: a packet crossing edge [e]
     (probability [p_e]) moves [size·α_e/p_e] bytes over the interface,
     [size·β_e/p_e] through memory, and costs its destination
-    [size·Σδ_in/p_v] bytes of processing. *)
+    [size·Σδ_in/p_v] bytes of processing.
+
+    Every run is fully observable: drops are attributed to the queue or
+    medium buffer that shed them, each delivered packet's latency is
+    decomposed into queueing / service / wire / overhead components
+    (the Eq. 2 terms), and [sample_interval] turns on periodic
+    queue-depth / in-flight / backlog traces ({!Telemetry.Series}). *)
 
 type config = {
   seed : int;
@@ -21,6 +27,13 @@ type config = {
   warmup : float;  (** discarded prefix (default 10% of duration) *)
   service_dist : Ip_node.service_dist;  (** default [Exponential] *)
   arrival : Traffic_gen.arrival;  (** default [Poisson] *)
+  sample_interval : float option;
+      (** when [Some dt], sample every entity's state each [dt] seconds
+          into {!measurement.series} (default [None]; sampling is
+          read-only and never changes simulation results) *)
+  series_capacity : int;
+      (** ring capacity per series (default 4096; oldest samples are
+          overwritten) *)
 }
 
 val default_config : config
@@ -28,14 +41,31 @@ val default_config : config
 type vertex_stats = {
   vid : Lognic.Graph.vertex_id;
   vlabel : string;
-  drops : int;
+  drops : int;  (** whole-run drops at this node (not warmup-windowed) *)
+  queue_drops : int array;  (** same, split by queue index *)
   completions : int;
-  utilization : float;
+  utilization : float;  (** horizon-clipped; never exceeds 1 *)
+}
+
+type medium_stats = {
+  mlabel : string;  (** "interface", "memory", or "link-SRC-DST" *)
+  m_utilization : float;  (** horizon-clipped; never exceeds 1 *)
+  m_busy : float;  (** busy seconds within the horizon *)
+  m_rejections : int;  (** whole-run buffer rejections *)
 }
 
 type measurement = {
   summary : Telemetry.summary;
   vertex_stats : vertex_stats list;
+  medium_stats : medium_stats list;
+      (** interface, memory, then dedicated links in edge order *)
+  drop_breakdown : (Telemetry.drop_site * int) list;
+      (** = [summary.drop_breakdown]: warmup-windowed drops per site,
+          summing to [summary.dropped_packets] *)
+  series : Telemetry.Series.t list;
+      (** sampled time series (empty unless [sample_interval] is set):
+          ["LABEL.depth"] / ["LABEL.busy"] per node, ["LABEL.backlog"]
+          per medium *)
   interface_utilization : float;
   memory_utilization : float;
   generated : int;  (** packets offered over the whole run *)
@@ -57,6 +87,16 @@ val run_single :
   measurement
 (** Single-class convenience wrapper. *)
 
+val measurement_to_json : measurement -> Telemetry.Json.t
+(** The full measurement — summary, per-entity stats, drop sites,
+    series — as one JSON object (what [lognic report --trace] writes). *)
+
+type entity_replicated = {
+  entity : string;  (** vertex label or medium label *)
+  utilization_mean : float;
+  drops_mean : float;  (** node drops / medium rejections per run *)
+}
+
 type replicated = {
   runs : int;
   throughput_mean : float;
@@ -64,6 +104,9 @@ type replicated = {
   latency_mean : float;
   latency_stddev : float;
   loss_mean : float;
+  entities : entity_replicated list;
+      (** per-entity across-run means (vertices first, then media);
+          empty when folded from bare summaries *)
 }
 
 val run_replicated :
@@ -75,7 +118,8 @@ val run_replicated :
   replicated
 (** [runs] (default 5) independent replications with derived seeds
     (config.seed + i); reports across-run means and sample standard
-    deviations so measurements carry an uncertainty estimate. *)
+    deviations so measurements carry an uncertainty estimate, plus
+    per-entity mean utilization and drops. *)
 
 val replication_configs : config -> int -> config list
 (** The per-replication configs [run_replicated] uses (seeds
@@ -83,7 +127,13 @@ val replication_configs : config -> int -> config list
     strategies ({!Parallel.run_replicated}) derive identical seeds.
     Raises [Invalid_argument] when [runs < 2]. *)
 
+val replicated_of_measurements : measurement list -> replicated
+(** The fold from per-run measurements to {!replicated} statistics,
+    shared with {!Parallel.run_replicated} so both paths are
+    bit-identical. Raises [Invalid_argument] on fewer than two
+    measurements. *)
+
 val replicated_of_summaries : Telemetry.summary list -> replicated
-(** The fold from per-run summaries to {!replicated} statistics, shared
-    with {!Parallel.run_replicated} so both paths are bit-identical.
-    Raises [Invalid_argument] on fewer than two summaries. *)
+(** Like {!replicated_of_measurements} when only summaries are at hand;
+    [entities] comes back empty. Raises [Invalid_argument] on fewer
+    than two summaries. *)

@@ -5,7 +5,7 @@ let sweep = P.sweep
 
 let run_replicated ?jobs ?(config = Netsim.default_config) ?(runs = 5) g ~hw
     ~mix =
-  Netsim.replicated_of_summaries
+  Netsim.replicated_of_measurements
     (map ?jobs
-       (fun config -> (Netsim.run ~config g ~hw ~mix).Netsim.summary)
+       (fun config -> Netsim.run ~config g ~hw ~mix)
        (Netsim.replication_configs config runs))

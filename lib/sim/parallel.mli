@@ -30,6 +30,7 @@ val run_replicated :
   mix:Lognic.Traffic.mix ->
   Netsim.replicated
 (** Drop-in parallel {!Netsim.run_replicated}: identical derived seeds
-    ([config.seed + i]) and the identical statistics fold, hence
-    bit-identical results for the same seeds at any [jobs]. Raises
-    [Invalid_argument] when [runs < 2]. *)
+    ([config.seed + i]) and the identical measurement fold
+    ({!Netsim.replicated_of_measurements}, including the per-entity
+    stats), hence bit-identical results for the same seeds at any
+    [jobs]. Raises [Invalid_argument] when [runs < 2]. *)

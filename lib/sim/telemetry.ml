@@ -16,6 +16,327 @@ module Buf = struct
   let to_array t = Array.sub t.data 0 t.len
 end
 
+(* Minimal JSON tree + printer + parser. The repo deliberately carries
+   no JSON dependency; traces must still round-trip, so both directions
+   live here and are property-tested against each other. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let float_repr x =
+    (* shortest decimal that parses back exactly *)
+    let s = Printf.sprintf "%.15g" x in
+    if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
+  let write_string buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num x ->
+      if not (Float.is_finite x) then Buffer.add_string buf "null"
+      else if Float.is_integer x && Float.abs x < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.0f" x)
+      else Buffer.add_string buf (float_repr x)
+    | Str s -> write_string buf s
+    | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          write_string buf k;
+          Buffer.add_char buf ':';
+          write buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 256 in
+    write buf v;
+    Buffer.contents buf
+
+  exception Parse_error of string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word value =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        value
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let utf8_of_code buf code =
+      (* enough for the BMP; the writer never emits surrogate pairs *)
+      if code < 0x80 then Buffer.add_char buf (Char.chr code)
+      else if code < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec scan () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+          | Some '/' -> Buffer.add_char buf '/'; advance ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+          | Some 'u' ->
+            advance ();
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some code ->
+              pos := !pos + 4;
+              utf8_of_code buf code
+            | None -> fail "bad \\u escape")
+          | _ -> fail "bad escape");
+          scan ()
+        | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          scan ()
+      in
+      scan ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let number_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && number_char s.[!pos] do
+        advance ()
+      done;
+      if !pos = start then fail "expected a number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some x -> x
+      | None -> fail "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '"' -> Str (parse_string ())
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elements (v :: acc)
+            | Some ']' ->
+              advance ();
+              List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (elements [])
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ((key, v) :: acc)
+            | Some '}' ->
+              advance ();
+              List.rev ((key, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (members [])
+        end
+      | Some _ -> Num (parse_number ())
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
+
+  let member key = function
+    | Obj kvs -> List.assoc_opt key kvs
+    | _ -> None
+end
+
+(* Ring-buffer time series: bounded memory however long the run, the
+   newest [capacity] samples win. *)
+module Series = struct
+  type t = {
+    label : string;
+    interval : float;
+    capacity : int;
+    times : float array;
+    values : float array;
+    mutable len : int;
+    mutable next : int;  (* ring write position *)
+  }
+
+  let create ?(capacity = 4096) ~label ~interval () =
+    if capacity < 1 then invalid_arg "Series.create: capacity must be >= 1";
+    if interval <= 0. then invalid_arg "Series.create: interval must be > 0";
+    {
+      label;
+      interval;
+      capacity;
+      times = Array.make capacity 0.;
+      values = Array.make capacity 0.;
+      len = 0;
+      next = 0;
+    }
+
+  let label t = t.label
+  let interval t = t.interval
+  let capacity t = t.capacity
+  let length t = t.len
+
+  let add t ~time ~value =
+    t.times.(t.next) <- time;
+    t.values.(t.next) <- value;
+    t.next <- (t.next + 1) mod t.capacity;
+    if t.len < t.capacity then t.len <- t.len + 1
+
+  let to_array t =
+    Array.init t.len (fun i ->
+        let idx = (t.next - t.len + i + (2 * t.capacity)) mod t.capacity in
+        (t.times.(idx), t.values.(idx)))
+
+  let to_json t =
+    Json.Obj
+      [
+        ("label", Json.Str t.label);
+        ("interval", Json.Num t.interval);
+        ( "samples",
+          Json.Arr
+            (Array.to_list
+               (Array.map
+                  (fun (time, v) -> Json.Arr [ Json.Num time; Json.Num v ])
+                  (to_array t))) );
+      ]
+
+  let to_csv t =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "time,%s\n" t.label);
+    Array.iter
+      (fun (time, v) ->
+        Buffer.add_string buf (Json.float_repr time);
+        Buffer.add_char buf ',';
+        Buffer.add_string buf (Json.float_repr v);
+        Buffer.add_char buf '\n')
+      (to_array t);
+    Buffer.contents buf
+end
+
+type drop_site =
+  | Node_queue of { node : string; queue : int }
+  | Medium_buffer of string
+
+let drop_site_name = function
+  | Node_queue { node; queue } -> Printf.sprintf "node:%s/q%d" node queue
+  | Medium_buffer label -> Printf.sprintf "medium:%s" label
+
+let pp_drop_site ppf site = Format.pp_print_string ppf (drop_site_name site)
+
+type latency_terms = {
+  queueing : float;
+  service : float;
+  wire : float;
+  overhead : float;
+}
+
+let zero_terms = { queueing = 0.; service = 0.; wire = 0.; overhead = 0. }
+
+let terms_total { queueing; service; wire; overhead } =
+  queueing +. service +. wire +. overhead
+
 type t = {
   warmup : float;
   mutable offered : int;
@@ -25,6 +346,11 @@ type t = {
   latencies : Buf.t;
   classes : (int, int * float) Hashtbl.t;
       (* class -> (count, latency sum) *)
+  site_drops : (drop_site, int) Hashtbl.t;
+  mutable sum_queueing : float;
+  mutable sum_service : float;
+  mutable sum_wire : float;
+  mutable sum_overhead : float;
 }
 
 let create ~warmup =
@@ -36,21 +362,39 @@ let create ~warmup =
     delivered_bytes = 0.;
     latencies = Buf.create ();
     classes = Hashtbl.create 8;
+    site_drops = Hashtbl.create 8;
+    sum_queueing = 0.;
+    sum_service = 0.;
+    sum_wire = 0.;
+    sum_overhead = 0.;
   }
 
 let record_arrival t ~now ~size =
   ignore size;
   if now >= t.warmup then t.offered <- t.offered + 1
 
-let record_drop t ~now = if now >= t.warmup then t.dropped <- t.dropped + 1
+let record_drop t ~now ~born ~site =
+  (* Gate on birth time: arrivals are recorded at generation (now =
+     born), so a drop must be attributed to the same window as its
+     offered-packet record or loss_rate can exceed 1. *)
+  ignore now;
+  if born >= t.warmup then begin
+    t.dropped <- t.dropped + 1;
+    let count = Option.value (Hashtbl.find_opt t.site_drops site) ~default:0 in
+    Hashtbl.replace t.site_drops site (count + 1)
+  end
 
-let record_completion t ~now ~born ~size ~klass =
+let record_completion t ~now ~born ?(terms = zero_terms) ~size ~klass () =
   (* Attribute the packet to the measurement window by its birth time so
      arrival accounting and completion accounting agree. *)
   if born >= t.warmup then begin
     t.delivered <- t.delivered + 1;
     t.delivered_bytes <- t.delivered_bytes +. size;
     Buf.add t.latencies (now -. born);
+    t.sum_queueing <- t.sum_queueing +. terms.queueing;
+    t.sum_service <- t.sum_service +. terms.service;
+    t.sum_wire <- t.sum_wire +. terms.wire;
+    t.sum_overhead <- t.sum_overhead +. terms.overhead;
     let count, sum =
       Option.value (Hashtbl.find_opt t.classes klass) ~default:(0, 0.)
     in
@@ -71,6 +415,8 @@ type summary = {
   max_latency : float;
   loss_rate : float;
   per_class : (int * int * float) list;
+  drop_breakdown : (drop_site * int) list;
+  latency_terms : latency_terms;
 }
 
 let summarize t ~horizon =
@@ -83,6 +429,22 @@ let summarize t ~horizon =
         (klass, count, if count = 0 then 0. else sum /. float_of_int count) :: acc)
       t.classes []
     |> List.sort compare
+  in
+  let drop_breakdown =
+    Hashtbl.fold (fun site count acc -> (site, count) :: acc) t.site_drops []
+    |> List.sort (fun (sa, ca) (sb, cb) ->
+           match compare cb ca with 0 -> compare sa sb | c -> c)
+  in
+  let latency_terms =
+    if t.delivered = 0 then zero_terms
+    else
+      let d = float_of_int t.delivered in
+      {
+        queueing = t.sum_queueing /. d;
+        service = t.sum_service /. d;
+        wire = t.sum_wire /. d;
+        overhead = t.sum_overhead /. d;
+      }
   in
   {
     window;
@@ -101,4 +463,54 @@ let summarize t ~horizon =
       (if t.offered = 0 then 0.
        else float_of_int t.dropped /. float_of_int t.offered);
     per_class;
+    drop_breakdown;
+    latency_terms;
   }
+
+let terms_to_json terms =
+  Json.Obj
+    [
+      ("queueing", Json.Num terms.queueing);
+      ("service", Json.Num terms.service);
+      ("wire", Json.Num terms.wire);
+      ("overhead", Json.Num terms.overhead);
+    ]
+
+let to_json s =
+  Json.Obj
+    [
+      ("window", Json.Num s.window);
+      ("offered_packets", Json.Num (float_of_int s.offered_packets));
+      ("delivered_packets", Json.Num (float_of_int s.delivered_packets));
+      ("dropped_packets", Json.Num (float_of_int s.dropped_packets));
+      ("delivered_bytes", Json.Num s.delivered_bytes);
+      ("throughput", Json.Num s.throughput);
+      ("packet_rate", Json.Num s.packet_rate);
+      ("mean_latency", Json.Num s.mean_latency);
+      ("p50_latency", Json.Num s.p50_latency);
+      ("p99_latency", Json.Num s.p99_latency);
+      ("max_latency", Json.Num s.max_latency);
+      ("loss_rate", Json.Num s.loss_rate);
+      ( "per_class",
+        Json.Arr
+          (List.map
+             (fun (klass, count, mean) ->
+               Json.Obj
+                 [
+                   ("class", Json.Num (float_of_int klass));
+                   ("delivered", Json.Num (float_of_int count));
+                   ("mean_latency", Json.Num mean);
+                 ])
+             s.per_class) );
+      ( "drop_breakdown",
+        Json.Arr
+          (List.map
+             (fun (site, count) ->
+               Json.Obj
+                 [
+                   ("site", Json.Str (drop_site_name site));
+                   ("drops", Json.Num (float_of_int count));
+                 ])
+             s.drop_breakdown) );
+      ("latency_terms", terms_to_json s.latency_terms);
+    ]

@@ -1,6 +1,101 @@
 (** Measurement collection for simulation runs. Samples recorded before
     the warmup cutoff are discarded so steady-state statistics are not
-    polluted by the empty-system transient. *)
+    polluted by the empty-system transient; every event is attributed to
+    the measurement window by the {e birth} time of its packet, so the
+    offered / delivered / dropped accounts always agree.
+
+    Beyond the aggregate summary, this module is the simulator's
+    observability layer (§3.2's promise that the model points at the
+    {e specific} entity that binds): drops carry their site, delivered
+    packets carry a per-component latency decomposition that mirrors the
+    Eq. 2 terms, periodic state samples land in bounded ring-buffer
+    {!Series}, and everything exports as JSON ({!to_json}, {!Json}) or
+    CSV ({!Series.to_csv}). *)
+
+(** A dependency-free JSON tree with a printer and a parser, so exported
+    traces can be round-trip tested without adding a JSON library. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact one-line JSON. Non-finite numbers print as [null];
+      integral values print without a decimal point; other floats use
+      the shortest representation that parses back exactly. *)
+
+  val of_string : string -> (t, string) result
+  (** Inverse of {!to_string} (accepts any standard JSON text). *)
+
+  val member : string -> t -> t option
+  (** [member key (Obj kvs)] is the value bound to [key]; [None] on
+      missing keys or non-objects. *)
+
+  val float_repr : float -> string
+  (** Shortest decimal string that [float_of_string] maps back to the
+      same float. *)
+end
+
+(** Bounded ring-buffer time series: appends are O(1), memory is fixed,
+    and once full the newest [capacity] samples win. Used for the
+    periodic queue-depth / in-flight / backlog traces. *)
+module Series : sig
+  type t
+
+  val create : ?capacity:int -> label:string -> interval:float -> unit -> t
+  (** [capacity] defaults to 4096 samples. Raises [Invalid_argument] on
+      a non-positive capacity or interval. *)
+
+  val label : t -> string
+  val interval : t -> float
+  val capacity : t -> int
+
+  val length : t -> int
+  (** Samples currently retained (≤ capacity). *)
+
+  val add : t -> time:float -> value:float -> unit
+  val to_array : t -> (float * float) array
+  (** Retained [(time, value)] samples in chronological order. *)
+
+  val to_json : t -> Json.t
+  val to_csv : t -> string
+  (** Two-column CSV ([time,<label>] header). *)
+end
+
+type drop_site =
+  | Node_queue of { node : string; queue : int }
+      (** a full bounded queue at an IP node *)
+  | Medium_buffer of string
+      (** a medium's rate-matching buffer overflowed (by label:
+          "interface", "memory", or "link-SRC-DST") *)
+
+val drop_site_name : drop_site -> string
+(** Stable textual key ("node:LABEL/qI" / "medium:LABEL"), also used in
+    the JSON export. *)
+
+val pp_drop_site : Format.formatter -> drop_site -> unit
+
+(** Per-packet latency decomposition, seconds. Summed over every hop of
+    a packet's walk, the four components account for its entire
+    end-to-end latency, mirroring the model's Eq. 2 terms: [wire] ↔ the
+    α/BW_INTF + β/BW_MEM transfer terms, [service] ↔ the s·δ/(γ·A·P)
+    processing term, [overhead] ↔ o_v, and [queueing] ↔ the Eq. 12
+    waiting time the latency model adds on top. *)
+type latency_terms = {
+  queueing : float;  (** waiting in IP queues and medium backlogs *)
+  service : float;  (** execution-engine service time *)
+  wire : float;  (** transfer (transmission) time across media *)
+  overhead : float;  (** fixed per-vertex computation-transfer overheads *)
+}
+
+val zero_terms : latency_terms
+
+val terms_total : latency_terms -> float
+(** Sum of the four components. *)
 
 type t
 
@@ -9,9 +104,23 @@ val create : warmup:float -> t
 val record_arrival : t -> now:float -> size:float -> unit
 (** Every offered packet (admitted or not). *)
 
-val record_drop : t -> now:float -> unit
+val record_drop : t -> now:float -> born:float -> site:drop_site -> unit
+(** A packet lost at [site]. Windowed by [born] (not the drop time), so
+    a packet generated before the warmup cutoff but dropped inside the
+    window is excluded — exactly like its arrival record — keeping
+    [loss_rate <= 1]. *)
 
-val record_completion : t -> now:float -> born:float -> size:float -> klass:int -> unit
+val record_completion :
+  t ->
+  now:float ->
+  born:float ->
+  ?terms:latency_terms ->
+  size:float ->
+  klass:int ->
+  unit ->
+  unit
+(** [terms] (default {!zero_terms}) is the packet's accumulated
+    latency decomposition. *)
 
 type summary = {
   window : float;  (** measured seconds (horizon − warmup) *)
@@ -28,6 +137,18 @@ type summary = {
   loss_rate : float;  (** dropped / offered within the window *)
   per_class : (int * int * float) list;
       (** class, delivered packets, mean latency *)
+  drop_breakdown : (drop_site * int) list;
+      (** windowed drops per site, largest first; the counts sum to
+          [dropped_packets] *)
+  latency_terms : latency_terms;
+      (** per-delivered-packet mean decomposition; the components sum
+          to [mean_latency] (up to float rounding) *)
 }
 
 val summarize : t -> horizon:float -> summary
+
+val terms_to_json : latency_terms -> Json.t
+
+val to_json : summary -> Json.t
+(** The full summary as a JSON object (consumed by
+    [lognic report --trace]). *)

@@ -382,7 +382,7 @@ let case5_parallelism_curves () =
 (* Figures registry *)
 
 let figures_registry () =
-  Alcotest.(check int) "21 renderables" 21 (List.length Figures.names);
+  Alcotest.(check int) "22 renderables" 22 (List.length Figures.names);
   Alcotest.(check bool)
     "unknown figure" true
     (Result.is_error (Figures.render "fig99" Fmt.stdout));

@@ -175,6 +175,53 @@ let ip_node_zero_work_passthrough () =
   ignore (S.Ip_node.submit n ~work:0. (fun () -> fired := true));
   Alcotest.(check bool) "immediate" true !fired
 
+let ip_node_zero_work_fifo () =
+  (* The reordering bugfix: a zero-work request submitted while earlier
+     work is queued must complete after it, not bypass the queue. *)
+  let e = S.Engine.create () in
+  let n = node e in
+  let order = ref [] in
+  ignore (S.Ip_node.submit n ~work:100. (fun () -> order := `Work1 :: !order));
+  ignore (S.Ip_node.submit n ~work:100. (fun () -> order := `Work2 :: !order));
+  ignore (S.Ip_node.submit n ~work:0. (fun () -> order := `Zero :: !order));
+  S.Engine.run e;
+  Alcotest.(check bool) "FIFO preserved" true
+    (List.rev !order = [ `Work1; `Work2; `Zero ]);
+  (* queued zero-work is subject to capacity like any request *)
+  let n2 = node ~capacity:2 e in
+  ignore (S.Ip_node.submit n2 ~work:100. ignore);
+  ignore (S.Ip_node.submit n2 ~work:100. ignore);
+  Alcotest.(check bool) "queued zero-work can drop" false
+    (S.Ip_node.submit n2 ~work:0. ignore)
+
+let ip_node_overload_utilization () =
+  (* Busy-time clipping: a service in flight at the horizon must only
+     contribute its pre-horizon share, so utilization stays <= 1. *)
+  let e = S.Engine.create () in
+  let n = node ~capacity:16 e in
+  (* 10 x 1s services, horizon 2.5s: without clipping busy = 3s *)
+  for _ = 1 to 10 do
+    ignore (S.Ip_node.submit n ~work:100. ignore)
+  done;
+  S.Engine.run ~until:2.5 e;
+  check_close "clipped busy" 2.5 (S.Ip_node.busy_within n ~until:2.5);
+  check_close "utilization capped" 1. (S.Ip_node.utilization n ~until:2.5);
+  Alcotest.(check bool) "never above 1" true
+    (S.Ip_node.utilization n ~until:2.5 <= 1.)
+
+let medium_overload_utilization () =
+  let e = S.Engine.create () in
+  let m = S.Medium.create e ~label:"bus" ~bandwidth:100. () in
+  (* 3 x 1s transfers, horizon 2.5s: raw busy 3s, clipped 2.5s *)
+  for _ = 1 to 3 do
+    ignore (S.Medium.transfer m ~bytes:100. ignore)
+  done;
+  S.Engine.run ~until:2.5 e;
+  check_close "raw busy keeps the full accrual" 3. (S.Medium.busy_time m);
+  check_close "clipped busy" 2.5 (S.Medium.busy_within m ~until:2.5);
+  check_close "utilization capped" 1. (S.Medium.utilization m ~until:2.5);
+  check_close "backlog at horizon" 50. (S.Medium.backlog m)
+
 let ip_node_matches_mm1n () =
   (* A single-engine exponential node under Poisson load is M/M/1/N;
      its measured drop rate must match the closed form. *)
@@ -205,16 +252,18 @@ let ip_node_matches_mm1n () =
 
 (* Telemetry *)
 
+let site_ip0 = S.Telemetry.Node_queue { node = "ip"; queue = 0 }
+
 let telemetry_windows () =
   let t = S.Telemetry.create ~warmup:10. in
   (* before warmup: ignored *)
   S.Telemetry.record_arrival t ~now:5. ~size:100.;
-  S.Telemetry.record_completion t ~now:8. ~born:5. ~size:100. ~klass:0;
+  S.Telemetry.record_completion t ~now:8. ~born:5. ~size:100. ~klass:0 ();
   (* after warmup *)
   S.Telemetry.record_arrival t ~now:11. ~size:100.;
-  S.Telemetry.record_completion t ~now:12. ~born:11. ~size:100. ~klass:0;
+  S.Telemetry.record_completion t ~now:12. ~born:11. ~size:100. ~klass:0 ();
   S.Telemetry.record_arrival t ~now:13. ~size:100.;
-  S.Telemetry.record_drop t ~now:13.;
+  S.Telemetry.record_drop t ~now:13. ~born:13. ~site:site_ip0;
   let s = S.Telemetry.summarize t ~horizon:20. in
   Alcotest.(check int) "offered in window" 2 s.offered_packets;
   Alcotest.(check int) "delivered in window" 1 s.delivered_packets;
@@ -224,17 +273,158 @@ let telemetry_windows () =
   check_close "mean latency" 1. s.mean_latency;
   check_close "loss rate" 0.5 s.loss_rate
 
+let telemetry_drop_attribution () =
+  (* The warmup bugfix: a packet born before the cutoff but dropped
+     inside the window was counted as dropped-but-never-offered, letting
+     loss_rate exceed 1. Drops are now windowed by birth time. *)
+  let t = S.Telemetry.create ~warmup:10. in
+  S.Telemetry.record_arrival t ~now:9. ~size:100.;  (* not offered *)
+  S.Telemetry.record_drop t ~now:12. ~born:9. ~site:site_ip0;  (* not counted *)
+  S.Telemetry.record_arrival t ~now:11. ~size:100.;
+  S.Telemetry.record_drop t ~now:13. ~born:11. ~site:site_ip0;
+  let s = S.Telemetry.summarize t ~horizon:20. in
+  Alcotest.(check int) "pre-warmup birth excluded" 1 s.dropped_packets;
+  Alcotest.(check bool) "loss rate consistent" true (s.loss_rate <= 1.);
+  check_close "loss rate" 1. s.loss_rate;
+  (* site attribution: the breakdown totals the aggregate counter *)
+  let medium = S.Telemetry.Medium_buffer "interface" in
+  S.Telemetry.record_arrival t ~now:14. ~size:100.;
+  S.Telemetry.record_drop t ~now:14. ~born:14. ~site:medium;
+  S.Telemetry.record_arrival t ~now:15. ~size:100.;
+  S.Telemetry.record_drop t ~now:15. ~born:15. ~site:medium;
+  let s = S.Telemetry.summarize t ~horizon:20. in
+  Alcotest.(check int) "aggregate drops" 3 s.dropped_packets;
+  Alcotest.(check int) "breakdown sums to aggregate" 3
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 s.drop_breakdown);
+  (match s.drop_breakdown with
+  | [ (m, 2); (n, 1) ] ->
+    Alcotest.(check string) "largest site first" "medium:interface"
+      (S.Telemetry.drop_site_name m);
+    Alcotest.(check string) "node site name" "node:ip/q0"
+      (S.Telemetry.drop_site_name n)
+  | _ -> Alcotest.fail "drop breakdown shape")
+
+let telemetry_latency_terms () =
+  let t = S.Telemetry.create ~warmup:0. in
+  let terms q s w o =
+    { S.Telemetry.queueing = q; service = s; wire = w; overhead = o }
+  in
+  S.Telemetry.record_completion t ~now:10. ~born:0. ~terms:(terms 4. 3. 2. 1.)
+    ~size:100. ~klass:0 ();
+  S.Telemetry.record_completion t ~now:12. ~born:10. ~terms:(terms 0. 1. 1. 0.)
+    ~size:100. ~klass:0 ();
+  let s = S.Telemetry.summarize t ~horizon:20. in
+  check_close "mean queueing" 2. s.latency_terms.queueing;
+  check_close "mean service" 2. s.latency_terms.service;
+  check_close "mean wire" 1.5 s.latency_terms.wire;
+  check_close "mean overhead" 0.5 s.latency_terms.overhead;
+  check_close "components sum to mean latency" s.mean_latency
+    (S.Telemetry.terms_total s.latency_terms)
+
 let telemetry_per_class () =
   let t = S.Telemetry.create ~warmup:0. in
-  S.Telemetry.record_completion t ~now:1. ~born:0. ~size:64. ~klass:0;
-  S.Telemetry.record_completion t ~now:3. ~born:0. ~size:1500. ~klass:1;
-  S.Telemetry.record_completion t ~now:5. ~born:0. ~size:1500. ~klass:1;
+  S.Telemetry.record_completion t ~now:1. ~born:0. ~size:64. ~klass:0 ();
+  S.Telemetry.record_completion t ~now:3. ~born:0. ~size:1500. ~klass:1 ();
+  S.Telemetry.record_completion t ~now:5. ~born:0. ~size:1500. ~klass:1 ();
   let s = S.Telemetry.summarize t ~horizon:10. in
   (match s.per_class with
   | [ (0, 1, l0); (1, 2, l1) ] ->
     check_close "class 0 latency" 1. l0;
     check_close "class 1 latency" 4. l1
   | _ -> Alcotest.fail "per-class breakdown")
+
+(* Series ring buffers *)
+
+let series_ring_overwrites () =
+  let s =
+    S.Telemetry.Series.create ~capacity:4 ~label:"depth" ~interval:1. ()
+  in
+  for i = 1 to 6 do
+    S.Telemetry.Series.add s ~time:(float_of_int i) ~value:(float_of_int (10 * i))
+  done;
+  Alcotest.(check int) "bounded length" 4 (S.Telemetry.Series.length s);
+  Alcotest.(check (array (pair (float 0.) (float 0.))))
+    "newest samples win, chronological"
+    [| (3., 30.); (4., 40.); (5., 50.); (6., 60.) |]
+    (S.Telemetry.Series.to_array s);
+  Alcotest.(check string) "label" "depth" (S.Telemetry.Series.label s);
+  check_close "interval" 1. (S.Telemetry.Series.interval s);
+  check_raises_invalid "bad capacity" (fun () ->
+      S.Telemetry.Series.create ~capacity:0 ~label:"x" ~interval:1. ());
+  check_raises_invalid "bad interval" (fun () ->
+      S.Telemetry.Series.create ~label:"x" ~interval:0. ())
+
+let series_csv () =
+  let s = S.Telemetry.Series.create ~capacity:8 ~label:"q" ~interval:0.5 () in
+  S.Telemetry.Series.add s ~time:0.5 ~value:2.;
+  S.Telemetry.Series.add s ~time:1. ~value:3.;
+  Alcotest.(check string) "csv" "time,q\n0.5,2\n1,3\n"
+    (S.Telemetry.Series.to_csv s)
+
+(* JSON round-trips *)
+
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return S.Telemetry.Json.Null;
+        map (fun b -> S.Telemetry.Json.Bool b) bool;
+        (* finite floats only: JSON has no representation for nan/inf *)
+        map (fun x -> S.Telemetry.Json.Num x) (float_bound_inclusive 1e6);
+        map (fun i -> S.Telemetry.Json.Num (float_of_int i)) (int_range (-1000) 1000);
+        map (fun s -> S.Telemetry.Json.Str s) (string_size ~gen:printable (int_range 0 12));
+      ]
+  in
+  let rec value depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          (1, map (fun xs -> S.Telemetry.Json.Arr xs)
+                (list_size (int_range 0 4) (value (depth - 1))));
+          ( 1,
+            map (fun kvs -> S.Telemetry.Json.Obj kvs)
+              (list_size (int_range 0 4)
+                 (pair (string_size ~gen:printable (int_range 1 8))
+                    (value (depth - 1)))) );
+        ]
+  in
+  value 3
+
+let json_roundtrip_prop =
+  prop "JSON print/parse round-trips" ~count:300
+    (QCheck.make json_gen)
+    (fun v ->
+      match S.Telemetry.Json.of_string (S.Telemetry.Json.to_string v) with
+      | Ok v' -> v = v'
+      | Error _ -> false)
+
+let summary_json_roundtrip () =
+  let t = S.Telemetry.create ~warmup:0. in
+  S.Telemetry.record_arrival t ~now:1. ~size:100.;
+  S.Telemetry.record_completion t ~now:2. ~born:1.
+    ~terms:{ S.Telemetry.queueing = 0.5; service = 0.3; wire = 0.2; overhead = 0. }
+    ~size:100. ~klass:0 ();
+  S.Telemetry.record_arrival t ~now:3. ~size:100.;
+  S.Telemetry.record_drop t ~now:3. ~born:3. ~site:site_ip0;
+  let s = S.Telemetry.summarize t ~horizon:10. in
+  let json = S.Telemetry.to_json s in
+  match S.Telemetry.Json.of_string (S.Telemetry.Json.to_string json) with
+  | Error e -> Alcotest.failf "summary JSON does not parse back: %s" e
+  | Ok parsed ->
+    Alcotest.(check bool) "round-trips structurally" true (parsed = json);
+    (match S.Telemetry.Json.member "dropped_packets" parsed with
+    | Some (S.Telemetry.Json.Num n) -> check_close "dropped" 1. n
+    | _ -> Alcotest.fail "dropped_packets missing");
+    (match S.Telemetry.Json.member "drop_breakdown" parsed with
+    | Some (S.Telemetry.Json.Arr [ site ]) ->
+      (match S.Telemetry.Json.member "site" site with
+      | Some (S.Telemetry.Json.Str name) ->
+        Alcotest.(check string) "site key" "node:ip/q0" name
+      | _ -> Alcotest.fail "site missing")
+    | _ -> Alcotest.fail "drop_breakdown missing")
 
 (* Netsim: end-to-end *)
 
@@ -466,6 +656,124 @@ let netsim_replicated () =
       ignore
         (S.Netsim.run_replicated ~runs:1 g ~hw ~mix:[ (traffic, 1.) ]))
 
+let netsim_overload_observability () =
+  (* Acceptance regression: under heavy overload every entity's
+     utilization stays <= 1 (horizon clipping), loss_rate <= 1 (birth
+     windowed drops), and the drop breakdown accounts for every drop. *)
+  let g = pipeline ~queue:4 () in
+  let traffic = T.make ~rate:(20. *. U.gbps) ~packet_size:1500. in
+  let m = S.Netsim.run_single g ~hw ~traffic in
+  let s = m.summary in
+  Alcotest.(check bool) "overloaded" true (s.S.Telemetry.loss_rate > 0.5);
+  Alcotest.(check bool) "loss rate <= 1" true (s.S.Telemetry.loss_rate <= 1.);
+  List.iter
+    (fun (v : S.Netsim.vertex_stats) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %s utilization <= 1" v.vlabel)
+        true
+        (v.utilization >= 0. && v.utilization <= 1. +. 1e-9);
+      Alcotest.(check int)
+        (Printf.sprintf "node %s queue split sums" v.vlabel)
+        v.drops
+        (Array.fold_left ( + ) 0 v.queue_drops))
+    m.vertex_stats;
+  Alcotest.(check bool) "all media reported" true (List.length m.medium_stats >= 2);
+  List.iter
+    (fun (md : S.Netsim.medium_stats) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "medium %s utilization <= 1" md.mlabel)
+        true
+        (md.m_utilization >= 0. && md.m_utilization <= 1. +. 1e-9))
+    m.medium_stats;
+  Alcotest.(check int) "breakdown sums to total drops" s.S.Telemetry.dropped_packets
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 m.drop_breakdown);
+  (* the bottleneck IP queue must appear as a drop site *)
+  Alcotest.(check bool) "ip queue attributed" true
+    (List.exists
+       (fun (site, n) ->
+         n > 0 && S.Telemetry.drop_site_name site = "node:ip/q0")
+       m.drop_breakdown)
+
+let netsim_latency_decomposition () =
+  (* Per-hop latency contributions must sum to end-to-end latency. *)
+  List.iter
+    (fun load ->
+      let g = pipeline () in
+      let traffic = T.make ~rate:(load *. 4. *. U.gbps) ~packet_size:1500. in
+      let m = S.Netsim.run_single g ~hw ~traffic in
+      let s = m.summary in
+      let terms = s.S.Telemetry.latency_terms in
+      check_close ~tol:1e-9
+        (Printf.sprintf "components sum to mean latency at load %g" load)
+        s.S.Telemetry.mean_latency
+        (S.Telemetry.terms_total terms);
+      Alcotest.(check bool) "all components non-negative" true
+        (terms.queueing >= 0. && terms.service >= 0. && terms.wire >= 0.
+        && terms.overhead >= 0.);
+      Alcotest.(check bool) "service and wire observed" true
+        (terms.service > 0. && terms.wire > 0.))
+    [ 0.5; 0.9 ]
+
+let netsim_sampling () =
+  let g = pipeline () in
+  let traffic = T.make ~rate:(2. *. U.gbps) ~packet_size:1500. in
+  let dt = 1e-3 in
+  let config =
+    { S.Netsim.default_config with sample_interval = Some dt }
+  in
+  let m = S.Netsim.run_single ~config g ~hw ~traffic in
+  Alcotest.(check bool) "series present" true (List.length m.series > 0);
+  (* per node: depth + busy; per medium: backlog *)
+  Alcotest.(check int) "one series per probe"
+    ((2 * List.length m.vertex_stats) + List.length m.medium_stats)
+    (List.length m.series);
+  let expected_samples =
+    int_of_float (S.Netsim.default_config.duration /. dt)
+  in
+  List.iter
+    (fun series ->
+      let samples = S.Telemetry.Series.to_array series in
+      Alcotest.(check int)
+        (Printf.sprintf "series %s respects the interval"
+           (S.Telemetry.Series.label series))
+        expected_samples (Array.length samples);
+      Array.iteri
+        (fun i (t, _) ->
+          check_close
+            (Printf.sprintf "sample %d time" i)
+            (float_of_int (i + 1) *. dt)
+            t)
+        samples)
+    m.series;
+  (* sampling is read-only: results identical with and without *)
+  let plain = S.Netsim.run_single g ~hw ~traffic in
+  check_close "sampling does not perturb the simulation"
+    plain.summary.S.Telemetry.mean_latency m.summary.S.Telemetry.mean_latency;
+  (* measurement JSON parses back *)
+  let str = S.Telemetry.Json.to_string (S.Netsim.measurement_to_json m) in
+  (match S.Telemetry.Json.of_string str with
+  | Ok (S.Telemetry.Json.Obj _) -> ()
+  | Ok _ -> Alcotest.fail "measurement JSON is not an object"
+  | Error e -> Alcotest.failf "measurement JSON does not parse: %s" e)
+
+let netsim_replicated_entities () =
+  let g = pipeline () in
+  let traffic = T.make ~rate:(2. *. U.gbps) ~packet_size:1500. in
+  let r =
+    S.Netsim.run_replicated
+      ~config:{ S.Netsim.default_config with duration = 0.05; warmup = 0.005 }
+      ~runs:3 g ~hw ~mix:[ (traffic, 1.) ]
+  in
+  Alcotest.(check bool) "per-entity stats present" true
+    (List.length r.S.Netsim.entities >= 5);
+  let ip =
+    List.find
+      (fun (e : S.Netsim.entity_replicated) -> e.entity = "ip")
+      r.S.Netsim.entities
+  in
+  Alcotest.(check bool) "ip utilization sensible" true
+    (ip.utilization_mean > 0. && ip.utilization_mean <= 1.)
+
 let netsim_rejects_invalid_graph () =
   let g = G.empty in
   let g, _ = G.add_vertex ~kind:G.Ip ~label:"x" ~service:G.default_service g in
@@ -523,9 +831,17 @@ let suite =
     quick "ip node: parallel engines" ip_node_parallel_engines;
     quick "ip node: drops when full" ip_node_drops_when_full;
     quick "ip node: zero-work passthrough" ip_node_zero_work_passthrough;
+    quick "ip node: zero-work FIFO under load" ip_node_zero_work_fifo;
+    quick "ip node: overload utilization <= 1" ip_node_overload_utilization;
+    quick "medium: overload utilization <= 1" medium_overload_utilization;
     slow "ip node: M/M/1/N blocking" ip_node_matches_mm1n;
     quick "telemetry: warmup windows" telemetry_windows;
+    quick "telemetry: drop attribution" telemetry_drop_attribution;
+    quick "telemetry: latency decomposition" telemetry_latency_terms;
     quick "telemetry: per-class" telemetry_per_class;
+    quick "telemetry: series ring buffer" series_ring_overwrites;
+    quick "telemetry: series CSV" series_csv;
+    quick "telemetry: summary JSON round-trip" summary_json_roundtrip;
     quick "netsim: conservation" netsim_conservation;
     quick "netsim: deterministic" netsim_deterministic;
     quick "netsim: seed sensitivity" netsim_seed_matters;
@@ -537,7 +853,12 @@ let suite =
     quick "netsim: traffic mixes" netsim_mix_classes;
     slow "netsim: utilization matches model" netsim_utilization_matches_model;
     quick "netsim: oversubscribed medium sheds load" netsim_medium_sheds_load;
+    quick "netsim: overload observability" netsim_overload_observability;
+    quick "netsim: latency decomposition" netsim_latency_decomposition;
+    quick "netsim: sampled series" netsim_sampling;
     quick "netsim: replicated runs" netsim_replicated;
+    quick "netsim: replicated per-entity stats" netsim_replicated_entities;
     quick "netsim: rejects invalid graphs" netsim_rejects_invalid_graph;
   ]
   @ properties
+  @ [ json_roundtrip_prop ]
