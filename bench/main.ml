@@ -29,6 +29,7 @@ type cli = {
   quick : bool;
   bench_only : bool;
   figures_only : bool;
+  trace_overhead : bool;
   jobs : int option;
   json : string option;
   requested : string list;
@@ -37,8 +38,8 @@ type cli = {
 let cli =
   let usage () =
     prerr_endline
-      "usage: main.exe [--quick] [--bench-only|--figures-only] [--jobs N] \
-       [--json PATH] [FIG...]";
+      "usage: main.exe [--quick] [--bench-only|--figures-only] \
+       [--trace-overhead] [--jobs N] [--json PATH] [FIG...]";
     exit 2
   in
   let rec walk acc = function
@@ -46,6 +47,7 @@ let cli =
     | "--quick" :: rest -> walk { acc with quick = true } rest
     | "--bench-only" :: rest -> walk { acc with bench_only = true } rest
     | "--figures-only" :: rest -> walk { acc with figures_only = true } rest
+    | "--trace-overhead" :: rest -> walk { acc with trace_overhead = true } rest
     | "--jobs" :: v :: rest -> (
       match int_of_string_opt v with
       | Some n when n >= 1 -> walk { acc with jobs = Some n } rest
@@ -59,6 +61,7 @@ let cli =
       quick = false;
       bench_only = false;
       figures_only = false;
+      trace_overhead = false;
       jobs = None;
       json = None;
       requested = [];
@@ -186,6 +189,20 @@ let primitive_benches =
                  sample_interval = Some 2e-5;
                }
              md5_graph ~hw:D.Liquidio.hardware ~traffic:md5_traffic));
+    Test.make ~name:"sim:1ms-traced"
+      (* same run with the packet-lifecycle trace recorder attached
+         (reservoir 64): the span-recording path whose overhead the
+         --trace-overhead check bounds *)
+      (Staged.stage (fun () ->
+           Lognic_sim.Netsim.run_single
+             ~config:
+               {
+                 Lognic_sim.Netsim.default_config with
+                 duration = 1e-3;
+                 warmup = 1e-4;
+                 trace = Some { Lognic_sim.Trace.reservoir = 64 };
+               }
+             md5_graph ~hw:D.Liquidio.hardware ~traffic:md5_traffic));
     Test.make ~name:"optimizer:nelder-mead-2d"
       (Staged.stage (fun () ->
            Lognic_numerics.Nelder_mead.minimize
@@ -222,6 +239,58 @@ let run_benchmarks () =
         results [])
     (model_benches @ primitive_benches)
 
+(* --- trace-overhead gate (--trace-overhead) ---
+
+   Asserts the packet-lifecycle tracer stays under 5% overhead on a
+   simulated run. Bechamel's OLS estimates are great for trends but
+   noisy across CI machines, so the gate times interleaved whole runs
+   and compares minima: interleaving cancels frequency drift, and
+   since timing noise is strictly additive the minimum is the robust
+   estimate of the true cost. Exit 3 on breach.
+
+   The duration is fixed (--quick only trims iterations): tracing cost
+   is O(reservoir), not O(packets), so a too-short run where the
+   64-packet reservoir covers a big slice of all traffic would
+   overstate the amortized overhead the budget is about. *)
+
+let trace_overhead_gate () =
+  let config trace =
+    {
+      Lognic_sim.Netsim.default_config with
+      duration = 1e-2;
+      warmup = 2e-4;
+      trace;
+    }
+  in
+  let run trace =
+    ignore
+      (Lognic_sim.Netsim.run_single ~config:(config trace) md5_graph
+         ~hw:D.Liquidio.hardware ~traffic:md5_traffic)
+  in
+  let traced = Some { Lognic_sim.Trace.reservoir = 64 } in
+  (* warm both paths before timing anything *)
+  run None;
+  run traced;
+  let time trace =
+    let t0 = Unix.gettimeofday () in
+    run trace;
+    Unix.gettimeofday () -. t0
+  in
+  let iters = if quick then 9 else 21 in
+  let untraced = ref infinity and traced_best = ref infinity in
+  for _ = 1 to iters do
+    untraced := Float.min !untraced (time None);
+    traced_best := Float.min !traced_best (time traced)
+  done;
+  let overhead = (!traced_best -. !untraced) /. !untraced in
+  Fmt.pr "trace overhead: untraced %.2f ms, traced %.2f ms -> %+.1f%%@."
+    (!untraced *. 1e3) (!traced_best *. 1e3) (overhead *. 100.);
+  if overhead > 0.05 then begin
+    Fmt.epr "FAIL: tracing overhead %.1f%% exceeds the 5%% budget@."
+      (overhead *. 100.);
+    exit 3
+  end
+
 (* --- JSON dump (--json PATH) --- *)
 
 let json_escape s =
@@ -251,6 +320,10 @@ let write_json path ~rows ~wall_s =
   close_out oc
 
 let () =
+  if cli.trace_overhead then begin
+    trace_overhead_gate ();
+    exit 0
+  end;
   let started = Unix.gettimeofday () in
   if not cli.bench_only then render_figures ();
   let figures_wall = Unix.gettimeofday () -. started in

@@ -221,11 +221,27 @@ let simulate_cmd =
 
 (* report *)
 
+let write_json path json =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Lognic_sim.Telemetry.Json.to_string json);
+      output_char oc '\n')
+
 let report_cmd =
   let trace_arg =
     let doc = "Write the full measurement (summary, per-entity stats, drop \
                sites, sampled series) as JSON to $(docv)." in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc)
+  in
+  let trace_events_arg =
+    let doc = "Record per-packet lifecycle spans for a reservoir-sampled \
+               subset of packets and write them as Chrome trace-event JSON \
+               to $(docv) (loadable in Perfetto or chrome://tracing). \
+               Tracing never changes the measured results." in
+    Arg.(value & opt (some string) None & info [ "trace-events" ] ~docv:"PATH" ~doc)
+  in
+  let reservoir_arg =
+    let doc = "Packets held by the trace reservoir (with --trace-events)." in
+    Arg.(value & opt int 64 & info [ "reservoir" ] ~docv:"N" ~doc)
   in
   let csv_arg =
     let doc = "Write the sampled time series as CSV files $(docv).SERIES.csv." in
@@ -235,11 +251,15 @@ let report_cmd =
     let doc = "Sampling interval in simulated seconds (default: duration/200)." in
     Arg.(value & opt (some float) None & info [ "sample-interval" ] ~docv:"SECONDS" ~doc)
   in
-  let run graph_path rate packet duration seed interval trace csv =
+  let run graph_path rate packet duration seed interval trace trace_events
+      reservoir csv =
     let ( let* ) = Result.bind in
     let* doc = load_document graph_path in
     let dt =
       match interval with Some dt -> dt | None -> duration /. 200.
+    in
+    let* () =
+      if reservoir < 1 then Error (`Msg "--reservoir must be >= 1") else Ok ()
     in
     let config =
       {
@@ -248,6 +268,10 @@ let report_cmd =
         warmup = duration /. 10.;
         seed;
         sample_interval = Some dt;
+        trace =
+          Option.map
+            (fun _ -> { Lognic_sim.Trace.reservoir })
+            trace_events;
       }
     in
     let* mix =
@@ -290,12 +314,19 @@ let report_cmd =
     end;
     Option.iter
       (fun path ->
-        Out_channel.with_open_text path (fun oc ->
-            output_string oc
-              (Tel.Json.to_string (Lognic_sim.Netsim.measurement_to_json m));
-            output_char oc '\n');
+        write_json path (Lognic_sim.Netsim.measurement_to_json m);
         Fmt.pr "trace written to %s@." path)
       trace;
+    Option.iter
+      (fun path ->
+        match m.trace with
+        | Some t ->
+          write_json path (Lognic_sim.Trace.to_chrome_json t);
+          Fmt.pr "trace events (%d of %d packets) written to %s@."
+            (List.length (Lognic_sim.Trace.records t))
+            (Lognic_sim.Trace.seen t) path
+        | None -> ())
+      trace_events;
     Option.iter
       (fun prefix ->
         List.iter
@@ -314,14 +345,62 @@ let report_cmd =
     Term.(
       term_result
         (const run $ graph_arg $ rate_arg $ packet_arg $ duration_arg
-       $ seed_arg $ interval_arg $ trace_arg $ csv_arg))
+       $ seed_arg $ interval_arg $ trace_arg $ trace_events_arg
+       $ reservoir_arg $ csv_arg))
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:
          "Simulate with full observability: per-entity utilization and drop \
           attribution, latency decomposition, sampled queue-depth traces, \
-          and structured JSON/CSV export.")
+          per-packet lifecycle tracing (Perfetto-loadable), and structured \
+          JSON/CSV export.")
+    term
+
+(* explain *)
+
+let explain_cmd =
+  let json_arg =
+    let doc = "Also write the full explain report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+  in
+  let run graph_path rate packet queue_model duration seed json =
+    let ( let* ) = Result.bind in
+    let* doc = load_document graph_path in
+    let* traffic = resolve_traffic doc rate packet in
+    let config =
+      {
+        Lognic_sim.Netsim.default_config with
+        duration;
+        warmup = duration /. 10.;
+        seed;
+      }
+    in
+    let report =
+      Lognic_sim.Explain.run ~config ~queue_model doc.graph
+        ~hw:(hardware_of doc) ~traffic
+    in
+    Fmt.pr "%a@." Lognic_sim.Explain.pp report;
+    Option.iter
+      (fun path ->
+        write_json path (Lognic_sim.Explain.to_json report);
+        Fmt.pr "explain report written to %s@." path)
+      json;
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ graph_arg $ rate_arg $ packet_arg $ queue_model_arg
+       $ duration_arg $ seed_arg $ json_arg))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Run the analytic model and the simulator on the same graph and \
+          traffic, join them per entity, and rank the bottlenecks with \
+          residual attribution (model vs measured utilization and queue \
+          depths).")
     term
 
 (* validate *)
@@ -366,8 +445,14 @@ let objective_arg =
   in
   Arg.(value & opt objective_conv `Max_throughput & info [ "objective" ] ~doc)
 
+let search_log_arg =
+  let doc = "Write search telemetry (per-candidate scores, best-so-far \
+             convergence curve, per-knob evaluation histogram, memo \
+             hit-rate) as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "search-log" ] ~docv:"PATH" ~doc)
+
 let optimize_cmd =
-  let run graph_path rate packet splits queues objective jobs =
+  let run graph_path rate packet splits queues objective jobs search_log =
     apply_jobs jobs;
     let ( let* ) = Result.bind in
     let* doc = load_document graph_path in
@@ -409,9 +494,11 @@ let optimize_cmd =
       | `Max_throughput -> Lognic.Optimizer.Maximize_throughput
       | `Min_latency -> Lognic.Optimizer.Minimize_latency
     in
+    let log = Option.map (fun _ -> Lognic_sim.Search_log.create ()) search_log in
+    let observer = Option.map (fun l -> Lognic_sim.Search_log.observer l) log in
     let solution =
-      Lognic.Optimizer.optimize doc.graph ~hw:(hardware_of doc) ~traffic ~knobs
-        objective
+      Lognic.Optimizer.optimize ?observer doc.graph ~hw:(hardware_of doc)
+        ~traffic ~knobs objective
     in
     List.iter
       (fun a -> Fmt.pr "%a@." Lognic.Optimizer.pp_assignment a)
@@ -422,13 +509,18 @@ let optimize_cmd =
     Fmt.pr "search: %d model evaluations, %d memo hits@."
       solution.stats.Lognic.Optimizer.evaluations
       solution.stats.Lognic.Optimizer.memo_hits;
+    (match (search_log, log) with
+    | Some path, Some l ->
+      write_json path (Lognic_sim.Search_log.to_json l);
+      Fmt.pr "search log written to %s@." path
+    | _ -> ());
     Ok ()
   in
   let term =
     Term.(
       term_result
         (const run $ graph_arg $ rate_arg $ packet_arg $ split_arg $ queue_arg
-       $ objective_arg $ jobs_arg))
+       $ objective_arg $ jobs_arg $ search_log_arg))
   in
   Cmd.v
     (Cmd.info "optimize"
@@ -557,8 +649,9 @@ let () =
   let group =
     Cmd.group info
       [
-        estimate_cmd; sweep_cmd; simulate_cmd; report_cmd; validate_cmd;
-        optimize_cmd; sensitivity_cmd; roofline_cmd; params_cmd; figures_cmd;
+        estimate_cmd; sweep_cmd; simulate_cmd; report_cmd; explain_cmd;
+        validate_cmd; optimize_cmd; sensitivity_cmd; roofline_cmd; params_cmd;
+        figures_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -169,21 +169,42 @@ let topological_order g =
 
 let is_dag g = Option.is_some (topological_order g)
 
-let paths ?(limit = 10_000) g =
+exception Path_limit_exceeded of int
+
+(* Shared DFS under both path entry points: collects up to [limit]
+   ingress→egress paths, then either stops quietly or signals the
+   caller, depending on [on_limit]. *)
+let enumerate_paths ~limit ~on_limit g =
+  let exception Stop in
   let count = ref 0 in
+  let truncated = ref false in
   let results = ref [] in
   let rec walk v acc =
     let vx = vertex g v in
     if vx.kind = Egress then begin
+      if !count >= limit then begin
+        truncated := true;
+        on_limit ();
+        raise Stop
+      end;
       incr count;
-      if !count > limit then failwith "Graph.paths: too many paths";
       results := List.rev (v :: acc) :: !results
     end
     else
       List.iter (fun e -> walk e.dst (v :: acc)) (out_edges g v)
   in
-  List.iter (fun v -> walk v.id []) (ingress_vertices g);
-  List.rev !results
+  (try List.iter (fun v -> walk v.id []) (ingress_vertices g)
+   with Stop -> ());
+  (List.rev !results, if !truncated then `Truncated else `Complete)
+
+let paths ?(limit = 10_000) g =
+  fst
+    (enumerate_paths ~limit
+       ~on_limit:(fun () -> raise (Path_limit_exceeded limit))
+       g)
+
+let paths_capped ?(limit = 10_000) g =
+  enumerate_paths ~limit ~on_limit:(fun () -> ()) g
 
 let reachable_from g seeds =
   let visited = Hashtbl.create 16 in

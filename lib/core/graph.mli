@@ -150,10 +150,22 @@ val topological_order : t -> vertex_id list option
 
 val is_dag : t -> bool
 
+exception Path_limit_exceeded of int
+(** Raised by {!paths} when a graph has more ingress→egress paths than
+    the enumeration limit; carries that limit. *)
+
 val paths : ?limit:int -> t -> vertex_id list list
 (** All ingress→egress paths as vertex-id sequences, in a deterministic
-    order. Raises [Failure] if more than [limit] (default 10_000) paths
-    exist — execution graphs are small by construction. *)
+    order. Raises {!Path_limit_exceeded} if more than [limit] (default
+    10_000) paths exist — execution graphs are small by construction.
+    Callers that would rather degrade than fail use {!paths_capped}. *)
+
+val paths_capped :
+  ?limit:int -> t -> vertex_id list list * [ `Complete | `Truncated ]
+(** Like {!paths} but total: on a path explosion it returns the first
+    [limit] paths in enumeration order tagged [`Truncated] instead of
+    raising — how {!Latency} (and the explain engine on top of it)
+    degrades to a top-K path approximation on combinatorial graphs. *)
 
 val validate : t -> (unit, string list) result
 (** Structural checks: at least one ingress and one egress, acyclicity,

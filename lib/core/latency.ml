@@ -131,7 +131,10 @@ let path_weights g =
           | [ _ ] | [] -> acc
         in
         (path, hop_weight 1. path))
-      (Graph.paths g)
+      (* Degrade on combinatorial graphs instead of failing: the first
+         10k paths in enumeration order, weights renormalized below, so
+         the mean is a top-K approximation rather than an exception. *)
+      (fst (Graph.paths_capped g))
   in
   let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. raw in
   if total <= 0. then raw

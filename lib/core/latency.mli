@@ -78,7 +78,10 @@ val edge_transfer_time :
     link) — Eq 7, first line. *)
 
 val path_weights : Graph.t -> (Graph.vertex_id list * float) list
-(** All ingress→egress paths with normalized δ-branching weights. *)
+(** All ingress→egress paths with normalized δ-branching weights. On a
+    combinatorial graph this degrades to the first 10_000 paths
+    ({!Graph.paths_capped}), weights renormalized over that subset,
+    rather than raising. *)
 
 val evaluate :
   ?model:queue_model ->

@@ -24,6 +24,13 @@ type assignment =
 
 type search_stats = { evaluations : int; memo_hits : int }
 
+type observation = {
+  sequence : int;
+  candidate : assignment list;
+  score : float;
+  cache_hit : bool;
+}
+
 type solution = {
   graph : Graph.t;
   assignment : assignment list;
@@ -227,8 +234,8 @@ let memo_key assignment =
     (List.sort cmp assignment);
   Buffer.contents b
 
-let optimize ?(rng = N.Rng.create ~seed:42) ?queue_model ?jobs g ~hw ~traffic
-    ~knobs objective =
+let optimize ?(rng = N.Rng.create ~seed:42) ?queue_model ?jobs ?observer g ~hw
+    ~traffic ~knobs objective =
   validate_knobs g knobs;
   let slices, dim = continuous_layout knobs g in
   let axes = discrete_axes knobs in
@@ -239,12 +246,18 @@ let optimize ?(rng = N.Rng.create ~seed:42) ?queue_model ?jobs g ~hw ~traffic
   let memo = N.Lru.create ~capacity:4096 in
   let memo_mutex = Mutex.create () in
   let evaluations = Atomic.make 0 and memo_hits = Atomic.make 0 in
+  let observe ~sequence ~candidate ~score ~cache_hit =
+    match observer with
+    | None -> ()
+    | Some f -> f { sequence; candidate; score; cache_hit }
+  in
   let evaluate assignment =
-    Atomic.incr evaluations;
+    let sequence = Atomic.fetch_and_add evaluations 1 in
     let key = memo_key assignment in
     match Mutex.protect memo_mutex (fun () -> N.Lru.find_opt memo key) with
-    | Some result ->
+    | Some ((s, _, _) as result) ->
       Atomic.incr memo_hits;
+      observe ~sequence ~candidate:assignment ~score:s ~cache_hit:true;
       result
     | None ->
       let g' = apply_assignment g assignment in
@@ -252,6 +265,8 @@ let optimize ?(rng = N.Rng.create ~seed:42) ?queue_model ?jobs g ~hw ~traffic
       let report = Estimate.run ?queue_model g' ~hw ~traffic:traffic' in
       let result = (score ?queue_model objective report, g', report) in
       Mutex.protect memo_mutex (fun () -> N.Lru.add memo key result);
+      let s, _, _ = result in
+      observe ~sequence ~candidate:assignment ~score:s ~cache_hit:false;
       result
   in
   (* For one discrete choice, settle the continuous knobs (if any).
@@ -374,13 +389,16 @@ let optimize ?(rng = N.Rng.create ~seed:42) ?queue_model ?jobs g ~hw ~traffic
         };
     }
 
-let pareto ?rng ?queue_model ?jobs ?(points = 8) g ~hw ~traffic ~knobs =
+let pareto ?rng ?queue_model ?jobs ?observer ?(points = 8) g ~hw ~traffic
+    ~knobs =
   (* anchor the bound range at the two single-objective extremes *)
   let fastest =
-    optimize ?rng ?queue_model ?jobs g ~hw ~traffic ~knobs Minimize_latency
+    optimize ?rng ?queue_model ?jobs ?observer g ~hw ~traffic ~knobs
+      Minimize_latency
   in
   let widest =
-    optimize ?rng ?queue_model ?jobs g ~hw ~traffic ~knobs Maximize_throughput
+    optimize ?rng ?queue_model ?jobs ?observer g ~hw ~traffic ~knobs
+      Maximize_throughput
   in
   let lo = fastest.report.latency.Latency.mean in
   let hi = widest.report.latency.Latency.mean in
@@ -395,7 +413,7 @@ let pareto ?rng ?queue_model ?jobs ?(points = 8) g ~hw ~traffic ~knobs =
   List.filter_map
     (fun bound ->
       let s =
-        optimize ?rng ?queue_model ?jobs g ~hw ~traffic ~knobs
+        optimize ?rng ?queue_model ?jobs ?observer g ~hw ~traffic ~knobs
           (Maximize_throughput_max_latency bound)
       in
       if s.feasible then Some (bound, s) else None)

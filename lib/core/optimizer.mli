@@ -60,6 +60,17 @@ type solution = {
   stats : search_stats;  (** search effort and memo hit-rate *)
 }
 
+type observation = {
+  sequence : int;
+      (** 0-based evaluation index (the value of the [evaluations]
+          counter when this candidate was requested); dense but not
+          necessarily delivered in order under parallel grid
+          evaluation *)
+  candidate : assignment list;  (** the knob assignment evaluated *)
+  score : float;  (** objective value (lower is better, as searched) *)
+  cache_hit : bool;  (** served from the memo, no model run *)
+}
+
 val apply_assignment : Graph.t -> assignment list -> Graph.t
 (** Graph-side effects of an assignment ([Set_ingress_rate] entries are
     ignored here — see {!apply_traffic}). *)
@@ -71,6 +82,7 @@ val optimize :
   ?rng:Lognic_numerics.Rng.t ->
   ?queue_model:Latency.queue_model ->
   ?jobs:int ->
+  ?observer:(observation -> unit) ->
   Graph.t ->
   hw:Params.hardware ->
   traffic:Traffic.t ->
@@ -83,12 +95,21 @@ val optimize :
     {!Lognic_numerics.Parallel.default_jobs}) evaluates the exhaustive
     discrete grid that many domains wide; the result is identical at
     every job count (grid points are independent, folded in enumeration
-    order, and the multi-start rngs are pre-split in that same order). *)
+    order, and the multi-start rngs are pre-split in that same order).
+
+    [observer] fires once per candidate evaluation — memo hits
+    included — with the candidate, its objective score, its cache-hit
+    status, and a dense sequence index; {!Lognic_sim.Search_log} folds
+    these into a convergence log. Under parallel grid evaluation the
+    observer is called concurrently from worker domains: it must be
+    thread-safe, and observation order is not the sequence order. The
+    observer never influences the search result. *)
 
 val pareto :
   ?rng:Lognic_numerics.Rng.t ->
   ?queue_model:Latency.queue_model ->
   ?jobs:int ->
+  ?observer:(observation -> unit) ->
   ?points:int ->
   Graph.t ->
   hw:Params.hardware ->

@@ -190,7 +190,16 @@ let parse_string text =
       match state.classes with [] -> None | classes -> Some (Lognic.Traffic.mix classes)
     in
     Ok { graph = state.graph; hardware = state.hardware; traffic = state.traffic; mix }
-  with Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  with Parse_error (line, msg) ->
+    (* Quote the offending source line so a CLI user can see the error
+       in place (the CLI prepends the file path). *)
+    let source =
+      match List.nth_opt (String.split_on_char '\n' text) (line - 1) with
+      | Some l when String.trim l <> "" ->
+        Printf.sprintf "\n  %d | %s" line (String.trim l)
+      | Some _ | None -> ""
+    in
+    Error (Printf.sprintf "line %d: %s%s" line msg source)
 
 let parse_file path =
   match In_channel.with_open_text path In_channel.input_all with

@@ -53,7 +53,9 @@ let parse text =
   end
 
 let parse_exn text =
-  match parse text with Ok v -> v | Error e -> failwith e
+  match parse text with
+  | Ok v -> v
+  | Error e -> invalid_arg (Printf.sprintf "Quantity.parse: %s" e)
 
 let print_with units v =
   let rec pick = function

@@ -12,7 +12,9 @@ val parse : string -> (float, string) result
 (** [parse "25Gbps"] = [Ok 3.125e9]. *)
 
 val parse_exn : string -> float
-(** Raises [Failure] with the parse error. *)
+(** Raises [Invalid_argument] with the parse error, which names the
+    offending input (e.g. [Quantity.parse: cannot parse quantity
+    "25Gbs"]). *)
 
 val print_rate : float -> string
 (** Human-friendly rendering of a bytes/s value, e.g. ["25Gbps"]. *)

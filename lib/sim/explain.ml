@@ -1,0 +1,256 @@
+module G = Lognic.Graph
+module J = Telemetry.Json
+
+type entity_row = {
+  name : string;
+  model_utilization : float;
+  sim_utilization : float;
+  residual : float;
+  model_queueing : float option;
+  model_queue_depth : float option;
+  sim_queue_depth : float option;
+  model_drop_probability : float option;
+  drops : int;
+}
+
+type report = {
+  model : Lognic.Estimate.report;
+  measurement : Netsim.measurement;
+  rows : entity_row list;
+  model_bottleneck : string;
+  sim_bottleneck : string;
+  agree : bool;
+  model_throughput : float;
+  sim_throughput : float;
+  throughput_error : float;
+  model_latency : float;
+  sim_latency : float;
+  latency_error : float;
+}
+
+let bound_name g = function
+  | Lognic.Throughput.Vertex_bound id -> (G.vertex g id).G.label
+  | Lognic.Throughput.Edge_bound (s, d) -> Printf.sprintf "link-%d-%d" s d
+  | Lognic.Throughput.Interface_bound -> "interface"
+  | Lognic.Throughput.Memory_bound -> "memory"
+  | Lognic.Throughput.Offered_load -> "offered-load"
+
+let relative_error ~model ~sim =
+  let scale = Float.max (Float.abs sim) (Float.abs model) in
+  if scale <= 0. then 0. else Float.abs (model -. sim) /. scale
+
+(* Mean of a sampled series' values; [None] when nothing was sampled. *)
+let series_mean series label =
+  List.find_opt (fun s -> Telemetry.Series.label s = label) series
+  |> Option.map Telemetry.Series.to_array
+  |> fun a ->
+  match a with
+  | Some samples when Array.length samples > 0 ->
+    Some (Lognic_numerics.Stats.mean (Array.map snd samples))
+  | _ -> None
+
+let run ?config ?queue_model g ~hw ~traffic =
+  let model = Lognic.Estimate.run ?queue_model g ~hw ~traffic in
+  let config = Option.value config ~default:Netsim.default_config in
+  (* The join needs sampled queue depths; default the probe interval to
+     a fine grid when the caller didn't pick one. *)
+  let config =
+    match config.Netsim.sample_interval with
+    | Some _ -> config
+    | None ->
+      { config with Netsim.sample_interval = Some (config.duration /. 256.) }
+  in
+  let measurement = Netsim.run_single ~config g ~hw ~traffic in
+  let tp = model.Lognic.Estimate.throughput in
+  let lat = model.Lognic.Estimate.latency in
+  let attained = tp.Lognic.Throughput.attained in
+  let medium_row label =
+    List.find_opt
+      (fun (s : Netsim.medium_stats) -> s.mlabel = label)
+      measurement.Netsim.medium_stats
+  in
+  let vertex_rows =
+    List.filter_map
+      (fun (vid, cap) ->
+        let v = G.vertex g vid in
+        let stats =
+          List.find_opt
+            (fun (s : Netsim.vertex_stats) -> s.vid = vid)
+            measurement.Netsim.vertex_stats
+        in
+        match stats with
+        | None -> None
+        | Some s ->
+          let terms =
+            List.find_opt
+              (fun (t : Lognic.Latency.vertex_terms) -> t.vid = vid)
+              lat.Lognic.Latency.per_vertex
+          in
+          let model_utilization = if cap > 0. then attained /. cap else 0. in
+          let model_queueing =
+            Option.map (fun (t : Lognic.Latency.vertex_terms) -> t.queueing) terms
+          in
+          let model_drop_probability =
+            Option.map
+              (fun (t : Lognic.Latency.vertex_terms) -> t.drop_probability)
+              terms
+          in
+          (* Little's law on the vertex's virtual shared queue: expected
+             packets in system = packet arrival rate × (Q + C/A). *)
+          let model_queue_depth =
+            Option.map
+              (fun (t : Lognic.Latency.vertex_terms) ->
+                let pkt_rate =
+                  traffic.Lognic.Traffic.rate
+                  *. Lognic.Throughput.vertex_inflow g vid
+                  /. traffic.Lognic.Traffic.packet_size
+                in
+                pkt_rate *. (t.queueing +. t.service))
+              terms
+          in
+          Some
+            {
+              name = v.G.label;
+              model_utilization;
+              sim_utilization = s.utilization;
+              residual = s.utilization -. Float.min 1. model_utilization;
+              model_queueing;
+              model_queue_depth;
+              sim_queue_depth =
+                series_mean measurement.Netsim.series (v.G.label ^ ".depth");
+              model_drop_probability;
+              drops = s.drops;
+            })
+      tp.Lognic.Throughput.vertex_caps
+  in
+  let shared_medium name cap sim_utilization =
+    let drops =
+      match medium_row name with
+      | Some s -> s.Netsim.m_rejections
+      | None -> 0
+    in
+    let model_utilization =
+      if cap > 0. && cap < infinity then attained /. cap else 0.
+    in
+    {
+      name;
+      model_utilization;
+      sim_utilization;
+      residual = sim_utilization -. Float.min 1. model_utilization;
+      model_queueing = None;
+      model_queue_depth = None;
+      sim_queue_depth =
+        series_mean measurement.Netsim.series (name ^ ".backlog");
+      model_drop_probability = None;
+      drops;
+    }
+  in
+  let medium_rows =
+    [
+      shared_medium "interface" tp.Lognic.Throughput.interface_cap
+        measurement.Netsim.interface_utilization;
+      shared_medium "memory" tp.Lognic.Throughput.memory_cap
+        measurement.Netsim.memory_utilization;
+    ]
+    @ List.filter_map
+        (fun ((s, d), cap) ->
+          let name = Printf.sprintf "link-%d-%d" s d in
+          Option.map
+            (fun (m : Netsim.medium_stats) ->
+              shared_medium name cap m.m_utilization)
+            (medium_row name))
+        tp.Lognic.Throughput.edge_caps
+  in
+  let rows =
+    List.stable_sort
+      (fun a b -> Float.compare b.sim_utilization a.sim_utilization)
+      (vertex_rows @ medium_rows)
+  in
+  let model_bottleneck = bound_name g tp.Lognic.Throughput.bottleneck in
+  let sim_bottleneck =
+    match rows with [] -> "none" | top :: _ -> top.name
+  in
+  let sim_throughput = measurement.Netsim.summary.Telemetry.throughput in
+  let sim_latency = measurement.Netsim.summary.Telemetry.mean_latency in
+  let model_latency = lat.Lognic.Latency.mean in
+  {
+    model;
+    measurement;
+    rows;
+    model_bottleneck;
+    sim_bottleneck;
+    agree = String.equal model_bottleneck sim_bottleneck;
+    model_throughput = attained;
+    sim_throughput;
+    throughput_error = relative_error ~model:attained ~sim:sim_throughput;
+    model_latency;
+    sim_latency;
+    latency_error = relative_error ~model:model_latency ~sim:sim_latency;
+  }
+
+let opt_float = function None -> J.Null | Some x -> J.Num x
+
+let row_to_json rank r =
+  J.Obj
+    [
+      ("rank", J.Num (float_of_int rank));
+      ("entity", J.Str r.name);
+      ("model_utilization", J.Num r.model_utilization);
+      ("sim_utilization", J.Num r.sim_utilization);
+      ("residual", J.Num r.residual);
+      ("model_queueing_s", opt_float r.model_queueing);
+      ("model_queue_depth", opt_float r.model_queue_depth);
+      ("sim_queue_depth", opt_float r.sim_queue_depth);
+      ("model_drop_probability", opt_float r.model_drop_probability);
+      ("drops", J.Num (float_of_int r.drops));
+    ]
+
+let to_json t =
+  J.Obj
+    [
+      ( "model",
+        J.Obj
+          [
+            ("throughput", J.Num t.model_throughput);
+            ("latency", J.Num t.model_latency);
+            ("bottleneck", J.Str t.model_bottleneck);
+          ] );
+      ( "sim",
+        J.Obj
+          [
+            ("throughput", J.Num t.sim_throughput);
+            ("latency", J.Num t.sim_latency);
+            ("bottleneck", J.Str t.sim_bottleneck);
+          ] );
+      ("agree", J.Bool t.agree);
+      ("throughput_error", J.Num t.throughput_error);
+      ("latency_error", J.Num t.latency_error);
+      ("entities", J.Arr (List.mapi (fun i r -> row_to_json (i + 1) r) t.rows));
+    ]
+
+let to_string t = J.to_string (to_json t)
+
+let pp ppf t =
+  let pct x = 100. *. x in
+  Format.fprintf ppf "explain: model vs simulation@\n";
+  Format.fprintf ppf
+    "  throughput  model %.4g B/s   sim %.4g B/s   error %.1f%%@\n"
+    t.model_throughput t.sim_throughput (pct t.throughput_error);
+  Format.fprintf ppf
+    "  latency     model %.4g s     sim %.4g s     error %.1f%%@\n"
+    t.model_latency t.sim_latency (pct t.latency_error);
+  Format.fprintf ppf "  bottleneck  model=%s  sim=%s  (%s)@\n"
+    t.model_bottleneck t.sim_bottleneck
+    (if t.agree then "agree" else "disagree");
+  Format.fprintf ppf
+    "  %-4s %-16s %9s %9s %9s %11s %9s %6s@\n" "rank" "entity" "model-u"
+    "sim-u" "residual" "modelQ(pkt)" "simQ" "drops";
+  List.iteri
+    (fun i r ->
+      let opt = function None -> "-" | Some x -> Printf.sprintf "%.3g" x in
+      Format.fprintf ppf "  %-4d %-16s %9.3f %9.3f %+9.3f %11s %9s %6d@\n"
+        (i + 1) r.name r.model_utilization r.sim_utilization r.residual
+        (opt r.model_queue_depth) (opt r.sim_queue_depth) r.drops)
+    t.rows
+
+let to_text t = Format.asprintf "%a" pp t

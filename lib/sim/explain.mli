@@ -1,0 +1,71 @@
+(** The model-vs-simulation "explain" engine behind [lognic explain].
+
+    One call runs the analytic model ({!Lognic.Estimate}) and the
+    packet-level simulator ({!Netsim}) on the {e same} graph, hardware
+    and traffic, joins the two per entity (every finite-throughput
+    vertex, the shared interface and memory media, each dedicated
+    link), and attributes the prediction residual: analytic utilization
+    vs simulated busy fraction, the model's queueing term (converted to
+    an expected queue depth via Little's law) vs the simulator's
+    sampled queue depths, plus drops/rejections per entity.
+
+    The report ranks entities by simulated utilization; the top entity
+    is the simulator's answer to "what binds?", compared against the
+    analytic roofline's binding term ({!Lognic.Throughput.bound}). On a
+    well-calibrated graph the two agree — [agree = false] is itself a
+    diagnostic (the queueing abstraction or routing scaling is off for
+    some entity, visible in that entity's residual). *)
+
+type entity_row = {
+  name : string;  (** vertex label, "interface", "memory", "link-S-D" *)
+  model_utilization : float;  (** attained rate / entity roofline cap *)
+  sim_utilization : float;  (** horizon-clipped busy fraction *)
+  residual : float;  (** sim − min(model, 1) *)
+  model_queueing : float option;  (** Q_i seconds (vertices only) *)
+  model_queue_depth : float option;
+      (** Little's-law expected packets in system (vertices only) *)
+  sim_queue_depth : float option;
+      (** mean of the sampled depth/backlog series, when sampled *)
+  model_drop_probability : float option;  (** M/M/1/N blocking (vertices) *)
+  drops : int;  (** node drops / medium rejections over the whole run *)
+}
+
+type report = {
+  model : Lognic.Estimate.report;
+  measurement : Netsim.measurement;
+  rows : entity_row list;  (** ranked, highest simulated utilization first *)
+  model_bottleneck : string;
+  sim_bottleneck : string;  (** [rows]' top entity, or "none" *)
+  agree : bool;
+  model_throughput : float;  (** attained bytes/s *)
+  sim_throughput : float;
+  throughput_error : float;  (** relative, in [0, 1] *)
+  model_latency : float;  (** mean seconds *)
+  sim_latency : float;
+  latency_error : float;
+}
+
+val bound_name : Lognic.Graph.t -> Lognic.Throughput.bound -> string
+(** The entity name a throughput bound pins ("offered-load" for
+    {!Lognic.Throughput.Offered_load}), matching {!entity_row.name}. *)
+
+val run :
+  ?config:Netsim.config ->
+  ?queue_model:Lognic.Latency.queue_model ->
+  Lognic.Graph.t ->
+  hw:Lognic.Params.hardware ->
+  traffic:Lognic.Traffic.t ->
+  report
+(** Runs both sides and joins them. When [config] leaves
+    [sample_interval] unset, it defaults to [duration/256] so the
+    queue-depth comparison has data. Raises [Invalid_argument] if the
+    graph fails validation. *)
+
+val to_json : report -> Telemetry.Json.t
+val to_string : report -> string
+(** Compact JSON, [to_json] printed. *)
+
+val pp : Format.formatter -> report -> unit
+(** The human-readable ranked table. *)
+
+val to_text : report -> string

@@ -4,6 +4,7 @@ type request = {
   work : float;
   submitted : float;
   timing : (queued:float -> service:float -> unit) option;
+  span : (lane:int -> queued:float -> service:float -> unit) option;
   k : unit -> unit;
 }
 
@@ -28,6 +29,11 @@ type t = {
   mutable in_flight : float list;
       (* completion times of services still running; what [busy]
          counts beyond the horizon lives entirely in this list *)
+  free_lanes : int array;
+      (* stack of free engine lanes, only maintained when the node was
+         created with [track_lanes] (tracing); empty otherwise so the
+         untraced path pays nothing *)
+  mutable free_top : int;  (* live entries in [free_lanes] *)
 }
 
 let expand_pattern weights =
@@ -50,7 +56,7 @@ let validate_common ~engines ~rate_per_engine ~capacity =
   if capacity < 1 then invalid_arg "Ip_node.create: queue_capacity must be >= 1"
 
 let make engine ~rng ~label ~engines ~rate_per_engine ~entries_per_queue
-    ~weights ~single_queue ~service_dist =
+    ~weights ~single_queue ~service_dist ~track_lanes =
   {
     engine;
     rng;
@@ -68,24 +74,29 @@ let make engine ~rng ~label ~engines ~rate_per_engine ~entries_per_queue
     completions = 0;
     busy = 0.;
     in_flight = [];
+    (* lane [0] on top of the stack so the first claim is lane 0 *)
+    free_lanes =
+      (if track_lanes then Array.init engines (fun i -> engines - 1 - i)
+       else [||]);
+    free_top = (if track_lanes then engines else 0);
   }
 
-let create engine ~rng ~label ~engines ~rate_per_engine ~queue_capacity
-    ~service_dist =
+let create ?(track_lanes = false) engine ~rng ~label ~engines ~rate_per_engine
+    ~queue_capacity ~service_dist =
   validate_common ~engines ~rate_per_engine ~capacity:queue_capacity;
   make engine ~rng ~label ~engines ~rate_per_engine
     ~entries_per_queue:queue_capacity ~weights:[| 1 |] ~single_queue:true
-    ~service_dist
+    ~service_dist ~track_lanes
 
-let create_multiqueue engine ~rng ~label ~engines ~rate_per_engine
-    ~entries_per_queue ~weights ~service_dist =
+let create_multiqueue ?(track_lanes = false) engine ~rng ~label ~engines
+    ~rate_per_engine ~entries_per_queue ~weights ~service_dist =
   validate_common ~engines ~rate_per_engine ~capacity:entries_per_queue;
   if Array.length weights = 0 then
     invalid_arg "Ip_node.create_multiqueue: no queues";
   if Array.exists (fun w -> w < 1) weights then
     invalid_arg "Ip_node.create_multiqueue: weights must be >= 1";
   make engine ~rng ~label ~engines ~rate_per_engine ~entries_per_queue ~weights
-    ~single_queue:false ~service_dist
+    ~single_queue:false ~service_dist ~track_lanes
 
 let label t = t.label
 let queue_count t = Array.length t.queues
@@ -154,6 +165,22 @@ let rec remove_first x = function
   | [] -> []
   | y :: rest -> if y = x then rest else y :: remove_first x rest
 
+(* Pop a free engine lane; only meaningful when lanes are tracked.
+   [busy_engines < engines] before every start, so the stack is never
+   empty here. *)
+let claim_lane t =
+  if t.free_top = 0 then 0
+  else begin
+    t.free_top <- t.free_top - 1;
+    t.free_lanes.(t.free_top)
+  end
+
+let release_lane t lane =
+  if Array.length t.free_lanes > 0 then begin
+    t.free_lanes.(t.free_top) <- lane;
+    t.free_top <- t.free_top + 1
+  end
+
 let rec start_service t req =
   t.busy_engines <- t.busy_engines + 1;
   let now = Engine.now t.engine in
@@ -161,11 +188,16 @@ let rec start_service t req =
   let finish = now +. duration in
   t.busy <- t.busy +. duration;
   t.in_flight <- finish :: t.in_flight;
+  let lane = claim_lane t in
   (match req.timing with
   | Some f -> f ~queued:(now -. req.submitted) ~service:duration
   | None -> ());
+  (match req.span with
+  | Some f -> f ~lane ~queued:(now -. req.submitted) ~service:duration
+  | None -> ());
   Engine.schedule_after t.engine ~delay:duration (fun () ->
       t.busy_engines <- t.busy_engines - 1;
+      release_lane t lane;
       t.in_flight <- remove_first finish t.in_flight;
       t.completions <- t.completions + 1;
       (* Work-conserving: the freed engine immediately pulls the next
@@ -179,7 +211,7 @@ and dispatch t =
     | Some req -> start_service t req
     | None -> ()
 
-let submit ?(queue = 0) ?timing t ~work k =
+let submit ?(queue = 0) ?timing ?span t ~work k =
   if queue < 0 || queue >= Array.length t.queues then
     invalid_arg "Ip_node.submit: bad queue index";
   if work < 0. then invalid_arg "Ip_node.submit: negative work";
@@ -191,6 +223,7 @@ let submit ?(queue = 0) ?timing t ~work k =
     && Queue.is_empty t.queues.(queue)
   then begin
     (match timing with Some f -> f ~queued:0. ~service:0. | None -> ());
+    (match span with Some f -> f ~lane:0 ~queued:0. ~service:0. | None -> ());
     k ();
     true
   end
@@ -204,7 +237,7 @@ let submit ?(queue = 0) ?timing t ~work k =
       false
     end
     else begin
-      Queue.push { work; submitted = Engine.now t.engine; timing; k }
+      Queue.push { work; submitted = Engine.now t.engine; timing; span; k }
         t.queues.(queue);
       dispatch t;
       true

@@ -17,6 +17,7 @@ type service_dist =
 type t
 
 val create :
+  ?track_lanes:bool ->
   Engine.t ->
   rng:Lognic_numerics.Rng.t ->
   label:string ->
@@ -27,9 +28,14 @@ val create :
   t
 (** A single-queue node ([queues = 1]). Raises [Invalid_argument] on
     non-positive engine count / rate / capacity. [rate_per_engine] may
-    be [infinity] for a transparent node. *)
+    be [infinity] for a transparent node. [track_lanes] (default
+    [false]) maintains per-engine occupancy so {!submit}'s [span]
+    callback reports a stable engine index; off, the node allocates no
+    lane state and [span] always reports lane 0. Lane bookkeeping never
+    affects scheduling. *)
 
 val create_multiqueue :
+  ?track_lanes:bool ->
   Engine.t ->
   rng:Lognic_numerics.Rng.t ->
   label:string ->
@@ -53,6 +59,7 @@ val queue_count : t -> int
 val submit :
   ?queue:int ->
   ?timing:(queued:float -> service:float -> unit) ->
+  ?span:(lane:int -> queued:float -> service:float -> unit) ->
   t ->
   work:float ->
   (unit -> unit) ->
@@ -62,7 +69,10 @@ val submit :
     completion. Returns [false] (and counts a drop) when that queue is
     full. [timing], when given, is called once at service start with
     the request's time-in-queue and drawn service duration — the
-    per-hop inputs to {!Telemetry.latency_terms}.
+    per-hop inputs to {!Telemetry.latency_terms}. [span] is the tracing
+    sink ({!Trace}): also called once at service start, additionally
+    carrying the serving engine's lane index (see [track_lanes]); when
+    absent, the request records nothing and costs nothing.
 
     Zero-work requests (and any request on an infinite-rate node) take
     a fast path {e only while their queue is empty}: they complete

@@ -15,10 +15,11 @@ let create engine ~label ~bandwidth ?(buffer = 2. *. 1024. *. 1024.) () =
 
 let label t = t.label
 
-let transfer ?timing t ~bytes k =
+let transfer ?timing ?span t ~bytes k =
   if bytes < 0. then invalid_arg "Medium.transfer: negative bytes";
   if bytes = 0. then begin
     (match timing with Some f -> f ~queued:0. ~wire:0. | None -> ());
+    (match span with Some f -> f ~label:t.label ~queued:0. ~wire:0. | None -> ());
     k ();
     true
   end
@@ -36,6 +37,9 @@ let transfer ?timing t ~bytes k =
       t.busy <- t.busy +. duration;
       (match timing with
       | Some f -> f ~queued:(start -. now) ~wire:duration
+      | None -> ());
+      (match span with
+      | Some f -> f ~label:t.label ~queued:(start -. now) ~wire:duration
       | None -> ());
       Engine.schedule t.engine ~at:(start +. duration) k;
       true

@@ -21,6 +21,7 @@ val label : t -> string
 
 val transfer :
   ?timing:(queued:float -> wire:float -> unit) ->
+  ?span:(label:string -> queued:float -> wire:float -> unit) ->
   t ->
   bytes:float ->
   (unit -> unit) ->
@@ -30,8 +31,11 @@ val transfer :
     pending backlog exceeds the buffer. [timing], when given, is called
     once at admission with the transfer's backlog wait and transmission
     time (both zero for zero-byte transfers) — the per-hop inputs to
-    {!Telemetry.latency_terms}. Raises [Invalid_argument] on negative
-    [bytes]. *)
+    {!Telemetry.latency_terms}. [span] is the tracing sink ({!Trace}):
+    called right after [timing] with the same arguments plus the
+    medium's own label, so one sink closure serves every medium on a
+    hop; when absent the transfer records nothing and costs nothing.
+    Raises [Invalid_argument] on negative [bytes]. *)
 
 val backlog : t -> float
 (** Bytes admitted but not yet transferred, at the engine's current

@@ -9,6 +9,7 @@ type config = {
   arrival : Traffic_gen.arrival;
   sample_interval : float option;
   series_capacity : int;
+  trace : Trace.config option;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     arrival = Traffic_gen.Poisson;
     sample_interval = None;
     series_capacity = 4096;
+    trace = None;
   }
 
 type vertex_stats = {
@@ -47,6 +49,7 @@ type measurement = {
   interface_utilization : float;
   memory_utilization : float;
   generated : int;
+  trace : Trace.t option;
 }
 
 (* The per-packet latency ledger threaded through a packet's walk; at
@@ -119,6 +122,7 @@ let run ?(config = default_config) g ~hw ~mix =
              ~bandwidth:bw ())
       | None -> ())
     (G.edges g);
+  let tracing = config.trace <> None in
   let nodes = Hashtbl.create 16 in
   List.iter
     (fun (v : G.vertex) ->
@@ -128,7 +132,8 @@ let run ?(config = default_config) g ~hw ~mix =
           v.service.partition *. v.service.accel *. v.service.throughput
         in
         let node =
-          Ip_node.create engine ~rng:(N.Rng.split rng) ~label:v.label ~engines:d
+          Ip_node.create ~track_lanes:tracing engine ~rng:(N.Rng.split rng)
+            ~label:v.label ~engines:d
             ~rate_per_engine:(aggregate /. float_of_int d)
             ~queue_capacity:v.service.queue_capacity
             ~service_dist:config.service_dist
@@ -136,6 +141,14 @@ let run ?(config = default_config) g ~hw ~mix =
         Hashtbl.replace nodes v.id node
       end)
     (G.vertices g);
+  (* The trace rng is split last — after every stream the untraced run
+     splits — and only when tracing is on, so enabling tracing perturbs
+     no other stochastic stream and measurements stay bit-identical. *)
+  let trace =
+    Option.map
+      (fun tc -> Trace.create ~config:tc ~rng:(N.Rng.split rng) ())
+      config.trace
+  in
   (* Per-vertex processing-work multiplier: size * inflow / p(v). *)
   let work_factor id =
     let p = prob_vertex id in
@@ -157,14 +170,20 @@ let run ?(config = default_config) g ~hw ~mix =
       pick 0. outs
     end
   in
-  let record_drop (packet : Packet.t) site =
+  let record_drop tr (packet : Packet.t) site =
+    (match tr with
+    | Some r ->
+      Trace.drop r
+        ~site:(Telemetry.drop_site_name site)
+        ~time:(Engine.now engine)
+    | None -> ());
     Telemetry.record_drop telemetry ~now:(Engine.now engine) ~born:packet.born
       ~site
   in
-  let rec arrive id (packet : Packet.t) tally =
+  let rec arrive id (packet : Packet.t) tally tr =
     let v = G.vertex g id in
     let work = packet.size *. work_factor id in
-    let on_served () = depart id v packet tally in
+    let on_served () = depart id v packet tally tr in
     match Hashtbl.find_opt nodes id with
     | None -> on_served ()
     | Some node ->
@@ -172,11 +191,28 @@ let run ?(config = default_config) g ~hw ~mix =
         tally.t_queueing <- tally.t_queueing +. queued;
         tally.t_service <- tally.t_service +. service
       in
-      if not (Ip_node.submit node ~timing ~work on_served) then
-        record_drop packet
+      (* The span sink fires at service start, so the queue span is the
+         interval ending now and the service span the one starting now. *)
+      let span =
+        match tr with
+        | None -> None
+        | Some r ->
+          Some
+            (fun ~lane ~queued ~service ->
+              let start = Engine.now engine in
+              Trace.add_span r ~entity:v.label ~lane ~phase:Trace.Queue
+                ~start:(start -. queued) ~duration:queued;
+              Trace.add_span r ~entity:v.label ~lane ~phase:Trace.Service
+                ~start ~duration:service)
+      in
+      if not (Ip_node.submit node ?span ~timing ~work on_served) then
+        record_drop tr packet
           (Telemetry.Node_queue { node = v.label; queue = 0 })
-  and depart id (v : G.vertex) packet tally =
-    if v.kind = G.Egress then
+  and depart id (v : G.vertex) packet tally tr =
+    if v.kind = G.Egress then begin
+      (match tr with
+      | Some r -> Trace.deliver r ~time:(Engine.now engine)
+      | None -> ());
       Telemetry.record_completion telemetry ~now:(Engine.now engine)
         ~born:packet.born
         ~terms:
@@ -187,6 +223,7 @@ let run ?(config = default_config) g ~hw ~mix =
             overhead = tally.t_overhead;
           }
         ~size:packet.size ~klass:packet.klass ()
+    end
     else
       match choose_out_edge id with
       | None ->
@@ -194,35 +231,61 @@ let run ?(config = default_config) g ~hw ~mix =
            only an ingress with zero-delta out-edges can reach here. *)
         ()
       | Some e ->
-        let continue () = traverse e packet tally in
+        let continue () = traverse e packet tally tr in
         if v.service.overhead > 0. then begin
           tally.t_overhead <- tally.t_overhead +. v.service.overhead;
+          (match tr with
+          | Some r ->
+            Trace.add_span r ~entity:v.label ~lane:0 ~phase:Trace.Overhead
+              ~start:(Engine.now engine) ~duration:v.service.overhead
+          | None -> ());
           Engine.schedule_after engine ~delay:v.service.overhead continue
         end
         else continue ()
-  and traverse (e : G.edge) packet tally =
+  and traverse (e : G.edge) packet tally tr =
     let pe = prob_edge (e.src, e.dst) in
     let scale x = if pe <= 0. then 0. else packet.size *. x /. pe in
     let timing ~queued ~wire =
       tally.t_queueing <- tally.t_queueing +. queued;
       tally.t_wire <- tally.t_wire +. wire
     in
+    (* Medium spans are reported at admission time: the backlog wait is
+       the interval starting now, the wire slice follows it. One sink
+       closure serves all three media of the hop (the medium supplies
+       its own label). *)
+    let span =
+      match tr with
+      | None -> None
+      | Some r ->
+        Some
+          (fun ~label ~queued ~wire ->
+            let now = Engine.now engine in
+            Trace.add_span r ~entity:label ~lane:0 ~phase:Trace.Queue
+              ~start:now ~duration:queued;
+            Trace.add_span r ~entity:label ~lane:0 ~phase:Trace.Wire
+              ~start:(now +. queued) ~duration:wire)
+    in
     let via_link () =
       match Hashtbl.find_opt links (e.src, e.dst) with
       | Some link ->
         if
           not
-            (Medium.transfer ~timing link ~bytes:(scale e.delta) (fun () ->
-                 arrive e.dst packet tally))
-        then record_drop packet (Telemetry.Medium_buffer (Medium.label link))
-      | None -> arrive e.dst packet tally
+            (Medium.transfer ~timing ?span link ~bytes:(scale e.delta)
+               (fun () -> arrive e.dst packet tally tr))
+        then record_drop tr packet (Telemetry.Medium_buffer (Medium.label link))
+      | None -> arrive e.dst packet tally tr
     in
     let via_memory () =
-      if not (Medium.transfer ~timing memory ~bytes:(scale e.beta) via_link)
-      then record_drop packet (Telemetry.Medium_buffer "memory")
+      if
+        not
+          (Medium.transfer ~timing ?span memory ~bytes:(scale e.beta) via_link)
+      then record_drop tr packet (Telemetry.Medium_buffer "memory")
     in
-    if not (Medium.transfer ~timing interface ~bytes:(scale e.alpha) via_memory)
-    then record_drop packet (Telemetry.Medium_buffer "interface")
+    if
+      not
+        (Medium.transfer ~timing ?span interface ~bytes:(scale e.alpha)
+           via_memory)
+    then record_drop tr packet (Telemetry.Medium_buffer "interface")
   in
   let ingresses = G.ingress_vertices g in
   let ingress_ids = Array.of_list (List.map (fun (v : G.vertex) -> v.id) ingresses) in
@@ -236,7 +299,14 @@ let run ?(config = default_config) g ~hw ~mix =
     let tally =
       { t_queueing = 0.; t_service = 0.; t_wire = 0.; t_overhead = 0. }
     in
-    arrive entry packet tally
+    let tr =
+      match trace with
+      | None -> None
+      | Some t ->
+        Trace.on_packet t ~packet:packet.Packet.id ~born:packet.born
+          ~size:packet.size ~klass:packet.klass
+    in
+    arrive entry packet tally tr
   in
   (* Media in deterministic report order: the two shared media first,
      then dedicated links in edge order. *)
@@ -341,6 +411,7 @@ let run ?(config = default_config) g ~hw ~mix =
     interface_utilization = Medium.utilization interface ~until:config.duration;
     memory_utilization = Medium.utilization memory ~until:config.duration;
     generated = Traffic_gen.generated gen;
+    trace;
   }
 
 let run_single ?config g ~hw ~traffic = run ?config g ~hw ~mix:[ (traffic, 1.) ]

@@ -34,6 +34,12 @@ type config = {
   series_capacity : int;
       (** ring capacity per series (default 4096; oldest samples are
           overwritten) *)
+  trace : Trace.config option;
+      (** when [Some], record per-packet lifecycle spans for a
+          reservoir-sampled subset of packets into
+          {!measurement.trace} (default [None]). The trace rng is split
+          from the run seed after every other stream, so enabling
+          tracing never changes any measured quantity. *)
 }
 
 val default_config : config
@@ -69,6 +75,11 @@ type measurement = {
   interface_utilization : float;
   memory_utilization : float;
   generated : int;  (** packets offered over the whole run *)
+  trace : Trace.t option;
+      (** the packet-span reservoir, present iff [config.trace] was set;
+          export with {!Trace.to_chrome_json}. Deliberately absent from
+          {!measurement_to_json} so measurement JSON is byte-identical
+          with tracing on or off. *)
 }
 
 val run :

@@ -1,0 +1,44 @@
+(** Optimizer search telemetry: a thread-safe fold of
+    {!Lognic.Optimizer.observation} events into a convergence log.
+
+    Hook {!observer} into {!Lognic.Optimizer.optimize} (or [pareto])
+    via its [?observer] argument and the log accumulates, bounded by
+    the ring capacity of {!Telemetry.Series}:
+
+    - every candidate's objective score, indexed by its evaluation
+      sequence number ([scores]);
+    - the best-so-far curve ([best_curve]) — how quickly the search
+      converged;
+    - a per-knob histogram of how many candidate evaluations touched
+      each knob;
+    - evaluation / memo-hit totals and the best assignment seen.
+
+    All entry points lock an internal mutex, so one log can serve a
+    parallel ([~jobs]) grid search; under parallel evaluation the
+    best-so-far fold runs in arrival order, which may differ from
+    sequence order, but the final best is order-independent.
+    [lognic optimize --search-log PATH] writes {!to_json} to a file. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 4096) bounds each underlying series; once full,
+    the newest samples win. *)
+
+val observer : t -> Lognic.Optimizer.observation -> unit
+(** The callback to pass as [~observer:(Search_log.observer log)]. *)
+
+val observations : t -> int
+(** Candidates recorded (= optimizer evaluations while hooked). *)
+
+val cache_hits : t -> int
+
+val best : t -> (float * Lognic.Optimizer.assignment list) option
+(** Lowest score seen and its candidate ([None] before any event). *)
+
+val knob_histogram : t -> (string * int) list
+(** [(knob key, evaluations touching it)], sorted by key; keys look
+    like ["throughput:3"], ["split:1"], ["ingress_rate"]. *)
+
+val to_json : t -> Telemetry.Json.t
+val to_string : t -> string

@@ -7,6 +7,7 @@ let () =
       ("model", Test_model.suite);
       ("extensions-optimizer", Test_extensions.suite);
       ("sim", Test_sim.suite);
+      ("observability", Test_observability.suite);
       ("parallel", Test_parallel.suite);
       ("devices", Test_devices.suite);
       ("apps", Test_apps.suite);

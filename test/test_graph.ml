@@ -151,8 +151,15 @@ let paths_limit () =
   done;
   let out = add G.Egress "out" in
   g := G.add_edge ~src:!prev ~dst:out !g;
-  Alcotest.check_raises "path explosion guarded"
-    (Failure "Graph.paths: too many paths") (fun () -> ignore (G.paths !g))
+  Alcotest.check_raises "path explosion guarded" (G.Path_limit_exceeded 10_000)
+    (fun () -> ignore (G.paths !g));
+  (* The total variant degrades to the first [limit] paths instead. *)
+  let capped, status = G.paths_capped ~limit:100 !g in
+  Alcotest.(check int) "capped at limit" 100 (List.length capped);
+  Alcotest.(check bool) "flagged truncated" true (status = `Truncated);
+  let small, status = G.paths_capped ~limit:1_000_000 !g in
+  Alcotest.(check int) "complete below limit" 65536 (List.length small);
+  Alcotest.(check bool) "flagged complete" true (status = `Complete)
 
 let validation () =
   let g, _, _, _ = chain () in
