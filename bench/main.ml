@@ -30,6 +30,7 @@ type cli = {
   bench_only : bool;
   figures_only : bool;
   trace_overhead : bool;
+  fault_overhead : bool;
   jobs : int option;
   json : string option;
   requested : string list;
@@ -39,7 +40,7 @@ let cli =
   let usage () =
     prerr_endline
       "usage: main.exe [--quick] [--bench-only|--figures-only] \
-       [--trace-overhead] [--jobs N] [--json PATH] [FIG...]";
+       [--trace-overhead] [--fault-overhead] [--jobs N] [--json PATH] [FIG...]";
     exit 2
   in
   let rec walk acc = function
@@ -48,6 +49,7 @@ let cli =
     | "--bench-only" :: rest -> walk { acc with bench_only = true } rest
     | "--figures-only" :: rest -> walk { acc with figures_only = true } rest
     | "--trace-overhead" :: rest -> walk { acc with trace_overhead = true } rest
+    | "--fault-overhead" :: rest -> walk { acc with fault_overhead = true } rest
     | "--jobs" :: v :: rest -> (
       match int_of_string_opt v with
       | Some n when n >= 1 -> walk { acc with jobs = Some n } rest
@@ -62,6 +64,7 @@ let cli =
       bench_only = false;
       figures_only = false;
       trace_overhead = false;
+      fault_overhead = false;
       jobs = None;
       json = None;
       requested = [];
@@ -291,6 +294,73 @@ let trace_overhead_gate () =
     exit 3
   end
 
+(* --- fault-overhead gate (--fault-overhead) ---
+
+   Two assertions about the fault-injection layer's cost on fault-free
+   runs. First, identity: the legacy run_single and an empty-plan
+   Run-spec execute must produce byte-identical measurement JSON (exit 4
+   on mismatch — the spec API is a wrapper, not a reimplementation, and
+   an empty plan must leave the simulator exactly on its pre-fault hot
+   path). Second, overhead: realizing the fault machinery via a no-op
+   plan (a zero-probability drop burst spanning the horizon, which
+   activates the fault rng stream and the per-packet sub-interval
+   accounting but sheds nothing) must cost at most 5% over the empty
+   plan (exit 3 on breach). Timing protocol as in the trace gate:
+   interleaved whole runs, compare minima. *)
+
+let fault_overhead_gate () =
+  let config =
+    { Lognic_sim.Netsim.default_config with duration = 1e-2; warmup = 2e-4 }
+  in
+  let spec faults =
+    Lognic_sim.Netsim.Run.single ~config ~faults md5_graph
+      ~hw:D.Liquidio.hardware ~traffic:md5_traffic
+  in
+  let noop_plan =
+    [
+      Lognic_sim.Faults.drop_burst ~probability:0. ~start:0.
+        ~stop:config.Lognic_sim.Netsim.duration;
+    ]
+  in
+  let legacy =
+    Lognic_sim.Netsim.run_single ~config md5_graph ~hw:D.Liquidio.hardware
+      ~traffic:md5_traffic
+  in
+  let empty = Lognic_sim.Netsim.execute (spec Lognic_sim.Faults.empty) in
+  let json m =
+    Lognic_sim.Telemetry.Json.to_string
+      (Lognic_sim.Netsim.measurement_to_json m)
+  in
+  if json legacy <> json empty then begin
+    Fmt.epr
+      "FAIL: empty-plan Run-spec execute is not byte-identical to run_single@.";
+    exit 4
+  end;
+  Fmt.pr "empty-plan identity: OK (%d bytes of measurement JSON)@."
+    (String.length (json legacy));
+  let run faults = ignore (Lognic_sim.Netsim.execute (spec faults)) in
+  run Lognic_sim.Faults.empty;
+  run noop_plan;
+  let time faults =
+    let t0 = Unix.gettimeofday () in
+    run faults;
+    Unix.gettimeofday () -. t0
+  in
+  let iters = if quick then 9 else 21 in
+  let bare = ref infinity and faulted = ref infinity in
+  for _ = 1 to iters do
+    bare := Float.min !bare (time Lognic_sim.Faults.empty);
+    faulted := Float.min !faulted (time noop_plan)
+  done;
+  let overhead = (!faulted -. !bare) /. !bare in
+  Fmt.pr "fault-plan overhead: empty %.2f ms, no-op plan %.2f ms -> %+.1f%%@."
+    (!bare *. 1e3) (!faulted *. 1e3) (overhead *. 100.);
+  if overhead > 0.05 then begin
+    Fmt.epr "FAIL: fault-plan overhead %.1f%% exceeds the 5%% budget@."
+      (overhead *. 100.);
+    exit 3
+  end
+
 (* --- JSON dump (--json PATH) --- *)
 
 let json_escape s =
@@ -320,8 +390,9 @@ let write_json path ~rows ~wall_s =
   close_out oc
 
 let () =
-  if cli.trace_overhead then begin
-    trace_overhead_gate ();
+  if cli.trace_overhead || cli.fault_overhead then begin
+    if cli.trace_overhead then trace_overhead_gate ();
+    if cli.fault_overhead then fault_overhead_gate ();
     exit 0
   end;
   let started = Unix.gettimeofday () in

@@ -403,6 +403,173 @@ let explain_cmd =
           depths).")
     term
 
+(* faults *)
+
+let faults_cmd =
+  let module F = Lognic_sim.Faults in
+  let engine_down_arg =
+    let doc =
+      "Take $(i,N) engines of vertex $(i,VERTEX) offline on \
+       [$(i,START), $(i,STOP)) simulated seconds (repeatable)."
+    in
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "engine-down" ] ~docv:"VERTEX:N:START:STOP" ~doc)
+  in
+  let degrade_arg =
+    let doc =
+      "Run medium $(i,MEDIUM) (interface, memory, or link-SRC-DST) at \
+       $(i,FACTOR) of its bandwidth on [$(i,START), $(i,STOP)) (repeatable)."
+    in
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "degrade" ] ~docv:"MEDIUM:FACTOR:START:STOP" ~doc)
+  in
+  let queue_shrink_arg =
+    let doc =
+      "Cap vertex $(i,VERTEX)'s queue at $(i,CAP) entries on \
+       [$(i,START), $(i,STOP)) (repeatable)."
+    in
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "queue-shrink" ] ~docv:"VERTEX:CAP:START:STOP" ~doc)
+  in
+  let drop_burst_arg =
+    let doc =
+      "Shed each offered packet with probability $(i,P) on \
+       [$(i,START), $(i,STOP)) (repeatable)."
+    in
+    Arg.(
+      value & opt_all string [] & info [ "drop-burst" ] ~docv:"P:START:STOP" ~doc)
+  in
+  let runs_arg =
+    let doc =
+      "Replications with derived seeds; >= 2 adds across-run recovery-time \
+       and worst-interval statistics."
+    in
+    Arg.(value & opt int 1 & info [ "runs" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Also write the full faults report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+  in
+  let float_field name s =
+    match float_of_string_opt s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "%s: not a number: %S" name s))
+  in
+  let int_field name s =
+    match int_of_string_opt s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "%s: not an integer: %S" name s))
+  in
+  let parse_specs name specs parse =
+    let ( let* ) = Result.bind in
+    List.fold_left
+      (fun acc spec ->
+        let* acc = acc in
+        let* ev =
+          match parse (String.split_on_char ':' spec) with
+          | exception Invalid_argument m ->
+            Error (`Msg (Printf.sprintf "--%s %s: %s" name spec m))
+          | Ok ev -> Ok ev
+          | Error (`Msg m) ->
+            Error (`Msg (Printf.sprintf "--%s %s: %s" name spec m))
+        in
+        Ok (ev :: acc))
+      (Ok []) specs
+    |> Result.map List.rev
+  in
+  let run graph_path rate packet queue_model duration seed engine_downs
+      degrades queue_shrinks drop_bursts runs jobs json =
+    let ( let* ) = Result.bind in
+    apply_jobs jobs;
+    let* doc = load_document graph_path in
+    let* traffic = resolve_traffic doc rate packet in
+    let* engine_downs =
+      parse_specs "engine-down" engine_downs (function
+        | [ vertex; n; start; stop ] ->
+          let* n = int_field "N" n in
+          let* start = float_field "START" start in
+          let* stop = float_field "STOP" stop in
+          Ok (F.engine_down ~vertex ~engines:n ~start ~stop)
+        | _ -> Error (`Msg "expected VERTEX:N:START:STOP"))
+    in
+    let* degrades =
+      parse_specs "degrade" degrades (function
+        | [ medium; factor; start; stop ] ->
+          let* factor = float_field "FACTOR" factor in
+          let* start = float_field "START" start in
+          let* stop = float_field "STOP" stop in
+          Ok (F.medium_degraded ~medium ~factor ~start ~stop)
+        | _ -> Error (`Msg "expected MEDIUM:FACTOR:START:STOP"))
+    in
+    let* queue_shrinks =
+      parse_specs "queue-shrink" queue_shrinks (function
+        | [ vertex; cap; start; stop ] ->
+          let* capacity = int_field "CAP" cap in
+          let* start = float_field "START" start in
+          let* stop = float_field "STOP" stop in
+          Ok (F.queue_shrunk ~vertex ~capacity ~start ~stop)
+        | _ -> Error (`Msg "expected VERTEX:CAP:START:STOP"))
+    in
+    let* drop_bursts =
+      parse_specs "drop-burst" drop_bursts (function
+        | [ p; start; stop ] ->
+          let* probability = float_field "P" p in
+          let* start = float_field "START" start in
+          let* stop = float_field "STOP" stop in
+          Ok (F.drop_burst ~probability ~start ~stop)
+        | _ -> Error (`Msg "expected P:START:STOP"))
+    in
+    let plan = engine_downs @ degrades @ queue_shrinks @ drop_bursts in
+    let* () =
+      if runs < 1 then Error (`Msg "--runs must be >= 1") else Ok ()
+    in
+    let config =
+      {
+        Lognic_sim.Netsim.default_config with
+        duration;
+        warmup = duration /. 10.;
+        seed;
+      }
+    in
+    let* report =
+      match
+        Lognic_sim.Resilience.run ~config ~queue_model ~runs ?jobs doc.graph
+          ~hw:(hardware_of doc) ~traffic ~plan
+      with
+      | report -> Ok report
+      | exception Invalid_argument m -> Error (`Msg m)
+    in
+    Fmt.pr "%a@." Lognic_sim.Resilience.pp report;
+    Option.iter
+      (fun path ->
+        write_json path (Lognic_sim.Resilience.to_json report);
+        Fmt.pr "faults report written to %s@." path)
+      json;
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ graph_arg $ rate_arg $ packet_arg $ queue_model_arg
+       $ duration_arg $ seed_arg $ engine_down_arg $ degrade_arg
+       $ queue_shrink_arg $ drop_burst_arg $ runs_arg $ jobs_arg $ json_arg))
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Inject a deterministic fault plan (engine failures, bandwidth \
+          degradation, queue shrinks, drop bursts) into the simulator, \
+          evaluate the analytic degraded-mode model over the same plan, and \
+          join the two per fault interval with availability and recovery \
+          statistics.")
+    term
+
 (* validate *)
 
 let validate_cmd =
@@ -650,8 +817,8 @@ let () =
     Cmd.group info
       [
         estimate_cmd; sweep_cmd; simulate_cmd; report_cmd; explain_cmd;
-        validate_cmd; optimize_cmd; sensitivity_cmd; roofline_cmd; params_cmd;
-        figures_cmd;
+        faults_cmd; validate_cmd; optimize_cmd; sensitivity_cmd; roofline_cmd;
+        params_cmd; figures_cmd;
       ]
   in
   exit (Cmd.eval group)

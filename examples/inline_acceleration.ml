@@ -28,7 +28,7 @@ let () =
     (fun (p : Inline_accel.point) ->
       Fmt.pr "  %5.0fB  %6.2f | %6.2f Gbps@." p.x (U.to_gbps p.model)
         (U.to_gbps p.measured))
-    (Inline_accel.fig10_packet_size_sweep ~sim_duration:0.02 ~spec:A.md5 ());
+    (Inline_accel.fig10_packet_size_sweep ~duration:0.02 ~spec:A.md5 ());
 
   (* Regime 3: the interconnect/memory bandwidth — oversized accelerator
      fetches throttle the engine, Fig 5. *)
@@ -37,7 +37,7 @@ let () =
     (fun (p : Inline_accel.point) ->
       Fmt.pr "  %6.0fB  model %5.3f MOPS, measured %5.3f MOPS@." p.x
         (U.to_mops p.model) (U.to_mops p.measured))
-    (Inline_accel.fig5_granularity_sweep ~sim_duration:0.02 ~spec:A.crc ());
+    (Inline_accel.fig5_granularity_sweep ~duration:0.02 ~spec:A.crc ());
   Fmt.pr
     "@.Past ~2-4KB the CMI (50 Gbps) bounds the CRC engine; at 16KB it runs at \
      13.6%% of peak — the number §4.2 reports.@."

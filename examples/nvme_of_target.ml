@@ -25,7 +25,7 @@ let () =
   (* (b) Fig 6: model vs measured latency under rising load. *)
   List.iter
     (fun (name, io) ->
-      let points = Nvme_of.fig6_profile_sweep ~sim_duration:0.2 ~points:6 ~io () in
+      let points = Nvme_of.fig6_profile_sweep ~duration:0.2 ~points:6 ~io () in
       Fmt.pr "@.%s (offered GB/s: model us | measured us):@." name;
       List.iter
         (fun (p : Nvme_of.point) ->
@@ -47,7 +47,7 @@ let () =
         (U.to_mbytes_per_s p.measured_bandwidth)
         (U.to_mbytes_per_s p.model_bandwidth)
         (100. *. (p.measured_bandwidth -. p.model_bandwidth) /. p.measured_bandwidth))
-    (Nvme_of.fig7_read_ratio_sweep ~sim_duration:0.2 ());
+    (Nvme_of.fig7_read_ratio_sweep ~duration:0.2 ());
   Fmt.pr
     "@.The mid-ratio gap is the GC effect LogNIC cannot capture (the paper \
      reports ~14.6%%).@."

@@ -10,8 +10,7 @@ let duration = function Quick -> 0.01 | Full -> 0.02
 let panic_duration = function Quick -> 0.003 | Full -> 0.008
 let long_duration = function Quick -> 0.1 | Full -> 0.3
 
-let header ppf title columns =
-  Fmt.pf ppf "== %s ==@.%s@." title (String.concat "  " columns)
+let header = Study.header
 
 let fig5 ?(speed = Full) ppf =
   header ppf
@@ -20,7 +19,7 @@ let fig5 ?(speed = Full) ppf =
   List.iter
     (fun spec ->
       let points =
-        Inline_accel.fig5_granularity_sweep ~sim_duration:(duration speed) ~spec ()
+        Inline_accel.fig5_granularity_sweep ~duration:(duration speed) ~spec ()
       in
       let peak =
         List.fold_left (fun acc (p : Inline_accel.point) -> Float.max acc p.model) 0. points
@@ -39,7 +38,7 @@ let fig6 ?(speed = Full) ppf =
   List.iter
     (fun (name, io) ->
       let points =
-        Nvme_of.fig6_profile_sweep ~sim_duration:(long_duration speed) ~points:8
+        Nvme_of.fig6_profile_sweep ~duration:(long_duration speed) ~points:8
           ~io ()
       in
       List.iter
@@ -67,7 +66,7 @@ let fig7 ?(speed = Full) ppf =
         (U.to_mbytes_per_s p.model_bandwidth)
         (100. *. (p.measured_bandwidth -. p.model_bandwidth)
         /. p.measured_bandwidth))
-    (Nvme_of.fig7_read_ratio_sweep ~sim_duration:(long_duration speed) ())
+    (Nvme_of.fig7_read_ratio_sweep ~duration:(long_duration speed) ())
 
 let fig9 ?(speed = Full) ppf =
   header ppf "Figure 9: throughput (MOPS) vs IP1 parallelism (MTU line rate)"
@@ -78,7 +77,7 @@ let fig9 ?(speed = Full) ppf =
         (fun (p : Inline_accel.point) ->
           Fmt.pf ppf "%-7s %4.0f  %6.3f  %6.3f@." spec.D.Accel_spec.name p.x
             (U.to_mops p.model) (U.to_mops p.measured))
-        (Inline_accel.fig9_parallelism_sweep ~sim_duration:(duration speed) ~spec ());
+        (Inline_accel.fig9_parallelism_sweep ~duration:(duration speed) ~spec ());
       Fmt.pf ppf "%-7s cores to saturate: %d@." spec.D.Accel_spec.name
         (Inline_accel.required_cores ~spec))
     [ D.Accel_spec.md5; D.Accel_spec.kasumi; D.Accel_spec.hfa ]
@@ -92,7 +91,7 @@ let fig10 ?(speed = Full) ppf =
         (fun (p : Inline_accel.point) ->
           Fmt.pf ppf "%-6s %5.0f  %6.2f  %6.2f@." spec.D.Accel_spec.name p.x
             (U.to_gbps p.model) (U.to_gbps p.measured))
-        (Inline_accel.fig10_packet_size_sweep ~sim_duration:(duration speed) ~spec ()))
+        (Inline_accel.fig10_packet_size_sweep ~duration:(duration speed) ~spec ()))
     [
       D.Accel_spec.crc;
       D.Accel_spec.aes;
@@ -156,7 +155,7 @@ let fig15 ?(speed = Full) ppf =
             p.credits
             (U.to_gbps p.measured_bandwidth)
             (U.to_gbps p.model_bandwidth))
-        (Panic_scenarios.fig15_credit_sweep ~sim_duration:(panic_duration speed) ~profile ());
+        (Panic_scenarios.fig15_credit_sweep ~duration:(panic_duration speed) ~profile ());
       Fmt.pf ppf "%-9s suggested credits: %d (latency drop vs 8: %.1f%%)@."
         profile.Panic_scenarios.pname
         (Panic_scenarios.suggest_credits ~profile ())
@@ -313,7 +312,7 @@ let ext_netcache ?(speed = Full) ppf =
       Fmt.pf ppf "%4.0f  %9.2f  %9.2f  %8.2f@." (100. *. p.hit_ratio)
         (p.model_rps /. 1e6) (p.measured_rps /. 1e6)
         (U.to_usec p.model_latency))
-    (Netcache.hit_ratio_sweep ~sim_duration:duration Netcache.default)
+    (Netcache.hit_ratio_sweep ~duration Netcache.default)
 
 let ext_hybrid ppf =
   header ppf

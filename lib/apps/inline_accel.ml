@@ -4,13 +4,6 @@ module D = Lognic_devices
 
 type point = { x : float; model : float; measured : float }
 
-let sim_config duration =
-  {
-    Lognic_sim.Netsim.default_config with
-    duration;
-    warmup = duration /. 10.;
-  }
-
 let line_traffic ~packet_size =
   Lognic.Traffic.make ~rate:D.Liquidio.line_rate ~packet_size
 
@@ -21,21 +14,23 @@ let ops_of_bytes ~packet_size bytes_per_s = bytes_per_s /. packet_size
 let default_granularities =
   [ 512.; 1024.; 2048.; 4096.; 8192.; 16384. ]
 
-let fig5_granularity_sweep ?(sim_duration = 0.05) ?granularities ~spec () =
+let fig5_granularity_sweep ?(duration = 0.05) ?seed ?jobs ?granularities ~spec
+    () =
   let granularities = Option.value granularities ~default:default_granularities in
   let packet_size = 1024. in
   let traffic = line_traffic ~packet_size in
   (* Each point runs an independent fixed-seed simulation; fan the
      sweep out over the domain pool (order and results unchanged). *)
-  Lognic_sim.Parallel.map
+  Lognic_sim.Parallel.map ?jobs
     (fun granularity ->
       let g =
         D.Liquidio.inline_accel_graph ~granularity ~spec ~packet_size ()
       in
       let report = Lognic.Estimate.run g ~hw:D.Liquidio.hardware ~traffic in
       let m =
-        Lognic_sim.Netsim.run_single ~config:(sim_config sim_duration) g
-          ~hw:D.Liquidio.hardware ~traffic
+        Lognic_sim.Netsim.run_single
+          ~config:(Study.sim_config ?seed duration)
+          g ~hw:D.Liquidio.hardware ~traffic
       in
       {
         x = granularity;
@@ -44,17 +39,18 @@ let fig5_granularity_sweep ?(sim_duration = 0.05) ?granularities ~spec () =
       })
     granularities
 
-let fig9_parallelism_sweep ?(sim_duration = 0.05) ?cores ~spec () =
+let fig9_parallelism_sweep ?(duration = 0.05) ?seed ?jobs ?cores ~spec () =
   let cores = Option.value cores ~default:(List.init 16 (fun i -> i + 1)) in
   let packet_size = U.mtu in
   let traffic = line_traffic ~packet_size in
-  Lognic_sim.Parallel.map
+  Lognic_sim.Parallel.map ?jobs
     (fun n ->
       let g = D.Liquidio.inline_accel_graph ~cores:n ~spec ~packet_size () in
       let report = Lognic.Estimate.run g ~hw:D.Liquidio.hardware ~traffic in
       let m =
-        Lognic_sim.Netsim.run_single ~config:(sim_config sim_duration) g
-          ~hw:D.Liquidio.hardware ~traffic
+        Lognic_sim.Netsim.run_single
+          ~config:(Study.sim_config ?seed duration)
+          g ~hw:D.Liquidio.hardware ~traffic
       in
       {
         x = float_of_int n;
@@ -81,16 +77,17 @@ let required_cores ~spec =
 
 let default_sizes = [ 64.; 128.; 256.; 512.; 1024.; U.mtu ]
 
-let fig10_packet_size_sweep ?(sim_duration = 0.05) ?sizes ~spec () =
+let fig10_packet_size_sweep ?(duration = 0.05) ?seed ?jobs ?sizes ~spec () =
   let sizes = Option.value sizes ~default:default_sizes in
-  Lognic_sim.Parallel.map
+  Lognic_sim.Parallel.map ?jobs
     (fun packet_size ->
       let traffic = line_traffic ~packet_size in
       let g = D.Liquidio.inline_accel_graph ~spec ~packet_size () in
       let report = Lognic.Estimate.run g ~hw:D.Liquidio.hardware ~traffic in
       let m =
-        Lognic_sim.Netsim.run_single ~config:(sim_config sim_duration) g
-          ~hw:D.Liquidio.hardware ~traffic
+        Lognic_sim.Netsim.run_single
+          ~config:(Study.sim_config ?seed duration)
+          g ~hw:D.Liquidio.hardware ~traffic
       in
       {
         x = packet_size;

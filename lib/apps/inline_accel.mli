@@ -5,7 +5,10 @@
     NIC cores (IP1) pull packets, run L3/L4 processing and trigger the
     engine (IP2); completion-side cores (IP3) fabricate the response.
     "Measured" numbers come from the packet-level simulator; "model"
-    numbers from the analytical estimate on the same graph. *)
+    numbers from the analytical estimate on the same graph.
+
+    All sweeps follow the {!Study} entry-point conventions:
+    [?duration] / [?seed] / [?jobs]. *)
 
 type point = {
   x : float;  (** the swept quantity (granularity, cores, or bytes) *)
@@ -14,7 +17,9 @@ type point = {
 }
 
 val fig5_granularity_sweep :
-  ?sim_duration:float ->
+  ?duration:float ->
+  ?seed:int ->
+  ?jobs:int ->
   ?granularities:float list ->
   spec:Lognic_devices.Accel_spec.t ->
   unit ->
@@ -25,7 +30,9 @@ val fig5_granularity_sweep :
     ceiling (CMI or I/O interconnect). *)
 
 val fig9_parallelism_sweep :
-  ?sim_duration:float ->
+  ?duration:float ->
+  ?seed:int ->
+  ?jobs:int ->
   ?cores:int list ->
   spec:Lognic_devices.Accel_spec.t ->
   unit ->
@@ -38,7 +45,9 @@ val required_cores : spec:Lognic_devices.Accel_spec.t -> int
     of the engine's saturation rate (9/8/11 for MD5/KASUMI/HFA). *)
 
 val fig10_packet_size_sweep :
-  ?sim_duration:float ->
+  ?duration:float ->
+  ?seed:int ->
+  ?jobs:int ->
   ?sizes:float list ->
   spec:Lognic_devices.Accel_spec.t ->
   unit ->

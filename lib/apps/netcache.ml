@@ -88,10 +88,10 @@ let sustainable_rps ?hit_ratio config =
   let g = graph ?hit_ratio config in
   Lognic.Throughput.capacity g ~hw:Sw.hardware /. config.request_size
 
-let hit_ratio_sweep ?(sim_duration = 0.02) ?ratios config =
+let hit_ratio_sweep ?(duration = 0.02) ?(seed = 71) ?jobs ?ratios config =
   let ratios = Option.value ratios ~default:[ 0.; 0.25; 0.5; 0.75; 0.9; 0.99 ] in
-  List.mapi
-    (fun i hit_ratio ->
+  Lognic_sim.Parallel.map ?jobs
+    (fun (i, hit_ratio) ->
       let g = graph ~hit_ratio config in
       let capacity_rps = sustainable_rps ~hit_ratio config in
       let saturating =
@@ -101,13 +101,7 @@ let hit_ratio_sweep ?(sim_duration = 0.02) ?ratios config =
       in
       let m =
         Lognic_sim.Netsim.run
-          ~config:
-            {
-              Lognic_sim.Netsim.default_config with
-              duration = sim_duration;
-              warmup = sim_duration /. 10.;
-              seed = 71 + i;
-            }
+          ~config:(Study.sim_config ~seed:(seed + i) duration)
           g ~hw:Sw.hardware
           ~mix:[ (saturating, 1.) ]
       in
@@ -129,7 +123,7 @@ let hit_ratio_sweep ?(sim_duration = 0.02) ?ratios config =
         model_latency = latency;
         server_share = 1. -. hit_ratio;
       })
-    ratios
+    (List.mapi (fun i r -> (i, r)) ratios)
 
 let speedup_at ~hit_ratio config =
   sustainable_rps ~hit_ratio config /. sustainable_rps ~hit_ratio:0. config

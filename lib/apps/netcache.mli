@@ -33,8 +33,15 @@ type point = {
 }
 
 val hit_ratio_sweep :
-  ?sim_duration:float -> ?ratios:float list -> config -> point list
-(** The NetCache headline sweep. *)
+  ?duration:float ->
+  ?seed:int ->
+  ?jobs:int ->
+  ?ratios:float list ->
+  config ->
+  point list
+(** The NetCache headline sweep ({!Study} entry-point conventions:
+    [?duration] / [?seed] / [?jobs]; point [i] simulates with seed
+    [seed + i]). *)
 
 val speedup_at : hit_ratio:float -> config -> float
 (** Sustainable-rate gain over the no-cache baseline. *)

@@ -9,23 +9,18 @@ type point = {
   measured_throughput : float;
 }
 
-let sim_config ~seed duration =
-  {
-    Lognic_sim.Netsim.default_config with
-    seed;
-    duration;
-    warmup = duration /. 5.;
-  }
+let sim_config ~seed duration = Study.sim_config ~seed ~warmup_fraction:0.2 duration
 
 (* The measured side keeps the drive's realistic behaviour; single-type
    profiles (all-read or sequential-write) incur no GC either way, so
    Fig 6's model and measurement share SSD parameters and the remaining
    error is the model's queueing approximation. *)
-let fig6_profile_sweep ?(sim_duration = 0.4) ?(points = 10) ~io () =
+let fig6_profile_sweep ?(duration = 0.4) ?(seed = 7) ?jobs ?(points = 10) ~io
+    () =
   let eff = D.Ssd.effective D.Ssd.default ~io ~gc:D.Ssd.Gc_realistic in
   let graph = D.Stingray.nvme_of_graph ~gc:D.Ssd.Gc_realistic ~io () in
   let max_rate = 0.9 *. eff.D.Ssd.capacity in
-  Lognic_sim.Parallel.map
+  Lognic_sim.Parallel.map ?jobs
     (fun i ->
       let offered = max_rate *. float_of_int (i + 1) /. float_of_int points in
       let traffic = Lognic.Traffic.make ~rate:offered ~packet_size:io.D.Ssd.io_size in
@@ -38,7 +33,7 @@ let fig6_profile_sweep ?(sim_duration = 0.4) ?(points = 10) ~io () =
       in
       let m =
         Lognic_sim.Netsim.run_single
-          ~config:(sim_config ~seed:(7 + i) sim_duration)
+          ~config:(sim_config ~seed:(seed + i) duration)
           graph ~hw:D.Stingray.hardware ~traffic
       in
       {
@@ -71,11 +66,11 @@ type mixed_point = {
   model_bandwidth : float;
 }
 
-let fig7_read_ratio_sweep ?(sim_duration = 0.4) ?ratios () =
+let fig7_read_ratio_sweep ?(duration = 0.4) ?(seed = 31) ?jobs ?ratios () =
   let ratios =
     Option.value ratios ~default:[ 0.; 0.1; 0.25; 0.5; 0.75; 0.9; 1.0 ]
   in
-  Lognic_sim.Parallel.map
+  Lognic_sim.Parallel.map ?jobs
     (fun (i, read_ratio) ->
       let io = D.Ssd.mixed_4k ~read_fraction:read_ratio in
       (* Drive the drive into saturation so bandwidth, not offered load,
@@ -89,7 +84,7 @@ let fig7_read_ratio_sweep ?(sim_duration = 0.4) ?ratios () =
       let model_graph = D.Stingray.nvme_of_graph ~gc:D.Ssd.Gc_worst_case ~io () in
       let m =
         Lognic_sim.Netsim.run_single
-          ~config:(sim_config ~seed:(31 + i) sim_duration)
+          ~config:(sim_config ~seed:(seed + i) duration)
           measured_graph ~hw:D.Stingray.hardware ~traffic
       in
       let report = Lognic.Estimate.run model_graph ~hw:D.Stingray.hardware ~traffic in
@@ -100,7 +95,7 @@ let fig7_read_ratio_sweep ?(sim_duration = 0.4) ?ratios () =
       })
     (List.mapi (fun i r -> (i, r)) ratios)
 
-let calibration_demo ~io () =
+let calibration_demo ?(duration = 0.2) ?(seed = 53) ~io () =
   let eff = D.Ssd.effective D.Ssd.default ~io ~gc:D.Ssd.Gc_realistic in
   let graph = D.Stingray.nvme_of_graph ~gc:D.Ssd.Gc_realistic ~io () in
   let sweep =
@@ -112,7 +107,7 @@ let calibration_demo ~io () =
         let traffic = Lognic.Traffic.make ~rate ~packet_size:io.D.Ssd.io_size in
         let m =
           Lognic_sim.Netsim.run_single
-            ~config:(sim_config ~seed:(53 + i) 0.2)
+            ~config:(sim_config ~seed:(seed + i) duration)
             graph ~hw:D.Stingray.hardware ~traffic
         in
         ( m.summary.Lognic_sim.Telemetry.throughput,

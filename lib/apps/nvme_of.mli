@@ -9,7 +9,11 @@
     analytic estimate whose SSD parameters a characterization pass
     would produce — worst-case GC baked in, which is what makes the
     model under-predict mixed read/write bandwidth (Fig 7)'s measured
-    curve by ≈ 15 %. *)
+    curve by ≈ 15 %.
+
+    All sweeps follow the {!Study} entry-point conventions
+    ([?duration] / [?seed] / [?jobs]); points at index [i] simulate
+    with seed [seed + i]. *)
 
 type point = {
   offered : float;  (** offered load, bytes/s *)
@@ -20,7 +24,9 @@ type point = {
 }
 
 val fig6_profile_sweep :
-  ?sim_duration:float ->
+  ?duration:float ->
+  ?seed:int ->
+  ?jobs:int ->
   ?points:int ->
   io:Lognic_devices.Ssd.io ->
   unit ->
@@ -40,12 +46,21 @@ type mixed_point = {
 }
 
 val fig7_read_ratio_sweep :
-  ?sim_duration:float -> ?ratios:float list -> unit -> mixed_point list
+  ?duration:float ->
+  ?seed:int ->
+  ?jobs:int ->
+  ?ratios:float list ->
+  unit ->
+  mixed_point list
 (** 4 KB random mixed I/O on a fragmented (write-preconditioned) drive
     as the read ratio sweeps 0..100 %. *)
 
 val calibration_demo :
-  io:Lognic_devices.Ssd.io -> unit -> Lognic.Calibrate.opaque_ip
+  ?duration:float ->
+  ?seed:int ->
+  io:Lognic_devices.Ssd.io ->
+  unit ->
+  Lognic.Calibrate.opaque_ip
 (** Runs the §4.3 characterize-and-curve-fit procedure against the
     simulated drive: sweep the load, measure (rate, latency), fit the
     open-queue latency curve, return the recovered parameters. *)

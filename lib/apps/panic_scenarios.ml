@@ -35,24 +35,18 @@ let model_point ~offered ~profile ~credits =
   let report = Lognic.Latency.evaluate g ~hw:P.hardware ~traffic in
   (report.Lognic.Latency.carried_rate, report.Lognic.Latency.mean)
 
-let fig15_credit_sweep ?(sim_duration = 0.03) ?(offered = default_offered)
-    ~profile () =
+let fig15_credit_sweep ?(duration = 0.03) ?(seed = 11) ?jobs
+    ?(offered = default_offered) ~profile () =
   (* One independent fixed-seed simulation per credit setting; fan the
      sweep over the domain pool (order and results unchanged). *)
-  Lognic_sim.Parallel.map
+  Lognic_sim.Parallel.map ?jobs
     (fun i ->
       let credits = i + 1 in
       let mix = T.mix_of_sizes ~rate:offered ~sizes:profile.sizes in
       let g = P.pipelined_graph ~credits ~sizes:profile.sizes () in
       let m =
         Lognic_sim.Netsim.run
-          ~config:
-            {
-              Lognic_sim.Netsim.default_config with
-              duration = sim_duration;
-              warmup = sim_duration /. 10.;
-              seed = 11 + credits;
-            }
+          ~config:(Study.sim_config ~seed:(seed + credits) duration)
           g ~hw:P.hardware ~mix
       in
       let model_bandwidth, model_latency = model_point ~offered ~profile ~credits in
@@ -134,8 +128,8 @@ type parallelism_point = { degree : int; p_latency : float; p_throughput : float
 let parallelism_offered = 95. *. U.gbps
 let mtu_traffic offered = T.make ~rate:offered ~packet_size:U.mtu
 
-let fig18_19_parallelism ?(offered = parallelism_offered) ~split () =
-  Lognic_sim.Parallel.map
+let fig18_19_parallelism ?(offered = parallelism_offered) ?jobs ~split () =
+  Lognic_sim.Parallel.map ?jobs
     (fun i ->
       let degree = i + 1 in
       let g = P.hybrid_graph ~ip4_parallelism:degree ~ip1_split:split ~packet_size:U.mtu () in

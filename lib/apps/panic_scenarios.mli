@@ -24,13 +24,16 @@ type credit_point = {
 }
 
 val fig15_credit_sweep :
-  ?sim_duration:float ->
+  ?duration:float ->
+  ?seed:int ->
+  ?jobs:int ->
   ?offered:float ->
   profile:traffic_profile ->
   unit ->
   credit_point list
 (** Goodput as the per-unit credit count sweeps 1..8, offered
-    90 Gbps by default. *)
+    90 Gbps by default ({!Study} entry-point conventions; the point
+    with [credits] simulates with seed [seed + credits]). *)
 
 val suggest_credits : ?offered:float -> profile:traffic_profile -> unit -> int
 (** The LogNIC suggestion: the fewest credits whose model goodput is
@@ -73,6 +76,7 @@ type parallelism_point = {
 
 val fig18_19_parallelism :
   ?offered:float ->
+  ?jobs:int ->
   split:float * float ->
   unit ->
   parallelism_point list

@@ -1,0 +1,244 @@
+type modifier = {
+  engines_down : (string * int) list;
+  media_factors : (string * float) list;
+  queue_caps : (string * int) list;
+  ingress_drop : float;
+}
+
+let no_modifier =
+  { engines_down = []; media_factors = []; queue_caps = []; ingress_drop = 0. }
+
+let is_degraded m =
+  m.engines_down <> [] || m.media_factors <> [] || m.queue_caps <> []
+  || m.ingress_drop > 0.
+
+(* Fold duplicate targets into one entry each: offline engines add up,
+   bandwidth factors multiply, capacity overrides take the tightest. *)
+let combine merge entries =
+  List.fold_left
+    (fun acc (key, v) ->
+      match List.assoc_opt key acc with
+      | None -> acc @ [ (key, v) ]
+      | Some prev ->
+        List.map (fun (k, x) -> if k = key then (k, merge prev v) else (k, x)) acc)
+    [] entries
+
+let link_endpoints label =
+  match String.split_on_char '-' label with
+  | [ "link"; s; d ] -> (
+    match (int_of_string_opt s, int_of_string_opt d) with
+    | Some s, Some d -> Some (s, d)
+    | _ -> None)
+  | _ -> None
+
+let apply_modifier g ~(hw : Params.hardware) m =
+  let failed = ref None in
+  let g =
+    List.fold_left
+      (fun g (label, down) ->
+        match Graph.find_vertex g ~label with
+        | None -> g
+        | Some v ->
+          let d = v.Graph.service.parallelism in
+          if down >= d then begin
+            if !failed = None then failed := Some v.Graph.id;
+            g
+          end
+          else
+            let keep = float_of_int (d - down) /. float_of_int d in
+            Graph.update_service g v.Graph.id (fun s ->
+                {
+                  s with
+                  Graph.throughput = s.Graph.throughput *. keep;
+                  parallelism = d - down;
+                }))
+      g
+      (combine ( + ) m.engines_down)
+  in
+  let g =
+    List.fold_left
+      (fun g (label, cap) ->
+        match Graph.find_vertex g ~label with
+        | None -> g
+        | Some v ->
+          Graph.update_service g v.Graph.id (fun s ->
+              { s with Graph.queue_capacity = min s.Graph.queue_capacity cap }))
+      g
+      (combine min m.queue_caps)
+  in
+  let g, hw =
+    List.fold_left
+      (fun (g, hw) (label, factor) ->
+        match label with
+        | "interface" ->
+          (g, { hw with Params.bw_interface = hw.Params.bw_interface *. factor })
+        | "memory" ->
+          (g, { hw with Params.bw_memory = hw.Params.bw_memory *. factor })
+        | label -> (
+          match link_endpoints label with
+          | None -> (g, hw)
+          | Some (src, dst) -> (
+            match Graph.edge g ~src ~dst with
+            | Some { Graph.bandwidth = Some bw; _ } ->
+              ( Graph.set_edge_params ~bandwidth:(Some (bw *. factor)) ~src ~dst g,
+                hw )
+            | Some _ | None -> (g, hw))))
+      (g, hw)
+      (combine ( *. ) m.media_factors)
+  in
+  (g, hw, !failed)
+
+type interval_report = {
+  d_start : float;
+  d_stop : float;
+  degraded : bool;
+  capacity : float;
+  carried : float;
+  latency : float;
+  bottleneck : Throughput.bound;
+  slo_ok : bool;
+}
+
+type slo = { min_throughput_fraction : float; max_latency_factor : float }
+
+let default_slo = { min_throughput_fraction = 0.9; max_latency_factor = 2. }
+
+type report = {
+  intervals : interval_report list;
+  nominal_throughput : float;
+  nominal_latency : float;
+  degraded_throughput : float;
+  degraded_latency : float;
+  availability : float;
+  worst : interval_report option;
+  slo : slo;
+}
+
+let evaluate ?queue_model ?(slo = default_slo) g ~hw ~(traffic : Traffic.t)
+    ~intervals =
+  if intervals = [] then invalid_arg "Degraded.evaluate: no intervals";
+  List.iter
+    (fun (a, b, _) ->
+      if b <= a || a < 0. then
+        invalid_arg "Degraded.evaluate: intervals must have positive length")
+    intervals;
+  let nominal_tp = Throughput.evaluate g ~hw ~traffic in
+  let nominal_throughput = nominal_tp.Throughput.attained in
+  let nominal_latency =
+    (Latency.evaluate ?model:queue_model g ~hw ~traffic).Latency.mean
+  in
+  let meets_slo ~carried ~latency =
+    carried >= slo.min_throughput_fraction *. nominal_throughput
+    && ((not (Float.is_finite nominal_latency))
+       || latency <= slo.max_latency_factor *. nominal_latency)
+  in
+  let rows =
+    List.map
+      (fun (d_start, d_stop, m) ->
+        let g', hw', failed = apply_modifier g ~hw m in
+        match failed with
+        | Some vid ->
+          {
+            d_start;
+            d_stop;
+            degraded = true;
+            capacity = 0.;
+            carried = 0.;
+            latency = infinity;
+            bottleneck = Throughput.Vertex_bound vid;
+            slo_ok = false;
+          }
+        | None ->
+          let traffic' =
+            { traffic with Traffic.rate = traffic.rate *. (1. -. m.ingress_drop) }
+          in
+          let tp = Throughput.evaluate g' ~hw:hw' ~traffic:traffic' in
+          let latency =
+            (Latency.evaluate ?model:queue_model g' ~hw:hw' ~traffic:traffic')
+              .Latency.mean
+          in
+          let carried = tp.Throughput.attained in
+          {
+            d_start;
+            d_stop;
+            degraded = is_degraded m;
+            capacity = tp.Throughput.capacity;
+            carried;
+            latency;
+            bottleneck = tp.Throughput.bottleneck;
+            slo_ok = meets_slo ~carried ~latency;
+          })
+      intervals
+  in
+  let horizon =
+    List.fold_left (fun acc r -> acc +. (r.d_stop -. r.d_start)) 0. rows
+  in
+  let weighted f =
+    List.fold_left (fun acc r -> acc +. (f r *. (r.d_stop -. r.d_start))) 0. rows
+  in
+  let degraded_throughput =
+    if horizon > 0. then weighted (fun r -> r.carried) /. horizon else 0.
+  in
+  (* Weight each interval's latency by the traffic it actually delivers
+     (carried · Δt): a dead interval drags availability, not the latency
+     of the packets that do get through. *)
+  let delivered = weighted (fun r -> r.carried) in
+  let degraded_latency =
+    if delivered > 0. then
+      List.fold_left
+        (fun acc r ->
+          if r.carried > 0. && Float.is_finite r.latency then
+            acc +. (r.latency *. r.carried *. (r.d_stop -. r.d_start))
+          else acc)
+        0. rows
+      /. delivered
+    else 0.
+  in
+  let availability =
+    if horizon > 0. then
+      weighted (fun r -> if r.slo_ok then 1. else 0.) /. horizon
+    else 1.
+  in
+  let worst =
+    List.fold_left
+      (fun acc r ->
+        if not r.degraded then acc
+        else
+          match acc with
+          | Some w when w.carried <= r.carried -> acc
+          | _ -> Some r)
+      None rows
+  in
+  {
+    intervals = rows;
+    nominal_throughput;
+    nominal_latency;
+    degraded_throughput;
+    degraded_latency;
+    availability;
+    worst;
+    slo;
+  }
+
+let pp g ppf r =
+  Fmt.pf ppf "degraded mode: nominal %.4g B/s, %.4g s@." r.nominal_throughput
+    r.nominal_latency;
+  Fmt.pf ppf "  %-20s %-8s %12s %12s %10s %s@." "interval(s)" "state"
+    "capacity" "carried" "latency" "bottleneck";
+  List.iter
+    (fun row ->
+      Fmt.pf ppf "  [%8.4f, %8.4f) %-8s %12.4g %12.4g %10.3g %a%s@."
+        row.d_start row.d_stop
+        (if row.degraded then "faulted" else "healthy")
+        row.capacity row.carried row.latency (Throughput.pp_bound g)
+        row.bottleneck
+        (if row.slo_ok then "" else "  [SLO-violating]"))
+    r.intervals;
+  Fmt.pf ppf
+    "  time-weighted throughput %.4g B/s (%.1f%% of nominal), latency %.4g s, \
+     availability %.1f%%@."
+    r.degraded_throughput
+    (if r.nominal_throughput > 0. then
+       100. *. r.degraded_throughput /. r.nominal_throughput
+     else 0.)
+    r.degraded_latency (100. *. r.availability)

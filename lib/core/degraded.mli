@@ -1,0 +1,116 @@
+(** Degraded-mode analytic evaluation: what the LogNIC model predicts
+    when hardware entities {e partially fail}.
+
+    The throughput/latency threads (§3.5–3.6) assume every entity runs
+    at its nameplate capability. Real SmartNIC deployments spend a
+    surprising share of their life outside that regime — accelerator
+    engines stall, links flap, queues are shrunk by firmware, ingress
+    sheds bursts — and the characterization literature shows those
+    intervals dominate tail behavior. This module re-evaluates the model
+    under a piecewise-constant degradation profile:
+
+    - D′: engines offline on a vertex scale its aggregate throughput by
+      (D − down)/D and its parallelism to D − down (the per-engine rate
+      is unchanged);
+    - B′: a medium factor f ∈ (0, 1] scales the interface, memory, or a
+      dedicated link bandwidth to f·B;
+    - N′: a queue override caps a vertex's queue capacity at
+      min(N, override);
+    - an ingress drop probability p discounts the offered load to
+      (1 − p)·BW_in before it reaches the device.
+
+    Each interval is evaluated with the unmodified machinery
+    ({!Throughput.evaluate} / {!Latency.evaluate}) on the modified graph
+    and hardware, then composed into time-weighted throughput, a
+    delivery-weighted latency, and an availability figure against an
+    SLO. The interval decomposition itself typically comes from
+    [Lognic_sim.Faults.modifiers], which lowers a simulator fault plan
+    into this module's representation. *)
+
+type modifier = {
+  engines_down : (string * int) list;
+      (** vertex label → engines offline (summed if repeated; ≥ D means
+          the vertex is fully failed) *)
+  media_factors : (string * float) list;
+      (** medium label ("interface", "memory", or "link-SRC-DST") →
+          bandwidth factor in (0, 1] (multiplied if repeated) *)
+  queue_caps : (string * int) list;
+      (** vertex label → temporary queue capacity (min-combined with the
+          vertex's own N) *)
+  ingress_drop : float;  (** probability in [0, 1] *)
+}
+
+val no_modifier : modifier
+(** Nothing degraded: evaluation under it equals the nominal model. *)
+
+val is_degraded : modifier -> bool
+
+val apply_modifier :
+  Graph.t ->
+  hw:Params.hardware ->
+  modifier ->
+  Graph.t * Params.hardware * Graph.vertex_id option
+(** The modified graph and hardware an interval is evaluated under, plus
+    the first fully-failed vertex (all engines down) if any — in that
+    case the returned graph simply omits that vertex's D′ = 0 scaling
+    and the caller must treat the interval as delivering nothing.
+    Unknown labels are ignored here; [Lognic_sim.Faults] validates names
+    against the realized entities before anything reaches this point.
+    Exposed for tests. *)
+
+type interval_report = {
+  d_start : float;
+  d_stop : float;
+  degraded : bool;  (** false on healthy stretches between faults *)
+  capacity : float;  (** P′_attainable: the device ceiling under D′/B′ *)
+  carried : float;
+      (** min(capacity, (1 − p)·BW_in) — the model's goodput for the
+          interval; 0 when a vertex is fully failed *)
+  latency : float;
+      (** T′_attainable under the modifier ([infinity] when fully
+          failed) *)
+  bottleneck : Throughput.bound;
+  slo_ok : bool;  (** interval meets the SLO (see {!type:slo}) *)
+}
+
+type slo = {
+  min_throughput_fraction : float;
+      (** an interval violates when carried < fraction · nominal carried
+          (default 0.9) *)
+  max_latency_factor : float;
+      (** … or when latency > factor · nominal latency (default 2) *)
+}
+
+val default_slo : slo
+
+type report = {
+  intervals : interval_report list;  (** chronological, tiling [0, horizon] *)
+  nominal_throughput : float;  (** fault-free attained rate *)
+  nominal_latency : float;
+  degraded_throughput : float;
+      (** time-weighted mean carried rate over the horizon *)
+  degraded_latency : float;
+      (** delivery-weighted mean latency (weights carried·Δt; intervals
+          delivering nothing contribute nothing) *)
+  availability : float;
+      (** fraction of the horizon spent in SLO-meeting intervals *)
+  worst : interval_report option;
+      (** the degraded interval with the lowest carried rate *)
+  slo : slo;
+}
+
+val evaluate :
+  ?queue_model:Latency.queue_model ->
+  ?slo:slo ->
+  Graph.t ->
+  hw:Params.hardware ->
+  traffic:Traffic.t ->
+  intervals:(float * float * modifier) list ->
+  report
+(** Evaluate the model once per interval and compose. [intervals] must
+    be chronological and non-overlapping (as produced by
+    [Lognic_sim.Faults.modifiers]); raises [Invalid_argument] when
+    empty, on a non-positive interval, or if the graph fails
+    validation. *)
+
+val pp : Graph.t -> Format.formatter -> report -> unit

@@ -206,7 +206,7 @@ let row_to_json rank r =
     ]
 
 let to_json t =
-  J.Obj
+  J.versioned ~kind:"explain"
     [
       ( "model",
         J.Obj

@@ -49,6 +49,10 @@ val bound_name : Lognic.Graph.t -> Lognic.Throughput.bound -> string
 (** The entity name a throughput bound pins ("offered-load" for
     {!Lognic.Throughput.Offered_load}), matching {!entity_row.name}. *)
 
+val relative_error : model:float -> sim:float -> float
+(** |model − sim| / max(|model|, |sim|), 0 when both are 0 — the join
+    convention shared with {!Resilience}. *)
+
 val run :
   ?config:Netsim.config ->
   ?queue_model:Lognic.Latency.queue_model ->

@@ -1,0 +1,119 @@
+type fault =
+  | Engine_down of { vertex : string; engines : int }
+  | Medium_degraded of { medium : string; factor : float }
+  | Queue_shrunk of { vertex : string; capacity : int }
+  | Drop_burst of { probability : float }
+
+type event = { start : float; stop : float; fault : fault }
+type plan = event list
+
+let empty = []
+let is_empty plan = plan = []
+
+let check_window ~start ~stop =
+  if not (Float.is_finite start && Float.is_finite stop) then
+    invalid_arg "Faults: event window must be finite";
+  if start < 0. then invalid_arg "Faults: event start must be >= 0";
+  if stop <= start then invalid_arg "Faults: event stop must be > start"
+
+let engine_down ~vertex ~engines ~start ~stop =
+  check_window ~start ~stop;
+  if engines < 1 then invalid_arg "Faults.engine_down: engines must be >= 1";
+  { start; stop; fault = Engine_down { vertex; engines } }
+
+let medium_degraded ~medium ~factor ~start ~stop =
+  check_window ~start ~stop;
+  if (not (Float.is_finite factor)) || factor <= 0. || factor > 1. then
+    invalid_arg "Faults.medium_degraded: factor must be in (0, 1]";
+  { start; stop; fault = Medium_degraded { medium; factor } }
+
+let queue_shrunk ~vertex ~capacity ~start ~stop =
+  check_window ~start ~stop;
+  if capacity < 1 then invalid_arg "Faults.queue_shrunk: capacity must be >= 1";
+  { start; stop; fault = Queue_shrunk { vertex; capacity } }
+
+let drop_burst ~probability ~start ~stop =
+  check_window ~start ~stop;
+  if (not (Float.is_finite probability)) || probability < 0. || probability > 1.
+  then invalid_arg "Faults.drop_burst: probability must be in [0, 1]";
+  { start; stop; fault = Drop_burst { probability } }
+
+let fault_label = function
+  | Engine_down { vertex; _ } -> "engine_down:" ^ vertex
+  | Medium_degraded { medium; _ } -> "degrade:" ^ medium
+  | Queue_shrunk { vertex; _ } -> "queue_shrink:" ^ vertex
+  | Drop_burst _ -> "drop_burst"
+
+let event_to_json ev =
+  let module J = Telemetry.Json in
+  let param =
+    match ev.fault with
+    | Engine_down { engines; _ } -> ("engines", J.Num (float_of_int engines))
+    | Medium_degraded { factor; _ } -> ("factor", J.Num factor)
+    | Queue_shrunk { capacity; _ } -> ("capacity", J.Num (float_of_int capacity))
+    | Drop_burst { probability } -> ("probability", J.Num probability)
+  in
+  J.Obj
+    [
+      ("fault", J.Str (fault_label ev.fault));
+      ("start", J.Num ev.start);
+      ("stop", J.Num ev.stop);
+      param;
+    ]
+
+let to_json plan =
+  Telemetry.Json.Arr (List.map event_to_json plan)
+
+let intervals ~duration plan =
+  if not (Float.is_finite duration && duration > 0.) then
+    invalid_arg "Faults.intervals: duration must be positive and finite";
+  let boundaries =
+    List.concat_map
+      (fun ev ->
+        List.filter (fun t -> t > 0. && t < duration) [ ev.start; ev.stop ])
+      plan
+    |> List.sort_uniq Float.compare
+  in
+  let edges = (0. :: boundaries) @ [ duration ] in
+  let rec pair = function
+    | a :: (b :: _ as rest) ->
+      (* an event covers the whole interval iff it covers its start
+         (boundaries include every event edge, so partial overlap is
+         impossible) *)
+      let active =
+        List.filter (fun ev -> ev.start <= a && ev.stop > a) plan
+      in
+      (a, b, active) :: pair rest
+    | _ -> []
+  in
+  pair edges
+
+let modifier_of_events events =
+  List.fold_left
+    (fun (m : Lognic.Degraded.modifier) ev ->
+      match ev.fault with
+      | Engine_down { vertex; engines } ->
+        { m with engines_down = m.engines_down @ [ (vertex, engines) ] }
+      | Medium_degraded { medium; factor } ->
+        { m with media_factors = m.media_factors @ [ (medium, factor) ] }
+      | Queue_shrunk { vertex; capacity } ->
+        { m with queue_caps = m.queue_caps @ [ (vertex, capacity) ] }
+      | Drop_burst { probability } ->
+        {
+          m with
+          ingress_drop = 1. -. ((1. -. m.ingress_drop) *. (1. -. probability));
+        })
+    Lognic.Degraded.no_modifier events
+
+let modifiers ~duration plan =
+  List.map
+    (fun (a, b, events) -> (a, b, modifier_of_events events))
+    (intervals ~duration plan)
+
+let pp ppf plan =
+  if is_empty plan then Fmt.pf ppf "no faults"
+  else
+    Fmt.pf ppf "@[<v>%a@]"
+      (Fmt.list ~sep:Fmt.cut (fun ppf ev ->
+           Fmt.pf ppf "[%g, %g) %s" ev.start ev.stop (fault_label ev.fault)))
+      plan

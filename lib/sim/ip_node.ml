@@ -23,6 +23,12 @@ type t = {
   drops_per_queue : int array;
   pattern : int array;  (* expanded WRR schedule over queue indices *)
   mutable cursor : int;  (* next position in [pattern] *)
+  mutable offline : int;
+      (* engines held down by fault injection; in-flight services finish
+         even when their engine goes offline mid-service *)
+  mutable capacity_override : int option;
+      (* fault-injection queue shrink, min-combined with the configured
+         capacity at admission time *)
   mutable busy_engines : int;
   mutable completions : int;
   mutable busy : float;
@@ -70,6 +76,8 @@ let make engine ~rng ~label ~engines ~rate_per_engine ~entries_per_queue
     drops_per_queue = Array.make (Array.length weights) 0;
     pattern = expand_pattern weights;
     cursor = 0;
+    offline = 0;
+    capacity_override = None;
     busy_engines = 0;
     completions = 0;
     busy = 0.;
@@ -99,6 +107,7 @@ let create_multiqueue ?(track_lanes = false) engine ~rng ~label ~engines
     ~single_queue:false ~service_dist ~track_lanes
 
 let label t = t.label
+let engines t = t.engines
 let queue_count t = Array.length t.queues
 
 let in_system t =
@@ -206,10 +215,38 @@ let rec start_service t req =
       req.k ())
 
 and dispatch t =
-  if t.busy_engines < t.engines then
+  if t.busy_engines < t.engines - t.offline then
     match next_request t with
     | Some req -> start_service t req
     | None -> ()
+
+let offline t = t.offline
+
+let set_offline t n =
+  if n < 0 || n > t.engines then
+    invalid_arg "Ip_node.set_offline: count outside [0, engines]";
+  let was = t.offline in
+  t.offline <- n;
+  (* Recovery may free several engines at once; one dispatch per freed
+     engine drains the backlog immediately (work conserving). *)
+  if n < was then
+    for _ = 1 to was - n do
+      dispatch t
+    done
+
+let capacity_override t = t.capacity_override
+
+let set_capacity_override t cap =
+  (match cap with
+  | Some c when c < 1 ->
+    invalid_arg "Ip_node.set_capacity_override: capacity must be >= 1"
+  | _ -> ());
+  t.capacity_override <- cap
+
+let effective_capacity t =
+  match t.capacity_override with
+  | None -> t.entries_per_queue
+  | Some c -> min c t.entries_per_queue
 
 let submit ?(queue = 0) ?timing ?span t ~work k =
   if queue < 0 || queue >= Array.length t.queues then
@@ -228,9 +265,10 @@ let submit ?(queue = 0) ?timing ?span t ~work k =
     true
   end
   else begin
+    let capacity = effective_capacity t in
     let full =
-      if t.single_queue then in_system t >= t.entries_per_queue
-      else Queue.length t.queues.(queue) >= t.entries_per_queue
+      if t.single_queue then in_system t >= capacity
+      else Queue.length t.queues.(queue) >= capacity
     in
     if full then begin
       t.drops_per_queue.(queue) <- t.drops_per_queue.(queue) + 1;

@@ -54,6 +54,10 @@ val create_multiqueue :
     non-positive weight array. *)
 
 val label : t -> string
+
+val engines : t -> int
+(** Configured engine count (the nameplate D, regardless of faults). *)
+
 val queue_count : t -> int
 
 val submit :
@@ -87,6 +91,28 @@ val queue_length : t -> int -> int
 
 val busy_engines : t -> int
 (** Engines currently serving a request. *)
+
+val offline : t -> int
+(** Engines currently held down by fault injection (0 when healthy). *)
+
+val set_offline : t -> int -> unit
+(** Fail (or recover) engines: the dispatcher serves with at most
+    [engines − n] engines from now on. Failure is graceful — services
+    already running complete normally, so [busy_engines] can transiently
+    exceed the reduced count — and recovery immediately re-dispatches
+    once per freed engine. {!utilization} keeps its nameplate
+    denominator ([engines]), so a half-failed node saturates at 0.5.
+    Raises [Invalid_argument] outside [\[0, engines\]]. With [n = 0] the
+    node is byte-identical to one that never saw a fault. *)
+
+val capacity_override : t -> int option
+
+val set_capacity_override : t -> int option -> unit
+(** Temporarily shrink the queue capacity: admission checks use
+    [min capacity override] while set. Already-queued requests are kept
+    even when they exceed the shrunken bound (the fault drains them
+    through service, it does not discard them). Raises
+    [Invalid_argument] on a capacity < 1. *)
 
 val drops : t -> int
 val drops_of_queue : t -> int -> int

@@ -3,6 +3,8 @@ type t = {
   label : string;
   bandwidth : float;
   buffer : float;
+  mutable scale : float;
+      (* fault-injection bandwidth factor; 1. outside degraded intervals *)
   mutable next_free : float;
   mutable busy : float;
   mutable rejections : int;
@@ -11,9 +13,31 @@ type t = {
 let create engine ~label ~bandwidth ?(buffer = 2. *. 1024. *. 1024.) () =
   if bandwidth <= 0. then invalid_arg "Medium.create: bandwidth must be > 0";
   if buffer <= 0. then invalid_arg "Medium.create: buffer must be > 0";
-  { engine; label; bandwidth; buffer; next_free = 0.; busy = 0.; rejections = 0 }
+  {
+    engine;
+    label;
+    bandwidth;
+    buffer;
+    scale = 1.;
+    next_free = 0.;
+    busy = 0.;
+    rejections = 0;
+  }
 
 let label t = t.label
+
+(* The guard keeps the healthy path byte-identical to the pre-fault
+   code: [b *. 1.] is [b] for every finite positive float, but skipping
+   the multiply avoids betting bit-reproducibility on that identity. *)
+let effective_bandwidth t =
+  if t.scale = 1. then t.bandwidth else t.bandwidth *. t.scale
+
+let scale t = t.scale
+
+let set_scale t factor =
+  if (not (Float.is_finite factor)) || factor <= 0. || factor > 1. then
+    invalid_arg "Medium.set_scale: factor must be in (0, 1]";
+  t.scale <- factor
 
 let transfer ?timing ?span t ~bytes k =
   if bytes < 0. then invalid_arg "Medium.transfer: negative bytes";
@@ -25,14 +49,15 @@ let transfer ?timing ?span t ~bytes k =
   end
   else begin
     let now = Engine.now t.engine in
-    let backlog_bytes = Float.max 0. (t.next_free -. now) *. t.bandwidth in
+    let bw = effective_bandwidth t in
+    let backlog_bytes = Float.max 0. (t.next_free -. now) *. bw in
     if backlog_bytes +. bytes > t.buffer then begin
       t.rejections <- t.rejections + 1;
       false
     end
     else begin
       let start = Float.max now t.next_free in
-      let duration = bytes /. t.bandwidth in
+      let duration = bytes /. bw in
       t.next_free <- start +. duration;
       t.busy <- t.busy +. duration;
       (match timing with
@@ -47,7 +72,7 @@ let transfer ?timing ?span t ~bytes k =
   end
 
 let backlog t =
-  Float.max 0. (t.next_free -. Engine.now t.engine) *. t.bandwidth
+  Float.max 0. (t.next_free -. Engine.now t.engine) *. effective_bandwidth t
 
 let busy_time t = t.busy
 

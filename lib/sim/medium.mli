@@ -19,6 +19,17 @@ val create : Engine.t -> label:string -> bandwidth:float -> ?buffer:float -> uni
 
 val label : t -> string
 
+val scale : t -> float
+(** Current fault-injection bandwidth factor (1 when healthy). *)
+
+val set_scale : t -> float -> unit
+(** Degrade (or restore) the medium: subsequent transfers run at
+    [factor · bandwidth] and the backlog limit converts at the degraded
+    rate. In-flight transfers keep their admission-time schedule, like a
+    link renegotiating speed between frames. Raises [Invalid_argument]
+    unless [factor] is in (0, 1]. With [factor = 1] the medium is
+    byte-identical to one that was never degraded. *)
+
 val transfer :
   ?timing:(queued:float -> wire:float -> unit) ->
   ?span:(label:string -> queued:float -> wire:float -> unit) ->

@@ -24,6 +24,29 @@ let default_config =
     trace = None;
   }
 
+module Run = struct
+  type t = {
+    graph : G.t;
+    hw : Lognic.Params.hardware;
+    mix : Lognic.Traffic.mix;
+    config : config;
+    faults : Faults.plan;
+  }
+
+  let make ?(config = default_config) ?(faults = Faults.empty) graph ~hw ~mix =
+    { graph; hw; mix; config; faults }
+
+  let single ?config ?faults graph ~hw ~traffic =
+    make ?config ?faults graph ~hw ~mix:[ (traffic, 1.) ]
+
+  let with_config t config = { t with config }
+  let with_faults t faults = { t with faults }
+  let with_mix t mix = { t with mix }
+  let with_hw t hw = { t with hw }
+  let with_seed t seed = { t with config = { t.config with seed } }
+  let with_duration t duration = { t with config = { t.config with duration } }
+end
+
 type vertex_stats = {
   vid : G.vertex_id;
   vlabel : string;
@@ -40,6 +63,23 @@ type medium_stats = {
   m_rejections : int;
 }
 
+type interval_stats = {
+  i_start : float;
+  i_stop : float;
+  i_faults : string list;
+  i_offered : int;
+  i_delivered : int;
+  i_dropped : int;
+  i_throughput : float;
+  i_latency : float;
+}
+
+type resilience = {
+  recovery_time : float option;
+  worst_throughput : float;
+  worst_start : float;
+}
+
 type measurement = {
   summary : Telemetry.summary;
   vertex_stats : vertex_stats list;
@@ -49,6 +89,8 @@ type measurement = {
   interface_utilization : float;
   memory_utilization : float;
   generated : int;
+  fault_intervals : interval_stats list;
+  resilience : resilience option;
   trace : Trace.t option;
 }
 
@@ -91,11 +133,29 @@ let reach_probabilities g =
     order;
   (p_vertex, p_edge)
 
-let run ?(config = default_config) g ~hw ~mix =
+let rec remove_first x = function
+  | [] -> []
+  | y :: rest -> if y = x then rest else y :: remove_first x rest
+
+(* Sub-interval grid for fault-time accounting: the fault-plan edges
+   refined with a uniform duration/64 grid, so recovery after the last
+   fault clears is observable at finer resolution than the plan's own
+   boundaries. Only built when a plan is present. *)
+let interval_boundaries ~duration fault_spans =
+  let grid = List.init 64 (fun i -> float_of_int i *. duration /. 64.) in
+  let edges = List.map (fun (a, _, _) -> a) fault_spans in
+  Array.of_list (List.sort_uniq Float.compare (grid @ edges))
+
+let execute (spec : Run.t) =
+  let g = spec.Run.graph in
+  let hw = spec.Run.hw in
+  let config = spec.Run.config in
+  let faults = spec.Run.faults in
   (match G.validate g with
   | Ok () -> ()
   | Error errors ->
     invalid_arg ("Netsim.run: invalid graph: " ^ String.concat "; " errors));
+  let have_faults = not (Faults.is_empty faults) in
   let engine = Engine.create () in
   let rng = N.Rng.create ~seed:config.seed in
   let gen_rng = N.Rng.split rng in
@@ -141,6 +201,12 @@ let run ?(config = default_config) g ~hw ~mix =
         Hashtbl.replace nodes v.id node
       end)
     (G.vertices g);
+  (* The fault rng is split only when a plan is present, after the
+     per-node rngs and before the trace rng: an empty plan leaves every
+     stream exactly where the pre-fault code put it (byte-identical
+     runs), and a non-empty plan perturbs at most which packets the
+     trace reservoir samples — never a measured quantity. *)
+  let faults_rng = if have_faults then Some (N.Rng.split rng) else None in
   (* The trace rng is split last — after every stream the untraced run
      splits — and only when tracing is on, so enabling tracing perturbs
      no other stochastic stream and measurements stay bit-identical. *)
@@ -149,6 +215,128 @@ let run ?(config = default_config) g ~hw ~mix =
       (fun tc -> Trace.create ~config:tc ~rng:(N.Rng.split rng) ())
       config.trace
   in
+  (* Media in deterministic report order: the two shared media first,
+     then dedicated links in edge order. *)
+  let media =
+    (interface :: memory :: [])
+    @ List.filter_map
+        (fun (e : G.edge) -> Hashtbl.find_opt links (e.src, e.dst))
+        (G.edges g)
+  in
+  (* ---- fault realization ------------------------------------------- *)
+  let burst_p = ref 0. in
+  let fault_spans =
+    if have_faults then Faults.intervals ~duration:config.duration faults
+    else []
+  in
+  let boundaries =
+    if have_faults then interval_boundaries ~duration:config.duration fault_spans
+    else [||]
+  in
+  let nbins = Array.length boundaries in
+  let bin_offered = Array.make (max 1 nbins) 0 in
+  let bin_delivered = Array.make (max 1 nbins) 0 in
+  let bin_dropped = Array.make (max 1 nbins) 0 in
+  let bin_bytes = Array.make (max 1 nbins) 0. in
+  let bin_latency = Array.make (max 1 nbins) 0. in
+  let bin_of t =
+    let lo = ref 0 and hi = ref (nbins - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if boundaries.(mid) <= t then lo := mid else hi := mid - 1
+    done;
+    !lo
+  in
+  if have_faults then begin
+    let node_by_label = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun _ node -> Hashtbl.replace node_by_label (Ip_node.label node) node)
+      nodes;
+    let node_of vertex =
+      match Hashtbl.find_opt node_by_label vertex with
+      | Some node -> node
+      | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Netsim: fault targets unknown or infinite-throughput vertex %S"
+             vertex)
+    in
+    let medium_of label =
+      match List.find_opt (fun m -> Medium.label m = label) media with
+      | Some m -> m
+      | None ->
+        invalid_arg (Printf.sprintf "Netsim: fault targets unknown medium %S" label)
+    in
+    (* Validate every target up front so a bad plan fails before the
+       simulation starts, not at the event's fire time. *)
+    List.iter
+      (fun (ev : Faults.event) ->
+        match ev.fault with
+        | Faults.Engine_down { vertex; _ } | Faults.Queue_shrunk { vertex; _ } ->
+          ignore (node_of vertex)
+        | Faults.Medium_degraded { medium; _ } -> ignore (medium_of medium)
+        | Faults.Drop_burst _ -> ())
+      faults;
+    (* Overlapping faults compose; each target keeps its active
+       contributions in activation order and the effective value is
+       recomputed from that list on every change, so apply/revert
+       sequences are deterministic and leave no floating-point residue
+       once all faults clear. *)
+    let down = Hashtbl.create 4 in
+    let factors = Hashtbl.create 4 in
+    let caps = Hashtbl.create 4 in
+    let bursts = ref [] in
+    let active key table = Option.value (Hashtbl.find_opt table key) ~default:[] in
+    let set_down vertex delta =
+      let node = node_of vertex in
+      let total = List.fold_left ( + ) 0 delta in
+      Hashtbl.replace down vertex delta;
+      Ip_node.set_offline node (min (Ip_node.engines node) total)
+    in
+    let set_factor medium fs =
+      Hashtbl.replace factors medium fs;
+      Medium.set_scale (medium_of medium) (List.fold_left ( *. ) 1. fs)
+    in
+    let set_cap vertex cs =
+      Hashtbl.replace caps vertex cs;
+      Ip_node.set_capacity_override (node_of vertex)
+        (match cs with [] -> None | cs -> Some (List.fold_left min max_int cs))
+    in
+    let set_bursts ps =
+      bursts := ps;
+      burst_p := 1. -. List.fold_left (fun acc p -> acc *. (1. -. p)) 1. ps
+    in
+    let apply (ev : Faults.event) () =
+      match ev.fault with
+      | Faults.Engine_down { vertex; engines } ->
+        set_down vertex (active vertex down @ [ engines ])
+      | Faults.Medium_degraded { medium; factor } ->
+        set_factor medium (active medium factors @ [ factor ])
+      | Faults.Queue_shrunk { vertex; capacity } ->
+        set_cap vertex (active vertex caps @ [ capacity ])
+      | Faults.Drop_burst { probability } -> set_bursts (!bursts @ [ probability ])
+    in
+    let revert (ev : Faults.event) () =
+      match ev.fault with
+      | Faults.Engine_down { vertex; engines } ->
+        set_down vertex (remove_first engines (active vertex down))
+      | Faults.Medium_degraded { medium; factor } ->
+        set_factor medium (remove_first factor (active medium factors))
+      | Faults.Queue_shrunk { vertex; capacity } ->
+        set_cap vertex (remove_first capacity (active vertex caps))
+      | Faults.Drop_burst { probability } ->
+        set_bursts (remove_first probability !bursts)
+    in
+    List.iter
+      (fun (ev : Faults.event) ->
+        if ev.start < config.duration then begin
+          Engine.schedule engine ~at:ev.start (apply ev);
+          if ev.stop < config.duration then
+            Engine.schedule engine ~at:ev.stop (revert ev)
+        end)
+      faults
+  end;
+  (* ------------------------------------------------------------------ *)
   (* Per-vertex processing-work multiplier: size * inflow / p(v). *)
   let work_factor id =
     let p = prob_vertex id in
@@ -177,6 +365,10 @@ let run ?(config = default_config) g ~hw ~mix =
         ~site:(Telemetry.drop_site_name site)
         ~time:(Engine.now engine)
     | None -> ());
+    if have_faults then begin
+      let b = bin_of packet.born in
+      bin_dropped.(b) <- bin_dropped.(b) + 1
+    end;
     Telemetry.record_drop telemetry ~now:(Engine.now engine) ~born:packet.born
       ~site
   in
@@ -213,6 +405,12 @@ let run ?(config = default_config) g ~hw ~mix =
       (match tr with
       | Some r -> Trace.deliver r ~time:(Engine.now engine)
       | None -> ());
+      if have_faults then begin
+        let b = bin_of packet.born in
+        bin_delivered.(b) <- bin_delivered.(b) + 1;
+        bin_bytes.(b) <- bin_bytes.(b) +. packet.size;
+        bin_latency.(b) <- bin_latency.(b) +. (Engine.now engine -. packet.born)
+      end;
       Telemetry.record_completion telemetry ~now:(Engine.now engine)
         ~born:packet.born
         ~terms:
@@ -292,13 +490,10 @@ let run ?(config = default_config) g ~hw ~mix =
   let on_packet packet =
     Telemetry.record_arrival telemetry ~now:(Engine.now engine)
       ~size:packet.Packet.size;
-    let entry =
-      if Array.length ingress_ids = 1 then ingress_ids.(0)
-      else ingress_ids.(N.Rng.int route_rng (Array.length ingress_ids))
-    in
-    let tally =
-      { t_queueing = 0.; t_service = 0.; t_wire = 0.; t_overhead = 0. }
-    in
+    if have_faults then begin
+      let b = bin_of packet.Packet.born in
+      bin_offered.(b) <- bin_offered.(b) + 1
+    end;
     let tr =
       match trace with
       | None -> None
@@ -306,15 +501,27 @@ let run ?(config = default_config) g ~hw ~mix =
         Trace.on_packet t ~packet:packet.Packet.id ~born:packet.born
           ~size:packet.size ~klass:packet.klass
     in
-    arrive entry packet tally tr
-  in
-  (* Media in deterministic report order: the two shared media first,
-     then dedicated links in edge order. *)
-  let media =
-    (interface :: memory :: [])
-    @ List.filter_map
-        (fun (e : G.edge) -> Hashtbl.find_opt links (e.src, e.dst))
-        (G.edges g)
+    (* An active drop burst sheds the packet at ingress. The draw comes
+       from the dedicated fault rng, and only while a burst is active,
+       so burst-free plans consume nothing from it. *)
+    let shed =
+      !burst_p > 0.
+      &&
+      match faults_rng with
+      | Some frng -> N.Rng.float frng 1. < !burst_p
+      | None -> false
+    in
+    if shed then record_drop tr packet Telemetry.Fault_burst
+    else begin
+      let entry =
+        if Array.length ingress_ids = 1 then ingress_ids.(0)
+        else ingress_ids.(N.Rng.int route_rng (Array.length ingress_ids))
+      in
+      let tally =
+        { t_queueing = 0.; t_service = 0.; t_wire = 0.; t_overhead = 0. }
+      in
+      arrive entry packet tally tr
+    end
   in
   (* Periodic state sampling into ring-buffer series (read-only probes:
      enabling sampling never changes simulation results). *)
@@ -366,8 +573,8 @@ let run ?(config = default_config) g ~hw ~mix =
       List.map fst probes
   in
   let gen =
-    Traffic_gen.create engine ~rng:gen_rng ~arrival:config.arrival ~mix
-      ~on_packet
+    Traffic_gen.create engine ~rng:gen_rng ~arrival:config.arrival
+      ~mix:spec.Run.mix ~on_packet
   in
   Traffic_gen.start gen ~until:config.duration;
   Engine.run ~until:config.duration engine;
@@ -402,6 +609,100 @@ let run ?(config = default_config) g ~hw ~mix =
         })
       media
   in
+  let fault_intervals =
+    if not have_faults then []
+    else
+      let labels_at t =
+        let rec find = function
+          | (a, b, events) :: rest ->
+            if t >= a && t < b then
+              List.map (fun (ev : Faults.event) -> Faults.fault_label ev.fault) events
+            else find rest
+          | [] -> []
+        in
+        find fault_spans
+      in
+      List.init nbins (fun i ->
+          let a = boundaries.(i) in
+          let b =
+            if i + 1 < nbins then boundaries.(i + 1) else config.duration
+          in
+          let len = b -. a in
+          {
+            i_start = a;
+            i_stop = b;
+            i_faults = labels_at a;
+            i_offered = bin_offered.(i);
+            i_delivered = bin_delivered.(i);
+            i_dropped = bin_dropped.(i);
+            i_throughput = (if len > 0. then bin_bytes.(i) /. len else 0.);
+            i_latency =
+              (if bin_delivered.(i) > 0 then
+                 bin_latency.(i) /. float_of_int bin_delivered.(i)
+               else 0.);
+          })
+  in
+  let resilience =
+    if not have_faults then None
+    else begin
+      let faulted = List.filter (fun r -> r.i_faults <> []) fault_intervals in
+      match faulted with
+      | [] -> None
+      | _ ->
+        let first_fault_start =
+          List.fold_left (fun acc r -> Float.min acc r.i_start) infinity faulted
+        in
+        let last_fault_end =
+          List.fold_left (fun acc r -> Float.max acc r.i_stop) 0. faulted
+        in
+        let healthy = List.filter (fun r -> r.i_faults = []) fault_intervals in
+        (* Baseline: time-weighted throughput over healthy intervals
+           before the first fault; when the plan faults from t = 0, any
+           healthy interval has to stand in. *)
+        let baseline_over rows =
+          let time, bytes =
+            List.fold_left
+              (fun (t, by) r ->
+                let len = r.i_stop -. r.i_start in
+                (t +. len, by +. (r.i_throughput *. len)))
+              (0., 0.) rows
+          in
+          if time > 0. then Some (bytes /. time) else None
+        in
+        let baseline =
+          match
+            baseline_over
+              (List.filter (fun r -> r.i_stop <= first_fault_start) healthy)
+          with
+          | Some b -> Some b
+          | None -> baseline_over healthy
+        in
+        let recovery_time =
+          match baseline with
+          | None -> None
+          | Some base ->
+            if last_fault_end >= config.duration then None
+            else
+              List.find_opt
+                (fun r ->
+                  r.i_start >= last_fault_end && r.i_throughput >= 0.9 *. base)
+                fault_intervals
+              |> Option.map (fun r -> r.i_start -. last_fault_end)
+        in
+        let worst =
+          List.fold_left
+            (fun (acc : interval_stats) r ->
+              if r.i_throughput < acc.i_throughput then r else acc)
+            (List.hd faulted) (List.tl faulted)
+        in
+        Some
+          {
+            recovery_time;
+            worst_throughput = worst.i_throughput;
+            worst_start = worst.i_start;
+          }
+    end
+  in
   {
     summary;
     vertex_stats;
@@ -411,14 +712,43 @@ let run ?(config = default_config) g ~hw ~mix =
     interface_utilization = Medium.utilization interface ~until:config.duration;
     memory_utilization = Medium.utilization memory ~until:config.duration;
     generated = Traffic_gen.generated gen;
+    fault_intervals;
+    resilience;
     trace;
   }
 
+let run ?(config = default_config) g ~hw ~mix =
+  execute (Run.make ~config g ~hw ~mix)
+
 let run_single ?config g ~hw ~traffic = run ?config g ~hw ~mix:[ (traffic, 1.) ]
+
+let interval_to_json r =
+  let module J = Telemetry.Json in
+  J.Obj
+    [
+      ("start", J.Num r.i_start);
+      ("stop", J.Num r.i_stop);
+      ("faults", J.Arr (List.map (fun l -> J.Str l) r.i_faults));
+      ("offered", J.Num (float_of_int r.i_offered));
+      ("delivered", J.Num (float_of_int r.i_delivered));
+      ("dropped", J.Num (float_of_int r.i_dropped));
+      ("throughput", J.Num r.i_throughput);
+      ("latency", J.Num r.i_latency);
+    ]
+
+let resilience_to_json r =
+  let module J = Telemetry.Json in
+  J.Obj
+    [
+      ( "recovery_time",
+        match r.recovery_time with None -> J.Null | Some t -> J.Num t );
+      ("worst_throughput", J.Num r.worst_throughput);
+      ("worst_start", J.Num r.worst_start);
+    ]
 
 let measurement_to_json m =
   let module J = Telemetry.Json in
-  J.Obj
+  J.versioned ~kind:"measurement"
     [
       ("summary", Telemetry.to_json m.summary);
       ( "vertices",
@@ -454,12 +784,25 @@ let measurement_to_json m =
              m.medium_stats) );
       ("series", J.Arr (List.map Telemetry.Series.to_json m.series));
       ("generated", J.Num (float_of_int m.generated));
+      ("fault_intervals", J.Arr (List.map interval_to_json m.fault_intervals));
+      ( "resilience",
+        match m.resilience with
+        | None -> J.Null
+        | Some r -> resilience_to_json r );
     ]
 
 type entity_replicated = {
   entity : string;
   utilization_mean : float;
   drops_mean : float;
+}
+
+type resilience_replicated = {
+  recovered_runs : int;
+  recovery_mean : float;
+  recovery_max : float;
+  worst_throughput_mean : float;
+  worst_throughput_min : float;
 }
 
 type replicated = {
@@ -470,11 +813,17 @@ type replicated = {
   latency_stddev : float;
   loss_mean : float;
   entities : entity_replicated list;
+  resilience : resilience_replicated option;
 }
 
 let replication_configs config runs =
   if runs < 2 then invalid_arg "Netsim.run_replicated: needs runs >= 2";
   List.init runs (fun i -> { config with seed = config.seed + i })
+
+let replication_specs (spec : Run.t) runs =
+  List.map
+    (fun config -> Run.with_config spec config)
+    (replication_configs spec.Run.config runs)
 
 let replicated_stats summaries =
   let runs = List.length summaries in
@@ -493,12 +842,35 @@ let replicated_stats summaries =
     latency_stddev = St.stddev latencies;
     loss_mean = St.mean losses;
     entities = [];
+    resilience = None;
   }
 
 let replicated_of_summaries summaries =
   if List.length summaries < 2 then
     invalid_arg "Netsim.replicated_of_summaries: needs >= 2";
   replicated_stats summaries
+
+let resilience_across measurements =
+  let per_run =
+    List.filter_map (fun (m : measurement) -> m.resilience) measurements
+  in
+  match per_run with
+  | [] -> None
+  | per_run ->
+    let recoveries = List.filter_map (fun r -> r.recovery_time) per_run in
+    let worsts = List.map (fun r -> r.worst_throughput) per_run in
+    let n = float_of_int (List.length recoveries) in
+    Some
+      {
+        recovered_runs = List.length recoveries;
+        recovery_mean =
+          (if recoveries = [] then 0.
+           else List.fold_left ( +. ) 0. recoveries /. n);
+        recovery_max = List.fold_left Float.max 0. recoveries;
+        worst_throughput_mean =
+          List.fold_left ( +. ) 0. worsts /. float_of_int (List.length worsts);
+        worst_throughput_min = List.fold_left Float.min infinity worsts;
+      }
 
 let replicated_of_measurements measurements =
   if List.length measurements < 2 then
@@ -535,10 +907,11 @@ let replicated_of_measurements measurements =
   {
     (replicated_stats (List.map (fun m -> m.summary) measurements)) with
     entities;
+    resilience = resilience_across measurements;
   }
 
+let execute_replicated ?(runs = 5) spec =
+  replicated_of_measurements (List.map execute (replication_specs spec runs))
+
 let run_replicated ?(config = default_config) ?(runs = 5) g ~hw ~mix =
-  replicated_of_measurements
-    (List.map
-       (fun config -> run ~config g ~hw ~mix)
-       (replication_configs config runs))
+  execute_replicated ~runs (Run.make ~config g ~hw ~mix)

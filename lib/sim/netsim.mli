@@ -19,7 +19,14 @@
     medium buffer that shed them, each delivered packet's latency is
     decomposed into queueing / service / wire / overhead components
     (the Eq. 2 terms), and [sample_interval] turns on periodic
-    queue-depth / in-flight / backlog traces ({!Telemetry.Series}). *)
+    queue-depth / in-flight / backlog traces ({!Telemetry.Series}).
+
+    {b Entry points.} {!Run.t} is the single run spec — graph, hardware,
+    traffic mix, config, and fault plan in one record — executed by
+    {!execute} / {!execute_replicated}. The historical entry points
+    ({!run}, {!run_single}, {!run_replicated}) remain as thin wrappers
+    over an empty-fault spec and produce byte-identical measurements;
+    prefer the spec API in new code, it is where future knobs land. *)
 
 type config = {
   seed : int;
@@ -44,6 +51,46 @@ type config = {
 
 val default_config : config
 
+(** The unified run specification: everything one simulation needs, as
+    one value. Build with {!Run.make}/{!Run.single}, refine with the
+    [with_*] setters (each returns an updated copy), execute with
+    {!execute}. *)
+module Run : sig
+  type t = {
+    graph : Lognic.Graph.t;
+    hw : Lognic.Params.hardware;
+    mix : Lognic.Traffic.mix;
+    config : config;
+    faults : Faults.plan;
+  }
+
+  val make :
+    ?config:config ->
+    ?faults:Faults.plan ->
+    Lognic.Graph.t ->
+    hw:Lognic.Params.hardware ->
+    mix:Lognic.Traffic.mix ->
+    t
+  (** [config] defaults to {!default_config}, [faults] to
+      {!Faults.empty}. *)
+
+  val single :
+    ?config:config ->
+    ?faults:Faults.plan ->
+    Lognic.Graph.t ->
+    hw:Lognic.Params.hardware ->
+    traffic:Lognic.Traffic.t ->
+    t
+  (** Single-class convenience: [mix = [(traffic, 1.)]]. *)
+
+  val with_config : t -> config -> t
+  val with_faults : t -> Faults.plan -> t
+  val with_mix : t -> Lognic.Traffic.mix -> t
+  val with_hw : t -> Lognic.Params.hardware -> t
+  val with_seed : t -> int -> t
+  val with_duration : t -> float -> t
+end
+
 type vertex_stats = {
   vid : Lognic.Graph.vertex_id;
   vlabel : string;
@@ -58,6 +105,36 @@ type medium_stats = {
   m_utilization : float;  (** horizon-clipped; never exceeds 1 *)
   m_busy : float;  (** busy seconds within the horizon *)
   m_rejections : int;  (** whole-run buffer rejections *)
+}
+
+(** Per-sub-interval accounting of a faulted run: the run horizon cut at
+    every fault boundary and refined with a uniform duration/64 grid.
+    Packets are attributed to the sub-interval of their {e birth} time,
+    whole-run (not warmup-windowed) — the point is to see the timeline,
+    including the transient. *)
+type interval_stats = {
+  i_start : float;
+  i_stop : float;
+  i_faults : string list;
+      (** active {!Faults.fault_label}s; [[]] on healthy stretches *)
+  i_offered : int;
+  i_delivered : int;
+  i_dropped : int;
+  i_throughput : float;  (** delivered bytes / sub-interval length *)
+  i_latency : float;
+      (** mean delivered latency (0 when nothing was delivered) *)
+}
+
+(** Per-run recovery summary, derived from {!measurement.fault_intervals}. *)
+type resilience = {
+  recovery_time : float option;
+      (** seconds from the last fault clearing until the first
+          sub-interval whose throughput regains ≥ 90% of the healthy
+          baseline (the time-weighted throughput of pre-fault healthy
+          sub-intervals); [None] when faults extend to the horizon, the
+          run never recovers, or no healthy baseline exists *)
+  worst_throughput : float;  (** lowest faulted sub-interval throughput *)
+  worst_start : float;  (** where that sub-interval starts *)
 }
 
 type measurement = {
@@ -75,6 +152,12 @@ type measurement = {
   interface_utilization : float;
   memory_utilization : float;
   generated : int;  (** packets offered over the whole run *)
+  fault_intervals : interval_stats list;
+      (** chronological, tiling [\[0, duration)]; empty for an empty
+          fault plan *)
+  resilience : resilience option;
+      (** present iff the plan had at least one fault active before the
+          horizon *)
   trace : Trace.t option;
       (** the packet-span reservoir, present iff [config.trace] was set;
           export with {!Trace.to_chrome_json}. Deliberately absent from
@@ -82,13 +165,30 @@ type measurement = {
           with tracing on or off. *)
 }
 
+val execute : Run.t -> measurement
+(** Run one simulation from a spec. Raises [Invalid_argument] if the
+    graph fails validation or a fault event targets an entity the
+    realized simulation does not have (unknown vertex label,
+    infinite-throughput vertex, unknown medium label).
+
+    {b Determinism.} With [faults = Faults.empty] the measurement is
+    byte-identical to the pre-fault-era {!run} (no fault rng is split,
+    no per-packet accounting is added — enforced by the bench gate).
+    With any plan, results are bit-identical at every [--jobs]: the
+    fault rng is its own stream, split after the per-node rngs and
+    before the trace rng, and is drawn only while a [Drop_burst] is
+    active — so a non-empty plan can perturb at most which packets the
+    optional trace reservoir samples, never a measured quantity. *)
+
 val run :
   ?config:config ->
   Lognic.Graph.t ->
   hw:Lognic.Params.hardware ->
   mix:Lognic.Traffic.mix ->
   measurement
-(** Raises [Invalid_argument] if the graph fails validation. *)
+(** Pre-spec entry point, kept for compatibility: exactly
+    [execute (Run.make ~config g ~hw ~mix)] (empty fault plan). Prefer
+    {!Run.make} + {!execute} in new code. *)
 
 val run_single :
   ?config:config ->
@@ -96,16 +196,30 @@ val run_single :
   hw:Lognic.Params.hardware ->
   traffic:Lognic.Traffic.t ->
   measurement
-(** Single-class convenience wrapper. *)
+(** Single-class convenience wrapper over {!run}; prefer {!Run.single} +
+    {!execute} in new code. *)
+
+val resilience_to_json : resilience -> Telemetry.Json.t
 
 val measurement_to_json : measurement -> Telemetry.Json.t
 (** The full measurement — summary, per-entity stats, drop sites,
-    series — as one JSON object (what [lognic report --trace] writes). *)
+    series, fault intervals — as one versioned JSON object
+    ([schema = "measurement"], see {!Telemetry.Json.versioned}; what
+    [lognic report --trace] writes). *)
 
 type entity_replicated = {
   entity : string;  (** vertex label or medium label *)
   utilization_mean : float;
   drops_mean : float;  (** node drops / medium rejections per run *)
+}
+
+(** Across-run resilience statistics (faulted replications only). *)
+type resilience_replicated = {
+  recovered_runs : int;  (** runs whose [recovery_time] was [Some] *)
+  recovery_mean : float;  (** mean over recovered runs (0 when none) *)
+  recovery_max : float;
+  worst_throughput_mean : float;
+  worst_throughput_min : float;
 }
 
 type replicated = {
@@ -118,7 +232,16 @@ type replicated = {
   entities : entity_replicated list;
       (** per-entity across-run means (vertices first, then media);
           empty when folded from bare summaries *)
+  resilience : resilience_replicated option;
+      (** across-run recovery-time / worst-interval statistics; [None]
+          for fault-free replications or bare summaries *)
 }
+
+val execute_replicated : ?runs:int -> Run.t -> replicated
+(** [runs] (default 5) independent replications of the spec with derived
+    seeds ([config.seed + i]); reports across-run means and sample
+    standard deviations, per-entity means, and (for faulted specs)
+    recovery statistics. Raises [Invalid_argument] when [runs < 2]. *)
 
 val run_replicated :
   ?config:config ->
@@ -127,16 +250,18 @@ val run_replicated :
   hw:Lognic.Params.hardware ->
   mix:Lognic.Traffic.mix ->
   replicated
-(** [runs] (default 5) independent replications with derived seeds
-    (config.seed + i); reports across-run means and sample standard
-    deviations so measurements carry an uncertainty estimate, plus
-    per-entity mean utilization and drops. *)
+(** Pre-spec entry point, kept for compatibility: exactly
+    [execute_replicated ~runs (Run.make ~config g ~hw ~mix)]. *)
 
 val replication_configs : config -> int -> config list
-(** The per-replication configs [run_replicated] uses (seeds
-    [config.seed + i] for [i < runs]), exposed so alternative execution
-    strategies ({!Parallel.run_replicated}) derive identical seeds.
-    Raises [Invalid_argument] when [runs < 2]. *)
+(** The per-replication configs (seeds [config.seed + i] for
+    [i < runs]), exposed so alternative execution strategies
+    ({!Parallel.run_replicated}) derive identical seeds. Raises
+    [Invalid_argument] when [runs < 2]. *)
+
+val replication_specs : Run.t -> int -> Run.t list
+(** {!replication_configs} lifted to specs: the same spec with each
+    derived config. Raises [Invalid_argument] when [runs < 2]. *)
 
 val replicated_of_measurements : measurement list -> replicated
 (** The fold from per-run measurements to {!replicated} statistics,
@@ -146,5 +271,5 @@ val replicated_of_measurements : measurement list -> replicated
 
 val replicated_of_summaries : Telemetry.summary list -> replicated
 (** Like {!replicated_of_measurements} when only summaries are at hand;
-    [entities] comes back empty. Raises [Invalid_argument] on fewer
-    than two summaries. *)
+    [entities] comes back empty and [resilience] is [None]. Raises
+    [Invalid_argument] on fewer than two summaries. *)

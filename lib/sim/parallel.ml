@@ -3,9 +3,10 @@ module P = Lognic_numerics.Parallel
 let map = P.map
 let sweep = P.sweep
 
+let execute_replicated ?jobs ?(runs = 5) spec =
+  Netsim.replicated_of_measurements
+    (map ?jobs Netsim.execute (Netsim.replication_specs spec runs))
+
 let run_replicated ?jobs ?(config = Netsim.default_config) ?(runs = 5) g ~hw
     ~mix =
-  Netsim.replicated_of_measurements
-    (map ?jobs
-       (fun config -> Netsim.run ~config g ~hw ~mix)
-       (Netsim.replication_configs config runs))
+  execute_replicated ?jobs ~runs (Netsim.Run.make ~config g ~hw ~mix)

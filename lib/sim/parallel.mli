@@ -21,6 +21,14 @@ val sweep : ?jobs:int -> f:('a -> 'b) -> 'a list -> ('a * 'b) list
 (** [sweep ~f points] evaluates a parameter grid, returning
     [(point, result)] pairs in grid order. *)
 
+val execute_replicated : ?jobs:int -> ?runs:int -> Netsim.Run.t -> Netsim.replicated
+(** Drop-in parallel {!Netsim.execute_replicated}: identical derived
+    seeds ([config.seed + i], via {!Netsim.replication_specs}) and the
+    identical measurement fold ({!Netsim.replicated_of_measurements},
+    including the per-entity stats and across-run resilience), hence
+    bit-identical results for the same spec at any [jobs] — fault plans
+    included. Raises [Invalid_argument] when [runs < 2]. *)
+
 val run_replicated :
   ?jobs:int ->
   ?config:Netsim.config ->
@@ -29,8 +37,6 @@ val run_replicated :
   hw:Lognic.Params.hardware ->
   mix:Lognic.Traffic.mix ->
   Netsim.replicated
-(** Drop-in parallel {!Netsim.run_replicated}: identical derived seeds
-    ([config.seed + i]) and the identical measurement fold
-    ({!Netsim.replicated_of_measurements}, including the per-entity
-    stats), hence bit-identical results for the same seeds at any
-    [jobs]. Raises [Invalid_argument] when [runs < 2]. *)
+(** Pre-spec entry point, kept for compatibility: exactly
+    [execute_replicated ~runs (Netsim.Run.make ~config g ~hw ~mix)]
+    (empty fault plan). Prefer {!execute_replicated} in new code. *)

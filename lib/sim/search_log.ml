@@ -84,7 +84,7 @@ let to_json t =
         |> List.sort compare
         |> List.map (fun (k, v) -> (k, J.Num (float_of_int v)))
       in
-      J.Obj
+      J.versioned ~kind:"search_log"
         [
           ("evaluations", J.Num (float_of_int t.observations));
           ("cache_hits", J.Num (float_of_int t.cache_hits));

@@ -245,6 +245,17 @@ module Json = struct
   let member key = function
     | Obj kvs -> List.assoc_opt key kvs
     | _ -> None
+
+  (* Every exporter in the repo stamps its top-level object through
+     here, so "which schema am I parsing" is answerable from the
+     document alone and the version lives in exactly one place. *)
+  let schema_version = 1
+
+  let versioned ~kind fields =
+    Obj
+      (("schema", Str kind)
+      :: ("schema_version", Num (float_of_int schema_version))
+      :: fields)
 end
 
 (* Ring-buffer time series: bounded memory however long the run, the
@@ -318,10 +329,12 @@ end
 type drop_site =
   | Node_queue of { node : string; queue : int }
   | Medium_buffer of string
+  | Fault_burst
 
 let drop_site_name = function
   | Node_queue { node; queue } -> Printf.sprintf "node:%s/q%d" node queue
   | Medium_buffer label -> Printf.sprintf "medium:%s" label
+  | Fault_burst -> "fault:burst"
 
 let pp_drop_site ppf site = Format.pp_print_string ppf (drop_site_name site)
 

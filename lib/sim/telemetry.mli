@@ -38,6 +38,16 @@ module Json : sig
   val float_repr : float -> string
   (** Shortest decimal string that [float_of_string] maps back to the
       same float. *)
+
+  val schema_version : int
+  (** Version stamped by {!versioned} into every JSON document the repo
+      emits. Bump when any exported schema changes shape. *)
+
+  val versioned : kind:string -> (string * t) list -> t
+  (** [versioned ~kind fields] is [Obj fields] prefixed with
+      ["schema": kind] and ["schema_version": schema_version] — the
+      shared header used by every exporter ([measurement], [explain],
+      [search_log], trace metadata, faults report). *)
 end
 
 (** Bounded ring-buffer time series: appends are O(1), memory is fixed,
@@ -72,6 +82,8 @@ type drop_site =
   | Medium_buffer of string
       (** a medium's rate-matching buffer overflowed (by label:
           "interface", "memory", or "link-SRC-DST") *)
+  | Fault_burst
+      (** shed at ingress by an active [Faults.Drop_burst] event *)
 
 val drop_site_name : drop_site -> string
 (** Stable textual key ("node:LABEL/qI" / "medium:LABEL"), also used in

@@ -260,8 +260,10 @@ let to_chrome_json t =
     [
       ("displayTimeUnit", Json.Str "ns");
       ("traceEvents", Json.Arr events);
+      (* the Chrome trace-event envelope is fixed by the viewer, so the
+         schema stamp rides in the metadata object instead of the root *)
       ( "otherData",
-        Json.Obj
+        Json.versioned ~kind:"trace_events"
           [
             ("sampled_packets", Json.Num (float_of_int (List.length recs)));
             ("generated_packets", Json.Num (float_of_int t.seen));

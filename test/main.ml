@@ -9,6 +9,7 @@ let () =
       ("sim", Test_sim.suite);
       ("observability", Test_observability.suite);
       ("parallel", Test_parallel.suite);
+      ("faults", Test_faults.suite);
       ("devices", Test_devices.suite);
       ("apps", Test_apps.suite);
       ("dsl", Test_dsl.suite);

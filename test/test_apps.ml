@@ -18,7 +18,7 @@ let case1_fig9_model_accuracy () =
   (* §4.2: model-vs-measured difference well under a few percent. *)
   List.iter
     (fun spec ->
-      let points = Inline_accel.fig9_parallelism_sweep ~sim_duration:0.03 ~spec () in
+      let points = Inline_accel.fig9_parallelism_sweep ~duration:0.03 ~spec () in
       List.iter
         (fun (p : Inline_accel.point) ->
           check_within ~pct:5.
@@ -29,14 +29,14 @@ let case1_fig9_model_accuracy () =
 
 let case1_fig9_shape () =
   (* linear rise then plateau at the accelerator's peak *)
-  let points = Inline_accel.fig9_parallelism_sweep ~sim_duration:0.02 ~spec:A.md5 () in
+  let points = Inline_accel.fig9_parallelism_sweep ~duration:0.02 ~spec:A.md5 () in
   let model = List.map (fun (p : Inline_accel.point) -> p.model) points in
   let sorted = List.sort compare model in
   Alcotest.(check (list (float 1e-6))) "monotone" sorted model;
   check_close "plateau at peak ops" A.md5.peak_ops (List.nth model 15)
 
 let case1_fig5_granularity () =
-  let points = Inline_accel.fig5_granularity_sweep ~sim_duration:0.02 ~spec:A.crc () in
+  let points = Inline_accel.fig5_granularity_sweep ~duration:0.02 ~spec:A.crc () in
   let at g =
     (List.find (fun (p : Inline_accel.point) -> p.x = g) points).model
   in
@@ -47,7 +47,7 @@ let case1_fig5_granularity () =
 
 let case1_fig10_law () =
   (* achieved bandwidth = min(P_IP2 x size, line rate) at full cores *)
-  let points = Inline_accel.fig10_packet_size_sweep ~sim_duration:0.02 ~spec:A.crc () in
+  let points = Inline_accel.fig10_packet_size_sweep ~duration:0.02 ~spec:A.crc () in
   List.iter
     (fun (p : Inline_accel.point) ->
       let expected = Float.min (A.crc.peak_ops *. p.x) Lognic_devices.Liquidio.line_rate in
@@ -60,7 +60,7 @@ let case2_fig6_accuracy () =
   (* §4.3: latency estimation error ~1%. Our tolerance: < 3% per profile. *)
   List.iter
     (fun (name, io) ->
-      let points = Nvme_of.fig6_profile_sweep ~sim_duration:0.25 ~points:6 ~io () in
+      let points = Nvme_of.fig6_profile_sweep ~duration:0.25 ~points:6 ~io () in
       let error = Nvme_of.fig6_error_rate points in
       if error >= 0.03 then
         Alcotest.failf "%s error %.2f%% exceeds 3%%" name (100. *. error))
@@ -72,7 +72,7 @@ let case2_fig6_accuracy () =
 
 let case2_fig6_latency_rises () =
   let points =
-    Nvme_of.fig6_profile_sweep ~sim_duration:0.2 ~points:6
+    Nvme_of.fig6_profile_sweep ~duration:0.2 ~points:6
       ~io:Lognic_devices.Ssd.rrd_4k ()
   in
   let first = List.hd points and last = List.nth points 5 in
@@ -83,7 +83,7 @@ let case2_fig6_latency_rises () =
 let case2_fig7_gc_gap () =
   (* §4.3: the model under-predicts mixed R/W bandwidth (~14.6%); the
      gap must peak mid-range and vanish at the pure endpoints. *)
-  let points = Nvme_of.fig7_read_ratio_sweep ~sim_duration:0.25 () in
+  let points = Nvme_of.fig7_read_ratio_sweep ~duration:0.25 () in
   let gap (p : Nvme_of.mixed_point) =
     (p.measured_bandwidth -. p.model_bandwidth) /. p.measured_bandwidth
   in
@@ -329,7 +329,7 @@ let case5_credit_latency_drop () =
     (List.for_all (fun d -> p1 >= d -. 1e-9) drops)
 
 let case5_credit_bandwidth_monotone () =
-  let points = Panic_scenarios.fig15_credit_sweep ~sim_duration:0.02 ~profile:(List.hd Panic_scenarios.profiles) () in
+  let points = Panic_scenarios.fig15_credit_sweep ~duration:0.02 ~profile:(List.hd Panic_scenarios.profiles) () in
   let model = List.map (fun (p : Panic_scenarios.credit_point) -> p.model_bandwidth) points in
   let sorted = List.sort compare model in
   Alcotest.(check (list (float 1e-3))) "goodput monotone in credits" sorted model

@@ -78,7 +78,7 @@ let netcache_hyperbolic_law () =
     [ 0.25; 0.5; 0.75; 0.9 ]
 
 let netcache_sweep_shape () =
-  let points = Netcache.hit_ratio_sweep ~sim_duration:0.01 Netcache.default in
+  let points = Netcache.hit_ratio_sweep ~duration:0.01 Netcache.default in
   let rps = List.map (fun (p : Netcache.point) -> p.model_rps) points in
   Alcotest.(check (list (float 1.))) "throughput monotone in hit ratio"
     (List.sort compare rps) rps;
