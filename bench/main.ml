@@ -31,6 +31,7 @@ type cli = {
   figures_only : bool;
   trace_overhead : bool;
   fault_overhead : bool;
+  invariant_overhead : bool;
   jobs : int option;
   json : string option;
   requested : string list;
@@ -40,7 +41,8 @@ let cli =
   let usage () =
     prerr_endline
       "usage: main.exe [--quick] [--bench-only|--figures-only] \
-       [--trace-overhead] [--fault-overhead] [--jobs N] [--json PATH] [FIG...]";
+       [--trace-overhead] [--fault-overhead] [--invariant-overhead] [--jobs N] \
+       [--json PATH] [FIG...]";
     exit 2
   in
   let rec walk acc = function
@@ -50,6 +52,8 @@ let cli =
     | "--figures-only" :: rest -> walk { acc with figures_only = true } rest
     | "--trace-overhead" :: rest -> walk { acc with trace_overhead = true } rest
     | "--fault-overhead" :: rest -> walk { acc with fault_overhead = true } rest
+    | "--invariant-overhead" :: rest ->
+      walk { acc with invariant_overhead = true } rest
     | "--jobs" :: v :: rest -> (
       match int_of_string_opt v with
       | Some n when n >= 1 -> walk { acc with jobs = Some n } rest
@@ -65,6 +69,7 @@ let cli =
       figures_only = false;
       trace_overhead = false;
       fault_overhead = false;
+      invariant_overhead = false;
       jobs = None;
       json = None;
       requested = [];
@@ -361,6 +366,86 @@ let fault_overhead_gate () =
     exit 3
   end
 
+(* --- invariant-overhead gate (--invariant-overhead) ---
+
+   Two assertions about the runtime invariant checkers. First,
+   identity: with [check_invariants = false] (the default) the
+   measurement JSON must be byte-identical to a plain run — the
+   [invariants] field is deliberately excluded from serialization,
+   so the flag must be observable only through the in-memory report
+   (exit 4 on mismatch). Second, the disabled-path budget: CI has no
+   pre-invariants binary to diff against, but the enabled run is a
+   strict superset of the disabled run's work (the same simulation
+   plus every check), so a zero-cost disabled path must measure at
+   or below the enabled path — if disabled exceeds enabled by more
+   than the 5% noise budget, the disabled path is provably running
+   work it should not (a flag inversion, or checks hoisted out of
+   the [Some checker] branches). Exit 3 on breach. Timing protocol
+   as in the trace gate: interleaved whole runs, compare minima. *)
+
+let invariant_overhead_gate () =
+  let config check_invariants =
+    {
+      Lognic_sim.Netsim.default_config with
+      duration = 1e-2;
+      warmup = 2e-4;
+      check_invariants;
+    }
+  in
+  let measure check =
+    Lognic_sim.Netsim.run_single ~config:(config check) md5_graph
+      ~hw:D.Liquidio.hardware ~traffic:md5_traffic
+  in
+  let json m =
+    Lognic_sim.Telemetry.Json.to_string
+      (Lognic_sim.Netsim.measurement_to_json m)
+  in
+  let off = measure false and on_ = measure true in
+  if json off <> json on_ then begin
+    Fmt.epr
+      "FAIL: check_invariants changed the measurement JSON (must be \
+       observation-only)@.";
+    exit 4
+  end;
+  (match on_.Lognic_sim.Netsim.invariants with
+  | Some r when Lognic_sim.Invariants.ok r ->
+    Fmt.pr "checked run: %d invariant checks, 0 violations@."
+      r.Lognic_sim.Invariants.checks
+  | Some r ->
+    Fmt.epr "FAIL: %d invariant violations on the bench fixture@."
+      r.Lognic_sim.Invariants.total_violations;
+    exit 4
+  | None ->
+    Fmt.epr "FAIL: check_invariants=true produced no report@.";
+    exit 4);
+  let run check = ignore (measure check) in
+  run false;
+  run true;
+  let time check =
+    let t0 = Unix.gettimeofday () in
+    run check;
+    Unix.gettimeofday () -. t0
+  in
+  let iters = if quick then 9 else 21 in
+  let disabled = ref infinity and enabled = ref infinity in
+  for _ = 1 to iters do
+    disabled := Float.min !disabled (time false);
+    enabled := Float.min !enabled (time true)
+  done;
+  let checker_cost = (!enabled -. !disabled) /. !disabled in
+  let disabled_overhead = (!disabled -. !enabled) /. !enabled in
+  Fmt.pr
+    "invariant checkers: disabled %.2f ms, enabled %.2f ms (checks cost \
+     %+.1f%% when on)@."
+    (!disabled *. 1e3) (!enabled *. 1e3) (checker_cost *. 100.);
+  if disabled_overhead > 0.05 then begin
+    Fmt.epr
+      "FAIL: disabled path is %.1f%% SLOWER than the checked path — it is \
+       doing work the check_invariants=false branch must skip (budget 5%%)@."
+      (disabled_overhead *. 100.);
+    exit 3
+  end
+
 (* --- JSON dump (--json PATH) --- *)
 
 let json_escape s =
@@ -390,9 +475,10 @@ let write_json path ~rows ~wall_s =
   close_out oc
 
 let () =
-  if cli.trace_overhead || cli.fault_overhead then begin
+  if cli.trace_overhead || cli.fault_overhead || cli.invariant_overhead then begin
     if cli.trace_overhead then trace_overhead_gate ();
     if cli.fault_overhead then fault_overhead_gate ();
+    if cli.invariant_overhead then invariant_overhead_gate ();
     exit 0
   end;
   let started = Unix.gettimeofday () in

@@ -219,6 +219,134 @@ let simulate_cmd =
        ~doc:"Run the packet-level simulator on an execution graph.")
     term
 
+(* check *)
+
+let check_cmd =
+  let graphs_arg =
+    let doc =
+      "DSL graph files to replay under the runtime invariant checkers. \
+       When omitted, only the property-based fuzz suite runs."
+    in
+    Arg.(value & pos_all file [] & info [] ~docv:"GRAPH" ~doc)
+  in
+  let scale_arg =
+    let doc = "Multiply every fuzz property's iteration count by $(docv)." in
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+  in
+  let check_seed_arg =
+    let doc = "Random seed for the fuzz suite and graph replays." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+  in
+  let check_duration_arg =
+    let doc = "Simulated seconds per graph replay." in
+    Arg.(value & opt float 0.01 & info [ "duration" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Write the full check report as versioned JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+  in
+  let check_graph ~seed ~duration path =
+    let ( let* ) = Result.bind in
+    let* doc = load_document path in
+    let* mix =
+      match doc.mix with
+      | Some mix -> Ok mix
+      | None ->
+        let* traffic = resolve_traffic doc None None in
+        Ok [ (traffic, 1.) ]
+    in
+    let config =
+      {
+        Lognic_sim.Netsim.default_config with
+        duration;
+        warmup = duration /. 10.;
+        seed;
+        check_invariants = true;
+      }
+    in
+    let m = Lognic_sim.Netsim.run ~config doc.graph ~hw:(hardware_of doc) ~mix in
+    match m.invariants with
+    | None ->
+      Error (`Msg "internal error: check_invariants was set but no report came back")
+    | Some report -> Ok (path, report)
+  in
+  let run graphs scale seed duration json_path =
+    let ( let* ) = Result.bind in
+    let module Inv = Lognic_sim.Invariants in
+    let* graph_reports =
+      List.fold_left
+        (fun acc path ->
+          let* acc = acc in
+          let* r = check_graph ~seed ~duration path in
+          Ok (r :: acc))
+        (Ok []) graphs
+    in
+    let graph_reports = List.rev graph_reports in
+    List.iter
+      (fun (path, (r : Inv.report)) ->
+        Fmt.pr "graph %s: %d checks, %d violations@." path r.checks
+          r.total_violations;
+        List.iter (fun v -> Fmt.pr "  %a@." Inv.pp_violation v) r.violations)
+      graph_reports;
+    let outcomes =
+      Lognic_check.Runner.run ~seed (Lognic_check.Props.suite ~scale ())
+    in
+    List.iter
+      (fun o -> Fmt.pr "@[<v>%a@]@." Lognic_check.Runner.pp_outcome o)
+      outcomes;
+    let graphs_ok =
+      List.for_all (fun (_, r) -> Inv.ok r) graph_reports
+    in
+    let props_ok = Lognic_check.Runner.all_passed outcomes in
+    let passed = graphs_ok && props_ok in
+    (match json_path with
+    | None -> ()
+    | Some path ->
+      let module J = Lognic_sim.Telemetry.Json in
+      let json =
+        J.versioned ~kind:"check"
+          [
+            ("seed", J.Num (float_of_int seed));
+            ("scale", J.Num scale);
+            ( "graphs",
+              J.Arr
+                (List.map
+                   (fun (p, r) ->
+                     J.Obj
+                       [
+                         ("path", J.Str p);
+                         ("invariants", Inv.report_to_json r);
+                       ])
+                   graph_reports) );
+            ( "properties",
+              J.Arr (List.map Lognic_check.Runner.outcome_to_json outcomes) );
+            ("passed", J.Bool passed);
+          ]
+      in
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (Lognic_sim.Telemetry.Json.to_string json);
+          output_char oc '\n'));
+    if passed then begin
+      Fmt.pr "check: all %d properties and %d graph replays passed@."
+        (List.length outcomes)
+        (List.length graph_reports);
+      Ok ()
+    end
+    else Error (`Msg "check: invariant violations or property failures (see above)")
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ graphs_arg $ scale_arg $ check_seed_arg
+       $ check_duration_arg $ json_arg))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the property-based fuzz suite and replay graphs under the \
+          runtime invariant checkers.")
+    term
+
 (* report *)
 
 let write_json path json =
@@ -816,7 +944,7 @@ let () =
   let group =
     Cmd.group info
       [
-        estimate_cmd; sweep_cmd; simulate_cmd; report_cmd; explain_cmd;
+        estimate_cmd; sweep_cmd; simulate_cmd; check_cmd; report_cmd; explain_cmd;
         faults_cmd; validate_cmd; optimize_cmd; sensitivity_cmd; roofline_cmd;
         params_cmd; figures_cmd;
       ]

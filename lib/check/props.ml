@@ -1,0 +1,307 @@
+(* The differential property suite: each property cross-checks two
+   independent implementations of the same quantity — closed-form model
+   vs discrete-event sim, sequential vs domain-parallel execution,
+   printer vs parser, one queueing formula vs another — so a bug in
+   either side surfaces as a disagreement without needing an oracle. *)
+
+module G = Lognic.Graph
+module Sim = Lognic_sim
+module Q = Lognic_queueing
+
+let close ~tol a b =
+  Float.abs (a -. b) <= tol *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let fail_close ~tol ~what expected actual =
+  if close ~tol expected actual then true
+  else
+    QCheck.Test.fail_reportf "%s: expected %.12g, got %.12g (tol %g)" what
+      expected actual tol
+
+let arb ?print gen = QCheck.make ?print gen
+
+(* ---- model vs sim --------------------------------------------------- *)
+
+(* At low load with paced arrivals and deterministic service nothing
+   ever queues, so every packet walks the chain in the same constant
+   time and the sim's mean latency/throughput must agree sharply with
+   the no-queueing closed form. *)
+let low_load_config =
+  {
+    Sim.Netsim.default_config with
+    duration = 0.01;
+    warmup = 1e-3;
+    service_dist = Sim.Ip_node.Deterministic;
+    arrival = Sim.Traffic_gen.Paced;
+  }
+
+let model_vs_sim_latency ~count =
+  QCheck.Test.make ~count ~name:"model-vs-sim: low-load latency agrees"
+    (arb Gen.low_load_chain ~print:(fun s -> s.Gen.label))
+    (fun sc ->
+      let traffic = fst (List.hd sc.Gen.mix) in
+      let model =
+        (Lognic.Latency.evaluate ~model:Lognic.Latency.No_queueing sc.Gen.graph
+           ~hw:sc.Gen.hw ~traffic)
+          .Lognic.Latency.mean
+      in
+      let m =
+        Sim.Netsim.execute
+          (Sim.Netsim.Run.make ~config:low_load_config sc.Gen.graph
+             ~hw:sc.Gen.hw ~mix:sc.Gen.mix)
+      in
+      let sim = m.Sim.Netsim.summary.Sim.Telemetry.mean_latency in
+      m.Sim.Netsim.summary.Sim.Telemetry.delivered_packets > 0
+      && fail_close ~tol:1e-6 ~what:"mean latency" model sim)
+
+let model_vs_sim_throughput ~count =
+  QCheck.Test.make ~count ~name:"model-vs-sim: low-load throughput agrees"
+    (arb Gen.low_load_chain ~print:(fun s -> s.Gen.label))
+    (fun sc ->
+      let traffic = fst (List.hd sc.Gen.mix) in
+      let m =
+        Sim.Netsim.execute
+          (Sim.Netsim.Run.make ~config:low_load_config sc.Gen.graph
+             ~hw:sc.Gen.hw ~mix:sc.Gen.mix)
+      in
+      (* in-flight packets at the horizon leave the delivered-bytes
+         window a couple of packets short: loose bound *)
+      fail_close ~tol:0.05 ~what:"throughput" traffic.Lognic.Traffic.rate
+        m.Sim.Netsim.summary.Sim.Telemetry.throughput)
+
+(* ---- parallel execution --------------------------------------------- *)
+
+let jobs_bit_identical ~count =
+  QCheck.Test.make ~count
+    ~name:"parallel: --jobs 1 and --jobs 4 are bit-identical"
+    (arb Gen.wild ~print:(fun s -> s.Gen.label))
+    (fun sc ->
+      let config =
+        { Sim.Netsim.default_config with duration = 2e-3; warmup = 2e-4 }
+      in
+      let spec =
+        Sim.Netsim.Run.make ~config sc.Gen.graph ~hw:sc.Gen.hw ~mix:sc.Gen.mix
+      in
+      let a = Sim.Parallel.execute_replicated ~jobs:1 ~runs:3 spec in
+      let b = Sim.Parallel.execute_replicated ~jobs:4 ~runs:3 spec in
+      a = b || QCheck.Test.fail_reportf "replicated results diverge across jobs")
+
+(* ---- DSL round trip -------------------------------------------------- *)
+
+let dsl_round_trip ~count =
+  QCheck.Test.make ~count ~name:"dsl: printer . parser = id"
+    (arb Gen.document ~print:Lognic_dsl.Printer.document_to_string)
+    (fun doc ->
+      let s = Lognic_dsl.Printer.document_to_string doc in
+      match Lognic_dsl.Parser.parse_string s with
+      | Error e -> QCheck.Test.fail_reportf "printed doc does not parse: %s" e
+      | Ok doc' ->
+        let s' = Lognic_dsl.Printer.document_to_string doc' in
+        s = s'
+        || QCheck.Test.fail_reportf
+             "round trip changed the document:\n%s\nvs\n%s" s s')
+
+(* ---- queueing laws --------------------------------------------------- *)
+
+let lambdas = [ 0.3e6; 0.5e6; 0.7e6 ]
+let mus = [ 1e6; 2e6 ]
+
+let mm1n_limit_is_mm1 ~count =
+  QCheck.Test.make ~count ~name:"queueing: Mm1n -> Mm1 as capacity -> inf"
+    (arb (QCheck.Gen.pair (QCheck.Gen.oneofl lambdas) (QCheck.Gen.oneofl mus)))
+    (fun (lambda, mu) ->
+      (* rho <= 0.7, so the mass beyond 200 entries is < 0.7^200 *)
+      let finite = Q.Mm1n.create ~lambda ~mu ~capacity:200 in
+      let infinite = Q.Mm1.create ~lambda ~mu in
+      fail_close ~tol:1e-3 ~what:"waiting time"
+        (Q.Mm1.mean_waiting_time infinite)
+        (Q.Mm1n.mean_waiting_time finite))
+
+let mg1_exponential_is_mm1 ~count =
+  QCheck.Test.make ~count ~name:"queueing: Mg1 at scv=1 equals Mm1"
+    (arb (QCheck.Gen.pair (QCheck.Gen.oneofl lambdas) (QCheck.Gen.oneofl mus)))
+    (fun (lambda, mu) ->
+      fail_close ~tol:1e-9 ~what:"waiting time"
+        (Q.Mm1.mean_waiting_time (Q.Mm1.create ~lambda ~mu))
+        (Q.Mg1.mean_waiting_time (Q.Mg1.create ~lambda ~mu ~scv:1.)))
+
+(* Satellite of the Mm1n single-vector-build change: the algebraic
+   Eq. 12 form and the state-vector computation must keep agreeing in
+   the numerically hostile rho ~ 1 region. *)
+let mm1n_closed_form_near_saturation ~count =
+  QCheck.Test.make ~count ~name:"queueing: Mm1n closed form agrees near rho=1"
+    (arb
+       (QCheck.Gen.triple (QCheck.Gen.oneofl mus)
+          (QCheck.Gen.oneofl [ -1e-6; -1e-8; 0.; 1e-8; 1e-6 ])
+          (QCheck.Gen.int_range 1 64)))
+    (fun (mu, eps, capacity) ->
+      let queue = Q.Mm1n.create ~lambda:(mu *. (1. +. eps)) ~mu ~capacity in
+      fail_close ~tol:1e-6 ~what:"waiting time near saturation"
+        (Q.Mm1n.mean_waiting_time queue)
+        (Q.Mm1n.waiting_time_closed_form queue))
+
+(* Little's law, sim vs analytics: a single queueing node with no wire
+   or overhead terms, so end-to-end latency is exactly the node
+   sojourn. N-bar comes from the periodic in-system samples. *)
+let littles_law_vs_sim ~count =
+  QCheck.Test.make ~count ~name:"queueing: Little's law holds in sim telemetry"
+    (arb
+       (QCheck.Gen.pair
+          (QCheck.Gen.oneofl [ 0.3; 0.5; 0.7 ])
+          (QCheck.Gen.oneofl [ 500.; 1000. ])))
+    (fun (rho, size) ->
+      let throughput = 1e9 in
+      let graph =
+        Gen.single_node_graph ~parallelism:1 ~queue_capacity:64 ~throughput
+      in
+      let hw = Lognic.Params.hardware ~bw_interface:1e12 ~bw_memory:1e12 in
+      let traffic =
+        Lognic.Traffic.make ~rate:(rho *. throughput) ~packet_size:size
+      in
+      let config =
+        {
+          Sim.Netsim.default_config with
+          duration = 0.02;
+          warmup = 2e-3;
+          sample_interval = Some 1e-5;
+        }
+      in
+      let m = Sim.Netsim.execute (Sim.Netsim.Run.single ~config graph ~hw ~traffic) in
+      let summary = m.Sim.Netsim.summary in
+      let depth_series =
+        List.find
+          (fun s -> Sim.Telemetry.Series.label s = "ip.depth")
+          m.Sim.Netsim.series
+      in
+      let samples = Sim.Telemetry.Series.to_array depth_series in
+      let n_bar =
+        Array.fold_left (fun acc (_, v) -> acc +. v) 0. samples
+        /. float_of_int (Array.length samples)
+      in
+      Q.Littles.consistent ~tol:0.2
+        ~arrival_rate:summary.Sim.Telemetry.packet_rate
+        ~time_in_system:summary.Sim.Telemetry.mean_latency
+        ~number_in_system:n_bar ()
+      || QCheck.Test.fail_reportf
+           "L=lambda.W violated: lambda=%g W=%g N=%g (lambda.W=%g)"
+           summary.Sim.Telemetry.packet_rate summary.Sim.Telemetry.mean_latency
+           n_bar
+           (summary.Sim.Telemetry.packet_rate
+          *. summary.Sim.Telemetry.mean_latency))
+
+(* Sim sojourn vs the Mm1n closed form the paper assigns to the node:
+   loose agreement (the sim is a finite stochastic sample). *)
+let mm1n_vs_sim_sojourn ~count =
+  QCheck.Test.make ~count ~name:"model-vs-sim: Mm1n sojourn within 30%"
+    (arb (QCheck.Gen.oneofl [ 0.3; 0.5; 0.7 ]))
+    (fun rho ->
+      let throughput = 1e9 and size = 1000. in
+      let graph =
+        Gen.single_node_graph ~parallelism:1 ~queue_capacity:64 ~throughput
+      in
+      let hw = Lognic.Params.hardware ~bw_interface:1e12 ~bw_memory:1e12 in
+      let traffic =
+        Lognic.Traffic.make ~rate:(rho *. throughput) ~packet_size:size
+      in
+      let config =
+        { Sim.Netsim.default_config with duration = 0.02; warmup = 2e-3 }
+      in
+      let m = Sim.Netsim.execute (Sim.Netsim.Run.single ~config graph ~hw ~traffic) in
+      let mu = throughput /. size in
+      let queue = Q.Mm1n.create ~lambda:(rho *. mu) ~mu ~capacity:64 in
+      fail_close ~tol:0.3 ~what:"mean sojourn"
+        (Q.Mm1n.mean_time_in_system queue)
+        m.Sim.Netsim.summary.Sim.Telemetry.mean_latency)
+
+(* ---- wrapper equivalence --------------------------------------------- *)
+
+let run_wrapper_equivalence ~count =
+  QCheck.Test.make ~count ~name:"netsim: run wrapper equals Run.make + execute"
+    (arb Gen.wild ~print:(fun s -> s.Gen.label))
+    (fun sc ->
+      let config =
+        { Sim.Netsim.default_config with duration = 2e-3; warmup = 2e-4 }
+      in
+      let via_wrapper =
+        Sim.Netsim.run ~config sc.Gen.graph ~hw:sc.Gen.hw ~mix:sc.Gen.mix
+      in
+      let via_spec =
+        Sim.Netsim.execute
+          (Sim.Netsim.Run.make ~config sc.Gen.graph ~hw:sc.Gen.hw ~mix:sc.Gen.mix)
+      in
+      let json m =
+        Sim.Telemetry.Json.to_string (Sim.Netsim.measurement_to_json m)
+      in
+      json via_wrapper = json via_spec
+      || QCheck.Test.fail_reportf "wrapper and spec measurements diverge")
+
+(* ---- invariant conformance ------------------------------------------- *)
+
+(* The tentpole closing the loop on itself: every run the fuzzer can
+   construct — any graph shape, arrival process, service distribution,
+   fault plan — must satisfy every conservation law, and turning the
+   checker on must not change the measurement. *)
+let invariants_hold_everywhere ~count =
+  QCheck.Test.make ~count
+    ~name:"invariants: every fuzzed run satisfies every law"
+    (arb
+       (QCheck.Gen.triple Gen.wild
+          (QCheck.Gen.pair Gen.arrival Gen.service_dist)
+          (Gen.fault_plan ~duration:2e-3))
+       ~print:(fun (s, _, faults) ->
+         Printf.sprintf "%s (%d fault(s))" s.Gen.label (List.length faults)))
+    (fun (sc, (arrival, service_dist), faults) ->
+      let config =
+        {
+          Sim.Netsim.default_config with
+          duration = 2e-3;
+          warmup = 2e-4;
+          arrival;
+          service_dist;
+          check_invariants = true;
+        }
+      in
+      let spec =
+        Sim.Netsim.Run.make ~config ~faults sc.Gen.graph ~hw:sc.Gen.hw
+          ~mix:sc.Gen.mix
+      in
+      let checked = Sim.Netsim.execute spec in
+      let plain =
+        Sim.Netsim.execute
+          (Sim.Netsim.Run.with_config spec
+             { config with check_invariants = false })
+      in
+      let json m =
+        Sim.Telemetry.Json.to_string (Sim.Netsim.measurement_to_json m)
+      in
+      (match checked.Sim.Netsim.invariants with
+      | None -> QCheck.Test.fail_reportf "checker was on but report is missing"
+      | Some report ->
+        Sim.Invariants.ok report
+        ||
+        let v = List.hd report.Sim.Invariants.violations in
+        QCheck.Test.fail_reportf "%d violation(s), first: %s"
+          report.Sim.Invariants.total_violations
+          (Format.asprintf "%a" Sim.Invariants.pp_violation v))
+      && (json checked = json plain
+         || QCheck.Test.fail_reportf "checking changed the measurement JSON"))
+
+(* ---- suite ----------------------------------------------------------- *)
+
+(* [scale] multiplies each property's base case count, so callers can
+   run a quick smoke (scale < 1) or a deep soak (scale > 1) from the
+   same definitions. Sim-heavy properties get smaller bases. *)
+let suite ?(scale = 1.) () =
+  let n base = max 1 (int_of_float (Float.round (float_of_int base *. scale))) in
+  [
+    dsl_round_trip ~count:(n 500);
+    mm1n_limit_is_mm1 ~count:(n 300);
+    mg1_exponential_is_mm1 ~count:(n 300);
+    mm1n_closed_form_near_saturation ~count:(n 300);
+    model_vs_sim_latency ~count:(n 20);
+    model_vs_sim_throughput ~count:(n 20);
+    jobs_bit_identical ~count:(n 6);
+    littles_law_vs_sim ~count:(n 6);
+    mm1n_vs_sim_sojourn ~count:(n 6);
+    run_wrapper_equivalence ~count:(n 10);
+    invariants_hold_everywhere ~count:(n 20);
+  ]

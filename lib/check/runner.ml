@@ -1,0 +1,38 @@
+(* Deterministic, embeddable property runner: the CLI and the test
+   suite both need to run QCheck tests from a fixed seed and get
+   structured outcomes back (not process exits), so this wraps
+   [QCheck.Test.check_exn] with its own rng and catches failures. *)
+
+type outcome = {
+  name : string;
+  passed : bool;
+  message : string option;  (** failure report; [None] when passed *)
+}
+
+let test_name (QCheck2.Test.Test cell) = QCheck.Test.get_name cell
+
+let run_test ~seed test =
+  let name = test_name test in
+  match
+    QCheck.Test.check_exn ~rand:(Random.State.make [| seed |]) test
+  with
+  | () -> { name; passed = true; message = None }
+  | exception e -> { name; passed = false; message = Some (Printexc.to_string e) }
+
+let run ?(seed = 42) tests = List.map (run_test ~seed) tests
+
+let all_passed outcomes = List.for_all (fun o -> o.passed) outcomes
+
+let outcome_to_json o =
+  let module J = Lognic_sim.Telemetry.Json in
+  J.Obj
+    [
+      ("name", J.Str o.name);
+      ("passed", J.Bool o.passed);
+      ("message", match o.message with None -> J.Null | Some m -> J.Str m);
+    ]
+
+let pp_outcome ppf o =
+  match o.message with
+  | None -> Format.fprintf ppf "PASS %s" o.name
+  | Some m -> Format.fprintf ppf "FAIL %s@,  %s" o.name m

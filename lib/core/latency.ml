@@ -74,12 +74,27 @@ let vertex_terms ?(model = Mm1n_model) g ~traffic id =
       { vid = id; queueing = q; service; utilization; drop_probability = 0. }
     | Mm1n_model ->
       let queue = Lognic_queueing.Mm1n.create ~lambda ~mu ~capacity:v.service.queue_capacity in
+      (* One O(N) state-vector build per vertex query: this sits on the
+         optimizer's inner loop, so don't pay for it twice via the
+         per-call convenience accessors. *)
+      let capacity = v.service.queue_capacity in
+      let probs = Lognic_queueing.Mm1n.state_probabilities queue in
+      let blocking = probs.(capacity) in
+      let effective = lambda *. (1. -. blocking) in
+      let mean_number = ref 0. in
+      Array.iteri
+        (fun k p -> mean_number := !mean_number +. (float_of_int k *. p))
+        probs;
+      let queueing =
+        if effective <= 0. then 0.
+        else Float.max 0. ((!mean_number /. effective) -. (1. /. mu))
+      in
       {
         vid = id;
-        queueing = Lognic_queueing.Mm1n.mean_waiting_time queue;
+        queueing;
         service;
         utilization;
-        drop_probability = Lognic_queueing.Mm1n.blocking_probability queue;
+        drop_probability = blocking;
       }
     | Mmcn_model ->
       (* Undo Eq 11's division of the arrival stream across D

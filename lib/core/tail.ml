@@ -8,13 +8,13 @@ type path_tail = { tpath : Graph.vertex_id list; tweight : float; tq : quantiles
    see-k-on-arrival mixture (PASTA conditioned on acceptance). *)
 let mm1n_moments ~lambda ~mu ~capacity =
   let queue = Q.Mm1n.create ~lambda ~mu ~capacity in
-  let blocking = Q.Mm1n.blocking_probability queue in
-  let admit = 1. -. blocking in
+  let probs = Q.Mm1n.state_probabilities queue in
+  let admit = 1. -. probs.(capacity) in
   if admit <= 0. then (0., 0.)
   else begin
     let m1 = ref 0. and m2 = ref 0. in
     for k = 0 to capacity - 1 do
-      let q_k = Q.Mm1n.state_probability queue k /. admit in
+      let q_k = probs.(k) /. admit in
       let stages = float_of_int (k + 1) in
       (* Erlang(k+1, mu): E[T] = (k+1)/mu, E[T^2] = (k+1)(k+2)/mu^2 *)
       m1 := !m1 +. (q_k *. stages /. mu);

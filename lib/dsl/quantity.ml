@@ -36,8 +36,13 @@ let parse text =
           String.length lower > String.length suffix
           && Filename.check_suffix lower suffix
           &&
-          (* the char before the suffix must be part of the number *)
-          let c = lower.[String.length lower - String.length suffix - 1] in
+          (* the char before the suffix — skipping optional whitespace, so
+             both "10Gbps" and "10 Gbps" parse — must be part of the number *)
+          let i = ref (String.length lower - String.length suffix - 1) in
+          while !i > 0 && (lower.[!i] = ' ' || lower.[!i] = '\t') do
+            decr i
+          done;
+          let c = lower.[!i] in
           (c >= '0' && c <= '9') || c = '.')
         suffixes
     in
@@ -58,11 +63,27 @@ let parse_exn text =
   | Error e -> invalid_arg (Printf.sprintf "Quantity.parse: %s" e)
 
 let print_with units v =
+  (* only commit to a rendering that parses back to exactly [v]: a
+     magnitude like 1500 B is 1.46484375 KiB, which %g truncates to
+     1.46484 — the round trip would silently lose bytes. Fall through
+     to a smaller unit (whose magnitude is exact more often) and, as a
+     last resort, widen the precision of the bare number. Ulp-level
+     slack keeps natural spellings like 5us, where magnitude *
+     multiplier lands one rounding away from the original literal. *)
+  let exact ~divisor s =
+    Float.abs ((float_of_string s *. divisor) -. v) <= Float.abs v *. 1e-15
+  in
   let rec pick = function
-    | [] -> Printf.sprintf "%g" v
+    | [] ->
+      let s = Printf.sprintf "%g" v in
+      if exact ~divisor:1. s then s
+      else
+        let s = Printf.sprintf "%.12g" v in
+        if exact ~divisor:1. s then s else Printf.sprintf "%.17g" v
     | (threshold, divisor, suffix) :: rest ->
       if abs_float v >= threshold then
-        Printf.sprintf "%g%s" (v /. divisor) suffix
+        let s = Printf.sprintf "%g" (v /. divisor) in
+        if exact ~divisor s then s ^ suffix else pick rest
       else pick rest
   in
   pick units

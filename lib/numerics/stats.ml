@@ -16,31 +16,50 @@ let variance xs =
 
 let stddev xs = sqrt (variance xs)
 
+(* NaN policy for order statistics: NaN samples carry no ordering
+   information, so [percentile]/[median]/[minimum]/[maximum] all ignore
+   them. An input consisting only of NaN yields NaN. [mean]/[variance]
+   keep IEEE propagation (a poisoned sum is a signal, not a sample to
+   discard). *)
+
 let percentile xs p =
   require_nonempty xs "Stats.percentile";
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0,100]";
   let sorted = Array.copy xs in
   (* Float.compare, not polymorphic compare: unboxed comparisons on the
-     latency hot path, and a total order in the presence of NaN. *)
+     latency hot path, and a total order in the presence of NaN. It sorts
+     NaN before every float, so non-NaN samples occupy a suffix. *)
   Array.sort Float.compare sorted;
   let n = Array.length sorted in
-  let rank = p /. 100. *. float_of_int (n - 1) in
-  let lo = int_of_float (floor rank) in
-  let hi = int_of_float (ceil rank) in
-  if lo = hi then sorted.(lo)
+  let first = ref 0 in
+  while !first < n && Float.is_nan sorted.(!first) do
+    incr first
+  done;
+  let first = !first in
+  if first = n then Float.nan
   else
-    let frac = rank -. float_of_int lo in
-    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+    let n = n - first in
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = first + int_of_float (floor rank) in
+    let hi = first + int_of_float (ceil rank) in
+    if lo = hi then sorted.(lo)
+    else
+      let frac = rank -. float_of_int (lo - first) in
+      sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
 
 let median xs = percentile xs 50.
 
-let minimum xs =
-  require_nonempty xs "Stats.minimum";
-  Array.fold_left Float.min xs.(0) xs
+let fold_ignoring_nan better name xs =
+  require_nonempty xs name;
+  Array.fold_left
+    (fun acc x ->
+      if Float.is_nan x then acc
+      else if Float.is_nan acc then x
+      else better acc x)
+    Float.nan xs
 
-let maximum xs =
-  require_nonempty xs "Stats.maximum";
-  Array.fold_left Float.max xs.(0) xs
+let minimum xs = fold_ignoring_nan Float.min "Stats.minimum" xs
+let maximum xs = fold_ignoring_nan Float.max "Stats.maximum" xs
 
 let relative_error ~actual ~expected =
   if expected = 0. then if actual = 0. then 0. else infinity
@@ -76,24 +95,55 @@ module Online = struct
 end
 
 module Histogram = struct
-  type t = { lo : float; hi : float; counts : int array; mutable total : int }
+  type t = {
+    lo : float;
+    hi : float;
+    counts : int array;
+    mutable total : int;
+    mutable underflow : int;
+    mutable overflow : int;
+    mutable nan_count : int;
+  }
 
   let create ~lo ~hi ~bins =
     if not (lo < hi) then invalid_arg "Histogram.create: requires lo < hi";
     if bins <= 0 then invalid_arg "Histogram.create: requires bins > 0";
-    { lo; hi; counts = Array.make bins 0; total = 0 }
+    {
+      lo;
+      hi;
+      counts = Array.make bins 0;
+      total = 0;
+      underflow = 0;
+      overflow = 0;
+      nan_count = 0;
+    }
 
   let add t x =
-    let bins = Array.length t.counts in
-    let raw =
-      int_of_float (float_of_int bins *. (x -. t.lo) /. (t.hi -. t.lo))
-    in
-    let i = max 0 (min (bins - 1) raw) in
-    t.counts.(i) <- t.counts.(i) + 1;
-    t.total <- t.total + 1
+    (* NaN first: any range comparison against NaN is false, and
+       [int_of_float nan] is unspecified — it must never reach the bin
+       index computation. Out-of-range samples are tallied separately
+       instead of being clamped into the edge bins, which used to distort
+       exported latency distributions. *)
+    t.total <- t.total + 1;
+    if Float.is_nan x then t.nan_count <- t.nan_count + 1
+    else if x < t.lo then t.underflow <- t.underflow + 1
+    else if x > t.hi then t.overflow <- t.overflow + 1
+    else begin
+      let bins = Array.length t.counts in
+      let raw =
+        int_of_float (float_of_int bins *. (x -. t.lo) /. (t.hi -. t.lo))
+      in
+      (* x = hi maps to bins, folded into the last (closed-range) bin. *)
+      let i = min (bins - 1) raw in
+      t.counts.(i) <- t.counts.(i) + 1
+    end
 
   let counts t = Array.copy t.counts
   let total t = t.total
+  let underflow t = t.underflow
+  let overflow t = t.overflow
+  let nan_count t = t.nan_count
+  let in_range t = t.total - t.underflow - t.overflow - t.nan_count
 
   let bin_mid t i =
     let bins = Array.length t.counts in

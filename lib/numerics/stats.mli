@@ -11,11 +11,18 @@ val stddev : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [\[0, 100\]], linear interpolation
-    between order statistics. Does not mutate [xs]. *)
+    between order statistics. Does not mutate [xs]. NaN samples are
+    ignored; the result is NaN only when every sample is NaN. *)
 
 val median : float array -> float
+
 val minimum : float array -> float
+(** Smallest non-NaN sample; NaN when every sample is NaN. Shares the
+    NaN-ignoring policy of [percentile] so the same array can never
+    report a NaN minimum alongside a finite median. *)
+
 val maximum : float array -> float
+(** Largest non-NaN sample; NaN when every sample is NaN. *)
 
 val relative_error : actual:float -> expected:float -> float
 (** [|actual - expected| / |expected|]; infinite when [expected = 0] and
@@ -41,15 +48,39 @@ module Online : sig
   val stddev : t -> float
 end
 
-(** Fixed-bin histogram over a closed range; out-of-range samples are
-    clamped into the edge bins so mass is never lost. *)
+(** Fixed-bin histogram over the closed range [\[lo, hi\]].
+    Out-of-range and NaN samples are tallied in dedicated counters
+    instead of being clamped into the edge bins, so the binned shape is
+    never distorted and no sample is silently lost. *)
 module Histogram : sig
   type t
 
   val create : lo:float -> hi:float -> bins:int -> t
+
   val add : t -> float -> unit
+  (** Record one sample. Samples inside [\[lo, hi\]] land in their bin
+      ([hi] itself falls in the last bin); samples below [lo], above
+      [hi], or NaN increment [underflow], [overflow], or [nan_count]
+      respectively and leave the bins untouched. *)
+
   val counts : t -> int array
+
   val total : t -> int
+  (** Every sample ever passed to [add], including out-of-range and
+      NaN ones: [total t = in_range t + underflow t + overflow t +
+      nan_count t]. *)
+
+  val underflow : t -> int
+  (** Samples strictly below [lo]. *)
+
+  val overflow : t -> int
+  (** Samples strictly above [hi]. *)
+
+  val nan_count : t -> int
+  (** NaN samples. *)
+
+  val in_range : t -> int
+  (** Samples that landed in a bin; equals the sum of [counts]. *)
 
   val bin_mid : t -> int -> float
   (** Midpoint value of bin [i]. *)

@@ -17,20 +17,34 @@ let probabilities t =
   let total = Array.fold_left ( +. ) 0. raw in
   Array.map (fun p -> p /. total) raw
 
-let state_probability t k =
-  if k < 0 || k > t.capacity then 0. else (probabilities t).(k)
+let state_probabilities = probabilities
 
-let blocking_probability t = (probabilities t).(t.capacity)
-
-let mean_number_in_system t =
-  let probs = probabilities t in
+(* Each public query builds the O(N) vector exactly once: these sit on the
+   optimizer's inner loop, where the old one-vector-per-call pattern
+   rebuilt it up to three times per [mean_time_in_system]. *)
+let mean_number_of probs =
   let acc = ref 0. in
   Array.iteri (fun k p -> acc := !acc +. (float_of_int k *. p)) probs;
   !acc
 
-let effective_arrival_rate t = t.lambda *. (1. -. blocking_probability t)
+let effective_arrival_of t probs =
+  t.lambda *. (1. -. probs.(t.capacity))
+
+let state_probability t k =
+  if k < 0 || k > t.capacity then 0. else (probabilities t).(k)
+
+let blocking_probability t = (probabilities t).(t.capacity)
+let mean_number_in_system t = mean_number_of (probabilities t)
+
+let effective_arrival_rate t =
+  let probs = probabilities t in
+  effective_arrival_of t probs
+
 let throughput = effective_arrival_rate
-let mean_time_in_system t = mean_number_in_system t /. effective_arrival_rate t
+
+let mean_time_in_system t =
+  let probs = probabilities t in
+  mean_number_of probs /. effective_arrival_of t probs
 
 let mean_waiting_time t =
   Float.max 0. (mean_time_in_system t -. (1. /. t.mu))
@@ -38,10 +52,19 @@ let mean_waiting_time t =
 let waiting_time_closed_form t =
   let rho = utilization t in
   let n = float_of_int t.capacity in
+  let h = rho -. 1. in
   let inner =
-    if abs_float (rho -. 1.) < 1e-9 then
-      (* lim_{rho->1} rho/(1-rho) - N rho^N/(1-rho^N) = (N-1)/2 *)
-      (n -. 1.) /. 2.
-    else (rho /. (1. -. rho)) -. (n *. (rho ** n) /. (1. -. (rho ** n)))
+    if abs_float h < 1e-6 then
+      (* rho = 1 is a removable singularity: both geometric terms blow
+         up as 1/h and their difference cancels catastrophically (the
+         naive formula is off by ~1e-4 already at h = 1e-7). Taylor:
+         rho/(1-rho) - N rho^N/(1-rho^N)
+           = (N-1)/2 + (N^2-1)/12 (rho-1) + O(N^3 (rho-1)^2). *)
+      ((n -. 1.) /. 2.) +. (((n *. n) -. 1.) /. 12. *. h)
+    else
+      (* rho^N - 1 via expm1/log1p keeps full relative precision in the
+         denominator even when rho^N is within an ulp of 1. *)
+      let geom = Float.expm1 (n *. Float.log1p h) in
+      (n *. (geom +. 1.) /. geom) -. (rho /. h)
   in
   Float.max 0. (inner /. t.mu)

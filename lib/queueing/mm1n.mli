@@ -21,6 +21,12 @@ val state_probability : t -> int -> float
 (** [state_probability t k] is Pro_k, the steady-state probability of [k]
     requests in the system (paper Eq 10); 0 outside [0..capacity]. *)
 
+val state_probabilities : t -> float array
+(** The full normalized vector [Pro_0 .. Pro_N] in one O(N) pass. Loop
+    callers (e.g. tail-latency summation) should use this instead of
+    calling [state_probability] per state, which rebuilds the vector on
+    every call. *)
+
 val blocking_probability : t -> float
 (** Pro_N — the packet drop rate of the IP. *)
 

@@ -11,17 +11,32 @@ let schedule_after t ~delay thunk =
   if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
   schedule t ~at:(t.clock +. delay) thunk
 
-let run ?until t =
+let run ?until ?observer t =
   let horizon = Option.value until ~default:infinity in
-  let rec loop () =
-    match Event_queue.pop_if_before t.queue ~horizon with
-    | Some (time, thunk) ->
-      t.clock <- time;
-      thunk ();
-      loop ()
-    | None -> ()
-  in
-  loop ();
+  (* Two loops so the no-observer path (the default) stays exactly the
+     pre-observer hot loop: no per-event option match, no closure call. *)
+  (match observer with
+  | None ->
+    let rec loop () =
+      match Event_queue.pop_if_before t.queue ~horizon with
+      | Some (time, thunk) ->
+        t.clock <- time;
+        thunk ();
+        loop ()
+      | None -> ()
+    in
+    loop ()
+  | Some observe ->
+    let rec loop () =
+      match Event_queue.pop_if_before t.queue ~horizon with
+      | Some (time, thunk) ->
+        observe time;
+        t.clock <- time;
+        thunk ();
+        loop ()
+      | None -> ()
+    in
+    loop ());
   if horizon < infinity && t.clock < horizon then t.clock <- horizon
 
 let pending t = Event_queue.size t.queue

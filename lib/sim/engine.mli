@@ -15,9 +15,12 @@ val schedule : t -> at:float -> (unit -> unit) -> unit
 val schedule_after : t -> delay:float -> (unit -> unit) -> unit
 (** Convenience for [schedule ~at:(now t +. delay)]; [delay >= 0]. *)
 
-val run : ?until:float -> t -> unit
+val run : ?until:float -> ?observer:(float -> unit) -> t -> unit
 (** Processes events in order until the queue empties or virtual time
     would exceed [until] (remaining events stay queued, and the clock is
-    left at [until]). *)
+    left at [until]). [observer], when given, is called with each event's
+    time just before it executes — in pop order, so a well-behaved queue
+    feeds it non-decreasing times ({!Invariants.observe_event_time}).
+    The default no-observer path runs the exact pre-observer loop. *)
 
 val pending : t -> int

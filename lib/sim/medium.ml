@@ -25,6 +25,7 @@ let create engine ~label ~bandwidth ?(buffer = 2. *. 1024. *. 1024.) () =
   }
 
 let label t = t.label
+let buffer t = t.buffer
 
 (* The guard keeps the healthy path byte-identical to the pre-fault
    code: [b *. 1.] is [b] for every finite positive float, but skipping

@@ -19,6 +19,12 @@ val create : Engine.t -> label:string -> bandwidth:float -> ?buffer:float -> uni
 
 val label : t -> string
 
+val buffer : t -> float
+(** The backlog limit in bytes, as configured at creation. Together
+    with {!backlog} this states the admission invariant a healthy
+    medium maintains: admitted-but-untransferred bytes never exceed
+    the buffer ({!Invariants}). *)
+
 val scale : t -> float
 (** Current fault-injection bandwidth factor (1 when healthy). *)
 

@@ -10,6 +10,7 @@ type config = {
   sample_interval : float option;
   series_capacity : int;
   trace : Trace.config option;
+  check_invariants : bool;
 }
 
 let default_config =
@@ -22,6 +23,7 @@ let default_config =
     sample_interval = None;
     series_capacity = 4096;
     trace = None;
+    check_invariants = false;
   }
 
 module Run = struct
@@ -92,6 +94,7 @@ type measurement = {
   fault_intervals : interval_stats list;
   resilience : resilience option;
   trace : Trace.t option;
+  invariants : Invariants.report option;
 }
 
 (* The per-packet latency ledger threaded through a packet's walk; at
@@ -156,6 +159,10 @@ let execute (spec : Run.t) =
   | Error errors ->
     invalid_arg ("Netsim.run: invalid graph: " ^ String.concat "; " errors));
   let have_faults = not (Faults.is_empty faults) in
+  (* The checker is allocated only on request; every hook below matches
+     on it first, so the disabled path costs one pointer compare per
+     hook site (gated by bench/main.exe --invariant-overhead). *)
+  let checker = if config.check_invariants then Some (Invariants.create ()) else None in
   let engine = Engine.create () in
   let rng = N.Rng.create ~seed:config.seed in
   let gen_rng = N.Rng.split rng in
@@ -358,7 +365,26 @@ let execute (spec : Run.t) =
       pick 0. outs
     end
   in
+  (* Media admission invariant: right after a successful transfer the
+     backlog must still fit the buffer. Skipped on faulted runs: a
+     bandwidth restore mid-backlog legitimately re-values the queued
+     bytes at the healthy rate, which can exceed the byte limit the
+     degraded admission enforced. *)
+  let check_medium =
+    match checker with
+    | Some inv when not have_faults ->
+      fun m ->
+        Invariants.check_bound inv ~law:"medium-buffer"
+          ~entity:(Medium.label m) ~time:(Engine.now engine)
+          ~limit:(Medium.buffer m) ~actual:(Medium.backlog m)
+          "admitted backlog must fit the rate-matching buffer"
+    | Some _ | None -> fun _ -> ()
+  in
   let record_drop tr (packet : Packet.t) site =
+    (match checker with
+    | Some inv ->
+      Invariants.packet_dropped inv ~id:packet.id ~time:(Engine.now engine)
+    | None -> ());
     (match tr with
     | Some r ->
       Trace.drop r
@@ -397,11 +423,47 @@ let execute (spec : Run.t) =
               Trace.add_span r ~entity:v.label ~lane ~phase:Trace.Service
                 ~start ~duration:service)
       in
-      if not (Ip_node.submit node ?span ~timing ~work on_served) then
+      if Ip_node.submit node ?span ~timing ~work on_served then begin
+        match checker with
+        | Some inv ->
+          (* Post-admission state bounds. [submit] may have run the
+             whole downstream walk synchronously (zero-work fast path),
+             but both bounds hold at every instant, so checking after
+             it returns is still sound. *)
+          let time = Engine.now engine in
+          Invariants.check_bound inv ~law:"queue-capacity" ~entity:v.label
+            ~time
+            ~limit:(float_of_int v.service.queue_capacity)
+            ~actual:(float_of_int (Ip_node.in_system node))
+            "in-system requests must not exceed the queue capacity";
+          Invariants.check_bound inv ~law:"engine-count" ~entity:v.label
+            ~time
+            ~limit:(float_of_int (Ip_node.engines node))
+            ~actual:(float_of_int (Ip_node.busy_engines node))
+            "busy engines must not exceed the configured engine count"
+        | None -> ()
+      end
+      else
         record_drop tr packet
           (Telemetry.Node_queue { node = v.label; queue = 0 })
   and depart id (v : G.vertex) packet tally tr =
     if v.kind = G.Egress then begin
+      (match checker with
+      | Some inv ->
+        let now = Engine.now engine in
+        Invariants.packet_delivered inv ~id:packet.id ~time:now;
+        (* Eq. 2 tiling: the four tallied components must account for
+           this packet's entire end-to-end latency. Each hop adds its
+           pieces from the same event times that advance the clock, so
+           only float rounding separates the two sides. *)
+        Invariants.check_close inv ~law:"latency-tiling"
+          ~entity:(Printf.sprintf "packet-%d" packet.id) ~time:now ~tol:1e-9
+          ~expected:(now -. packet.born)
+          ~actual:
+            (tally.t_queueing +. tally.t_service +. tally.t_wire
+           +. tally.t_overhead)
+          "queueing + service + wire + overhead must equal birth-to-egress time"
+      | None -> ());
       (match tr with
       | Some r -> Trace.deliver r ~time:(Engine.now engine)
       | None -> ());
@@ -467,27 +529,30 @@ let execute (spec : Run.t) =
       match Hashtbl.find_opt links (e.src, e.dst) with
       | Some link ->
         if
-          not
-            (Medium.transfer ~timing ?span link ~bytes:(scale e.delta)
-               (fun () -> arrive e.dst packet tally tr))
-        then record_drop tr packet (Telemetry.Medium_buffer (Medium.label link))
+          Medium.transfer ~timing ?span link ~bytes:(scale e.delta) (fun () ->
+              arrive e.dst packet tally tr)
+        then check_medium link
+        else record_drop tr packet (Telemetry.Medium_buffer (Medium.label link))
       | None -> arrive e.dst packet tally tr
     in
     let via_memory () =
-      if
-        not
-          (Medium.transfer ~timing ?span memory ~bytes:(scale e.beta) via_link)
-      then record_drop tr packet (Telemetry.Medium_buffer "memory")
+      if Medium.transfer ~timing ?span memory ~bytes:(scale e.beta) via_link
+      then check_medium memory
+      else record_drop tr packet (Telemetry.Medium_buffer "memory")
     in
     if
-      not
-        (Medium.transfer ~timing ?span interface ~bytes:(scale e.alpha)
-           via_memory)
-    then record_drop tr packet (Telemetry.Medium_buffer "interface")
+      Medium.transfer ~timing ?span interface ~bytes:(scale e.alpha) via_memory
+    then check_medium interface
+    else record_drop tr packet (Telemetry.Medium_buffer "interface")
   in
   let ingresses = G.ingress_vertices g in
   let ingress_ids = Array.of_list (List.map (fun (v : G.vertex) -> v.id) ingresses) in
   let on_packet packet =
+    (match checker with
+    | Some inv ->
+      Invariants.packet_injected inv ~id:packet.Packet.id
+        ~time:(Engine.now engine)
+    | None -> ());
     Telemetry.record_arrival telemetry ~now:(Engine.now engine)
       ~size:packet.Packet.size;
     if have_faults then begin
@@ -577,7 +642,12 @@ let execute (spec : Run.t) =
       ~mix:spec.Run.mix ~on_packet
   in
   Traffic_gen.start gen ~until:config.duration;
-  Engine.run ~until:config.duration engine;
+  (match checker with
+  | Some inv ->
+    Engine.run ~until:config.duration
+      ~observer:(Invariants.observe_event_time inv)
+      engine
+  | None -> Engine.run ~until:config.duration engine);
   let summary = Telemetry.summarize telemetry ~horizon:config.duration in
   let vertex_stats =
     List.filter_map
@@ -703,6 +773,62 @@ let execute (spec : Run.t) =
           }
     end
   in
+  let invariants =
+    match checker with
+    | None -> None
+    | Some inv ->
+      let horizon = config.duration in
+      (* End-of-run entity laws: horizon-clipped utilization and busy
+         time for every node and medium. *)
+      List.iter
+        (fun (v : G.vertex) ->
+          match Hashtbl.find_opt nodes v.id with
+          | None -> ()
+          | Some node ->
+            let busy = Ip_node.busy_within node ~until:horizon in
+            Invariants.check_bound inv ~law:"utilization" ~entity:v.label
+              ~time:horizon ~limit:1.
+              ~actual:(Ip_node.utilization node ~until:horizon)
+              "node utilization must not exceed 1 at the horizon";
+            Invariants.check_bound inv ~law:"busy-time" ~entity:v.label
+              ~time:horizon
+              ~limit:(float_of_int (Ip_node.engines node) *. horizon)
+              ~actual:busy
+              "engine-busy seconds must fit engines times the horizon";
+            Invariants.check_nonneg inv ~law:"busy-time" ~entity:v.label
+              ~time:horizon ~actual:busy
+              "horizon-clipped busy time cannot be negative")
+        (G.vertices g);
+      List.iter
+        (fun m ->
+          let busy = Medium.busy_within m ~until:horizon in
+          Invariants.check_bound inv ~law:"utilization"
+            ~entity:(Medium.label m) ~time:horizon ~limit:1.
+            ~actual:(Medium.utilization m ~until:horizon)
+            "medium utilization must not exceed 1 at the horizon";
+          Invariants.check_bound inv ~law:"busy-time" ~entity:(Medium.label m)
+            ~time:horizon ~limit:horizon ~actual:busy
+            "medium-busy seconds must fit the horizon";
+          Invariants.check_nonneg inv ~law:"busy-time"
+            ~entity:(Medium.label m) ~time:horizon ~actual:busy
+            "horizon-clipped busy time cannot be negative")
+        media;
+      Invariants.check_conservation inv ~time:horizon
+        ~generated:(Traffic_gen.generated gen);
+      if have_faults then
+        (* Interval accounting attributes every packet to its birth bin,
+           so no bin can resolve more packets than were offered in it. *)
+        Array.iteri
+          (fun i offered ->
+            Invariants.check_bound inv ~law:"interval-accounting"
+              ~entity:(Printf.sprintf "interval-%d" i) ~time:horizon
+              ~limit:(float_of_int offered)
+              ~actual:(float_of_int (bin_delivered.(i) + bin_dropped.(i)))
+              "a birth bin cannot resolve more packets than it offered")
+          bin_offered;
+      Invariants.check_summary inv ~horizon summary;
+      Some (Invariants.report inv)
+  in
   {
     summary;
     vertex_stats;
@@ -715,6 +841,7 @@ let execute (spec : Run.t) =
     fault_intervals;
     resilience;
     trace;
+    invariants;
   }
 
 let run ?(config = default_config) g ~hw ~mix =

@@ -47,6 +47,15 @@ type config = {
           {!measurement.trace} (default [None]). The trace rng is split
           from the run seed after every other stream, so enabling
           tracing never changes any measured quantity. *)
+  check_invariants : bool;
+      (** when [true], validate the run's conservation laws
+          ({!Invariants}) at every hook point — packet fates, queue and
+          buffer bounds, event-time monotonicity, entity utilization,
+          summary self-consistency — and attach the structured report
+          as {!measurement.invariants} (default [false]). Checking is
+          read-only: it never changes a measured quantity, and the
+          disabled path adds no work to the simulator hot loop
+          (enforced by [bench/main.exe --invariant-overhead]). *)
 }
 
 val default_config : config
@@ -163,6 +172,12 @@ type measurement = {
           export with {!Trace.to_chrome_json}. Deliberately absent from
           {!measurement_to_json} so measurement JSON is byte-identical
           with tracing on or off. *)
+  invariants : Invariants.report option;
+      (** the conservation-law report, present iff
+          [config.check_invariants] was set; export with
+          {!Invariants.report_to_json}. Like [trace], deliberately
+          absent from {!measurement_to_json} so measurement JSON is
+          byte-identical with checking on or off. *)
 }
 
 val execute : Run.t -> measurement

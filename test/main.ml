@@ -7,6 +7,8 @@ let () =
       ("model", Test_model.suite);
       ("extensions-optimizer", Test_extensions.suite);
       ("sim", Test_sim.suite);
+      ("invariants", Test_invariants.suite);
+      ("check", Test_check.suite);
       ("observability", Test_observability.suite);
       ("parallel", Test_parallel.suite);
       ("faults", Test_faults.suite);

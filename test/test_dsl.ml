@@ -38,6 +38,28 @@ let quantity_printers () =
   Alcotest.(check string) "size" "4KiB" (Q.print_size 4096.);
   Alcotest.(check string) "time" "5us" (Q.print_time 5e-6)
 
+let quantity_whitespace () =
+  (* a space (or tab) between magnitude and unit is legal *)
+  check_close "spaced Gbps" 1.25e9 (parse_q "10 Gbps");
+  check_close "tabbed B" 1500. (parse_q "1500\tB");
+  check_close "two spaces" 2.5e-6 (parse_q "2.5  us");
+  check_close "surrounding blanks" 1.25e9 (parse_q "  10 Gbps  ");
+  Alcotest.(check bool) "space inside the number is still bad" true
+    (Result.is_error (Q.parse "1 0Gbps"))
+
+let quantity_print_parse_round_trip () =
+  (* print_* must emit strings parse maps back to the same float *)
+  let roundtrip print what v = check_close ~tol:1e-12 what v (parse_q (print v)) in
+  List.iter
+    (fun v -> roundtrip Q.print_rate (Printf.sprintf "rate %g" v) v)
+    [ 1.25e9; 3.125e9; 2e9; 1e6; 42.; 2.7e9 ];
+  List.iter
+    (fun v -> roundtrip Q.print_size (Printf.sprintf "size %g" v) v)
+    [ 64.; 1500.; 4096.; 4000.; 1048576. ];
+  List.iter
+    (fun v -> roundtrip Q.print_time (Printf.sprintf "time %g" v) v)
+    [ 5e-6; 1e-9; 2.5e-6; 1e-3; 3. ]
+
 let sample_graph =
   {|
 # A SmartNIC echo server
@@ -217,6 +239,8 @@ let suite =
     quick "quantity: sizes, times, ops" quantity_sizes_times_ops;
     quick "quantity: bare and bad" quantity_bare_and_bad;
     quick "quantity: printers" quantity_printers;
+    quick "quantity: whitespace before the unit" quantity_whitespace;
+    quick "quantity: print/parse round trip" quantity_print_parse_round_trip;
     quick "parser: full document" parser_full_document;
     quick "parser: defaults" parser_defaults;
     quick "parser: comments" parser_comments_and_blanks;

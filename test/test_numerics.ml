@@ -114,6 +114,23 @@ let stats_basics () =
   check_close "p0" 2. (N.Stats.percentile xs 0.);
   check_close "p100" 9. (N.Stats.percentile xs 100.)
 
+let stats_nan_policy () =
+  (* One policy across the order statistics: NaN samples are ignored,
+     and the result is NaN only when every sample is NaN. *)
+  let xs = [| Float.nan; 4.; 2.; Float.nan; 9. |] in
+  check_close "minimum ignores NaN" 2. (N.Stats.minimum xs);
+  check_close "maximum ignores NaN" 9. (N.Stats.maximum xs);
+  check_close "p0 ignores NaN" 2. (N.Stats.percentile xs 0.);
+  check_close "p50 ignores NaN" 4. (N.Stats.percentile xs 50.);
+  check_close "p100 ignores NaN" 9. (N.Stats.percentile xs 100.);
+  let all_nan = [| Float.nan; Float.nan |] in
+  Alcotest.(check bool) "all-NaN minimum" true
+    (Float.is_nan (N.Stats.minimum all_nan));
+  Alcotest.(check bool) "all-NaN maximum" true
+    (Float.is_nan (N.Stats.maximum all_nan));
+  Alcotest.(check bool) "all-NaN percentile" true
+    (Float.is_nan (N.Stats.percentile all_nan 50.))
+
 let stats_percentile_interpolates () =
   let xs = [| 10.; 20. |] in
   check_close "p50 interpolation" 15. (N.Stats.percentile xs 50.);
@@ -153,12 +170,20 @@ let stats_online_matches_batch () =
 
 let stats_histogram () =
   let h = N.Stats.Histogram.create ~lo:0. ~hi:10. ~bins:5 in
-  List.iter (N.Stats.Histogram.add h) [ 1.; 3.; 3.; 9.; -5.; 50. ];
-  Alcotest.(check int) "total" 6 (N.Stats.Histogram.total h);
+  List.iter (N.Stats.Histogram.add h) [ 1.; 3.; 3.; 9.; -5.; 50.; Float.nan ];
+  Alcotest.(check int) "total counts every sample" 7 (N.Stats.Histogram.total h);
   let counts = N.Stats.Histogram.counts h in
-  Alcotest.(check int) "clamped low" 2 counts.(0);
+  Alcotest.(check int) "first bin" 1 counts.(0);
   Alcotest.(check int) "middle" 2 counts.(1);
-  Alcotest.(check int) "clamped high" 2 counts.(4);
+  Alcotest.(check int) "last bin" 1 counts.(4);
+  Alcotest.(check int) "underflow not clamped" 1 (N.Stats.Histogram.underflow h);
+  Alcotest.(check int) "overflow not clamped" 1 (N.Stats.Histogram.overflow h);
+  Alcotest.(check int) "nan counted" 1 (N.Stats.Histogram.nan_count h);
+  Alcotest.(check int) "in_range" 4 (N.Stats.Histogram.in_range h);
+  (* hi itself belongs to the last bin, not to overflow *)
+  N.Stats.Histogram.add h 10.;
+  Alcotest.(check int) "hi lands in last bin" 2 (N.Stats.Histogram.counts h).(4);
+  Alcotest.(check int) "hi is in range" 5 (N.Stats.Histogram.in_range h);
   check_close "bin midpoint" 3. (N.Stats.Histogram.bin_mid h 1)
 
 let stats_empty_rejected () =
@@ -435,6 +460,7 @@ let suite =
     slow "dist: poisson mean" dist_poisson_mean;
     quick "dist: validation" dist_validation;
     quick "stats: basics" stats_basics;
+    quick "stats: NaN policy" stats_nan_policy;
     quick "stats: percentile interpolation" stats_percentile_interpolates;
     quick "stats: percentile purity" stats_percentile_does_not_mutate;
     quick "stats: relative error" stats_relative_error;

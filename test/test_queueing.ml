@@ -68,6 +68,46 @@ let mm1n_rho_one_limit () =
     (Q.Mm1n.mean_waiting_time q)
     (Q.Mm1n.waiting_time_closed_form q)
 
+let mm1n_state_vector () =
+  (* The one-shot probability vector agrees with the per-state query,
+     sums to one, and indexes 0..N. *)
+  let q = Q.Mm1n.create ~lambda:0.8 ~mu:1. ~capacity:6 in
+  let probs = Q.Mm1n.state_probabilities q in
+  Alcotest.(check int) "N+1 states" 7 (Array.length probs);
+  Array.iteri
+    (fun n p ->
+      check_close ~tol:1e-12
+        (Printf.sprintf "state %d" n)
+        (Q.Mm1n.state_probability q n)
+        p)
+    probs;
+  check_close ~tol:1e-12 "sums to one" 1. (Array.fold_left ( +. ) 0. probs);
+  check_close ~tol:1e-12 "blocking is the last entry"
+    (Q.Mm1n.blocking_probability q)
+    probs.(6)
+
+let mm1n_closed_form_continuous_near_rho_one () =
+  (* The geometric-series Eq 12 degenerates as rho -> 1 (0/0); the
+     closed form must approach its (N-1)/2-based limit smoothly from
+     both sides rather than blowing up on the removable singularity. *)
+  List.iter
+    (fun capacity ->
+      let at eps =
+        let q = Q.Mm1n.create ~lambda:(1. +. eps) ~mu:1. ~capacity in
+        Q.Mm1n.waiting_time_closed_form q
+      in
+      let limit = at 0. in
+      List.iter
+        (fun eps ->
+          check_close ~tol:1e-4
+            (Printf.sprintf "N=%d eps=%g" capacity eps)
+            limit (at eps);
+          check_close ~tol:1e-4
+            (Printf.sprintf "N=%d eps=-%g" capacity eps)
+            limit (at (-.eps)))
+        [ 1e-7; 1e-9; 1e-12 ])
+    [ 2; 5; 16; 64 ]
+
 let mm1n_converges_to_mm1 () =
   (* N -> infinity recovers the infinite-buffer queue when stable. *)
   let lambda = 0.6 and mu = 1. in
@@ -264,6 +304,9 @@ let suite =
     quick "mm1n: paper worked example" mm1n_paper_worked_example;
     quick "mm1n: Eq 12 identity" mm1n_closed_form_agrees;
     quick "mm1n: rho = 1 limit" mm1n_rho_one_limit;
+    quick "mm1n: state-probability vector" mm1n_state_vector;
+    quick "mm1n: closed form continuous near rho = 1"
+      mm1n_closed_form_continuous_near_rho_one;
     quick "mm1n: converges to mm1" mm1n_converges_to_mm1;
     quick "mm1n: overload carries capacity" mm1n_overload_carries_capacity;
     quick "mm1n: blocking monotone in capacity" mm1n_blocking_decreases_with_capacity;
