@@ -32,6 +32,7 @@ type cli = {
   trace_overhead : bool;
   fault_overhead : bool;
   invariant_overhead : bool;
+  events_per_sec : bool;
   jobs : int option;
   json : string option;
   requested : string list;
@@ -41,8 +42,8 @@ let cli =
   let usage () =
     prerr_endline
       "usage: main.exe [--quick] [--bench-only|--figures-only] \
-       [--trace-overhead] [--fault-overhead] [--invariant-overhead] [--jobs N] \
-       [--json PATH] [FIG...]";
+       [--trace-overhead] [--fault-overhead] [--invariant-overhead] \
+       [--events-per-sec] [--jobs N] [--json PATH] [FIG...]";
     exit 2
   in
   let rec walk acc = function
@@ -54,6 +55,7 @@ let cli =
     | "--fault-overhead" :: rest -> walk { acc with fault_overhead = true } rest
     | "--invariant-overhead" :: rest ->
       walk { acc with invariant_overhead = true } rest
+    | "--events-per-sec" :: rest -> walk { acc with events_per_sec = true } rest
     | "--jobs" :: v :: rest -> (
       match int_of_string_opt v with
       | Some n when n >= 1 -> walk { acc with jobs = Some n } rest
@@ -70,6 +72,7 @@ let cli =
       trace_overhead = false;
       fault_overhead = false;
       invariant_overhead = false;
+      events_per_sec = false;
       jobs = None;
       json = None;
       requested = [];
@@ -446,6 +449,157 @@ let invariant_overhead_gate () =
     exit 3
   end
 
+(* --- events/sec headline gate (--events-per-sec) ---
+
+   The engine-throughput headline: simulated events executed per
+   wall-clock second on the reference md5 inline-accel workload, plus
+   minor-heap words allocated per event. Three checks:
+
+   Identity (exit 4): executing through a reused engine
+   ([execute_with ~engine] on an engine that has already run) must
+   produce measurement JSON byte-identical to the legacy
+   fresh-everything [run_single] — engine reuse is a performance
+   feature, never a results feature.
+
+   Allocation ceiling (exit 3): words/event is deterministic, so it
+   gates tightly against [words_per_event_ceiling] in
+   bench/baseline_engine.json. The disabled-observer hot path
+   allocates nothing per event; the measured residual is the stdlib
+   Random.State draw floor plus rare calendar rebuilds. A blown
+   ceiling means boxing crept back into the hot path — or the bench
+   ran in the dev profile, whose hardwired -opaque disables the
+   cross-module inlining the zero-allocation path is built on: run
+   with [dune exec --profile release].
+
+   Throughput floor (exit 3): events/sec must stay above 90% of
+   [events_per_sec_floor] from the same baseline file. The committed
+   floor sits well under healthy numbers so CI hardware variance
+   cannot flake the gate; it catches collapses (an accidental O(log n)
+   or re-boxed hot path), while finer regressions are the job of the
+   uploaded artifact's trend line. Timing protocol as in the other
+   gates: whole runs, compare minima.
+
+   --json PATH writes the measured numbers for that artifact. *)
+
+let baseline_number ~path ~key =
+  let contents =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let needle = "\"" ^ key ^ "\"" in
+  let nlen = String.length needle and clen = String.length contents in
+  let rec find i =
+    if i + nlen > clen then
+      failwith (Printf.sprintf "%s: missing key %s" path key)
+    else if String.sub contents i nlen = needle then i + nlen
+    else find (i + 1)
+  in
+  let i = ref (find 0) in
+  while !i < clen && (contents.[!i] = ':' || contents.[!i] = ' ') do incr i done;
+  let j = ref !i in
+  let numeric c =
+    (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'E'
+  in
+  while !j < clen && numeric contents.[!j] do incr j done;
+  float_of_string (String.sub contents !i (!j - !i))
+
+let events_per_sec_gate () =
+  let config =
+    { Lognic_sim.Netsim.default_config with duration = 1e-2; warmup = 2e-4 }
+  in
+  let spec () =
+    Lognic_sim.Netsim.Run.single ~config md5_graph ~hw:D.Liquidio.hardware
+      ~traffic:md5_traffic
+  in
+  let json m =
+    Lognic_sim.Telemetry.Json.to_string
+      (Lognic_sim.Netsim.measurement_to_json m)
+  in
+  let legacy =
+    Lognic_sim.Netsim.run_single ~config md5_graph ~hw:D.Liquidio.hardware
+      ~traffic:md5_traffic
+  in
+  let engine = Lognic_sim.Engine.create () in
+  ignore (Lognic_sim.Netsim.execute_with ~engine (spec ()));
+  let reused = Lognic_sim.Netsim.execute_with ~engine (spec ()) in
+  if json legacy <> json reused then begin
+    Fmt.epr
+      "FAIL: reused-engine execute_with is not byte-identical to run_single@.";
+    exit 4
+  end;
+  Fmt.pr "engine-reuse identity: OK (%d bytes of measurement JSON)@."
+    (String.length (json legacy));
+  let run () = ignore (Lognic_sim.Netsim.execute_with ~engine (spec ())) in
+  let w0 = Gc.minor_words () in
+  run ();
+  let words = Gc.minor_words () -. w0 in
+  (* [execute_with] resets the engine on entry, so after a run the
+     counter holds exactly that run's event count *)
+  let events = Lognic_sim.Engine.executed engine in
+  let words_per_event = words /. float_of_int events in
+  let iters = if quick then 9 else 21 in
+  let best = ref infinity in
+  for _ = 1 to iters do
+    let t0 = Unix.gettimeofday () in
+    run ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  let events_per_sec = float_of_int events /. !best in
+  Fmt.pr
+    "engine headline: %d events in %.2f ms -> %.3e events/sec, %.2f \
+     words/event, %d calendar rebuilds@."
+    events (!best *. 1e3) events_per_sec words_per_event
+    (Lognic_sim.Engine.queue_resizes engine);
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n\
+        \  \"schema\": \"engine_bench\",\n\
+        \  \"schema_version\": 1,\n\
+        \  \"events\": %d,\n\
+        \  \"best_ms\": %.3f,\n\
+        \  \"events_per_sec\": %.1f,\n\
+        \  \"words_per_event\": %.3f,\n\
+        \  \"queue_resizes\": %d\n\
+         }\n"
+        events (!best *. 1e3) events_per_sec words_per_event
+        (Lognic_sim.Engine.queue_resizes engine);
+      close_out oc)
+    cli.json;
+  let baseline = "bench/baseline_engine.json" in
+  if not (Sys.file_exists baseline) then
+    Fmt.epr "warning: %s not found (run from the repo root?), floor and \
+             ceiling unchecked@."
+      baseline
+  else begin
+    let floor_eps = baseline_number ~path:baseline ~key:"events_per_sec_floor" in
+    let ceil_wpe =
+      baseline_number ~path:baseline ~key:"words_per_event_ceiling"
+    in
+    if words_per_event > ceil_wpe then begin
+      Fmt.epr
+        "FAIL: %.2f words/event exceeds the %.2f ceiling — boxing returned \
+         to the hot path, or this is a dev-profile build (-opaque defeats \
+         the inlining; use dune exec --profile release)@."
+        words_per_event ceil_wpe;
+      exit 3
+    end;
+    if events_per_sec < 0.9 *. floor_eps then begin
+      Fmt.epr
+        "FAIL: %.3e events/sec is >10%% below the committed %.3e floor@."
+        events_per_sec floor_eps;
+      exit 3
+    end;
+    Fmt.pr "events/sec floor OK (>= 0.9 x %.2e), words/event ceiling OK \
+            (<= %.1f)@."
+      floor_eps ceil_wpe
+  end
+
 (* --- JSON dump (--json PATH) --- *)
 
 let json_escape s =
@@ -475,10 +629,14 @@ let write_json path ~rows ~wall_s =
   close_out oc
 
 let () =
-  if cli.trace_overhead || cli.fault_overhead || cli.invariant_overhead then begin
+  if
+    cli.trace_overhead || cli.fault_overhead || cli.invariant_overhead
+    || cli.events_per_sec
+  then begin
     if cli.trace_overhead then trace_overhead_gate ();
     if cli.fault_overhead then fault_overhead_gate ();
     if cli.invariant_overhead then invariant_overhead_gate ();
+    if cli.events_per_sec then events_per_sec_gate ();
     exit 0
   end;
   let started = Unix.gettimeofday () in

@@ -1,0 +1,87 @@
+(* Golden byte-identity scenarios for the simulator.
+
+   Each scenario is a fully pinned [Netsim.Run.t] — fixed seed, fixed
+   duration, fixed traffic — whose measurement JSON is captured once
+   (test/golden/gen.exe writes the fixtures) and asserted byte-equal on
+   every test run.  The fixtures in test/golden/*.json were generated
+   with the pre-calendar-queue binary-heap engine, so they pin the
+   engine overhaul to the exact event ordering, rng stream layout and
+   float operation order of the original implementation: any change to
+   pop order, draw order or summation order shows up as a one-byte
+   diff.
+
+   The set deliberately crosses the feature matrix: arrival processes
+   (Poisson / Paced / Bursty), service distributions, multi-class
+   mixes, overload (queue and buffer drops), sampling probes, and a
+   fault plan (extra rng stream + per-packet bin accounting). *)
+
+module Sim = Lognic_sim
+module D = Lognic_devices
+module T = Lognic.Traffic
+module U = Lognic.Units
+
+let config ?(seed = 7) ?(duration = 2e-3) ?sample_interval
+    ?(service_dist = Sim.Ip_node.Exponential)
+    ?(arrival = Sim.Traffic_gen.Poisson) () =
+  {
+    Sim.Netsim.default_config with
+    seed;
+    duration;
+    warmup = duration /. 10.;
+    service_dist;
+    arrival;
+    sample_interval;
+  }
+
+let md5_graph () =
+  D.Liquidio.inline_accel_graph ~spec:D.Accel_spec.md5 ~packet_size:U.mtu ()
+
+let md5_traffic = T.make ~rate:D.Liquidio.line_rate ~packet_size:U.mtu
+
+let scenarios () =
+  [
+    ( "md5-poisson-exp",
+      Sim.Netsim.Run.single ~config:(config ()) (md5_graph ())
+        ~hw:D.Liquidio.hardware ~traffic:md5_traffic );
+    ( "md5-paced-det-sampled",
+      Sim.Netsim.Run.single
+        ~config:
+          (config ~seed:3 ~sample_interval:1e-4
+             ~service_dist:Sim.Ip_node.Deterministic
+             ~arrival:Sim.Traffic_gen.Paced ())
+        (md5_graph ()) ~hw:D.Liquidio.hardware ~traffic:md5_traffic );
+    ( "md5-bursty-overload",
+      Sim.Netsim.Run.single
+        ~config:
+          (config ~seed:5
+             ~arrival:(Sim.Traffic_gen.Bursty { burstiness = 4.; mean_on = 2e-4 })
+             ())
+        (md5_graph ()) ~hw:D.Liquidio.hardware
+        ~traffic:(T.make ~rate:(2. *. D.Liquidio.line_rate) ~packet_size:U.mtu) );
+    ( "nvme-mix",
+      Sim.Netsim.Run.make
+        ~config:(config ~seed:11 ())
+        (D.Stingray.nvme_of_graph ~io:D.Ssd.rrd_4k ())
+        ~hw:D.Stingray.hardware
+        ~mix:
+          [
+            (T.make ~rate:1.2e9 ~packet_size:(4. *. U.kib), 0.7);
+            (T.make ~rate:3e8 ~packet_size:512., 0.3);
+          ] );
+    ( "md5-faults",
+      Sim.Netsim.Run.single
+        ~config:(config ~seed:9 ())
+        ~faults:
+          [
+            Sim.Faults.engine_down ~vertex:"ip2.MD5" ~engines:1 ~start:5e-4
+              ~stop:1e-3;
+            Sim.Faults.medium_degraded ~medium:"interface" ~factor:0.5
+              ~start:4e-4 ~stop:8e-4;
+            Sim.Faults.drop_burst ~probability:0.25 ~start:1e-3 ~stop:1.4e-3;
+          ]
+        (md5_graph ()) ~hw:D.Liquidio.hardware ~traffic:md5_traffic );
+  ]
+
+let measurement_string run =
+  Sim.Telemetry.Json.to_string
+    (Sim.Netsim.measurement_to_json (Sim.Netsim.execute run))

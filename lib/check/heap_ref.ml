@@ -1,0 +1,138 @@
+(* The pre-overhaul struct-of-arrays binary heap, kept verbatim as the
+   differential-testing oracle for the calendar queue that replaced it
+   in Lognic_sim.Event_queue: Props checks the two agree event-by-event
+   on random workloads (tie storms, horizon boundaries included). *)
+
+(* Struct-of-arrays binary heap: times live in an unboxed float array
+   and tie-breaking sequence numbers in an int array, so the sift
+   comparisons on the simulator's hottest path never chase a pointer.
+   Payloads sit in a parallel ['a option array]; moving the [Some] cell
+   itself means one 2-word allocation per push (the cell) and none per
+   sift step — the old per-push 4-field entry record is gone. Popped
+   and vacated slots are reset to [None] so a completed event's payload
+   (often a closure capturing packets and nodes) is collectable
+   immediately instead of being retained at [heap.(len)] until the slot
+   is overwritten. *)
+
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable payloads : 'a option array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () =
+  { times = [||]; seqs = [||]; payloads = [||]; len = 0; next_seq = 0 }
+
+let is_empty t = t.len = 0
+let size t = t.len
+
+let grow t =
+  let capacity = Array.length t.times in
+  if t.len = capacity then begin
+    let bigger = max 16 (2 * capacity) in
+    let times = Array.make bigger 0. in
+    let seqs = Array.make bigger 0 in
+    let payloads = Array.make bigger None in
+    Array.blit t.times 0 times 0 t.len;
+    Array.blit t.seqs 0 seqs 0 t.len;
+    Array.blit t.payloads 0 payloads 0 t.len;
+    t.times <- times;
+    t.seqs <- seqs;
+    t.payloads <- payloads
+  end
+
+let push t ~time payload =
+  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
+  grow t;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let cell = Some payload in
+  let times = t.times and seqs = t.seqs and payloads = t.payloads in
+  (* Sift up a hole: parents slide down, the new entry is written once. *)
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  let placed = ref false in
+  while not !placed do
+    if !i = 0 then placed := true
+    else begin
+      let parent = (!i - 1) / 2 in
+      if time < times.(parent) || (time = times.(parent) && seq < seqs.(parent))
+      then begin
+        times.(!i) <- times.(parent);
+        seqs.(!i) <- seqs.(parent);
+        payloads.(!i) <- payloads.(parent);
+        i := parent
+      end
+      else placed := true
+    end
+  done;
+  times.(!i) <- time;
+  seqs.(!i) <- seq;
+  payloads.(!i) <- cell
+
+(* Move the last entry into the hole at the root and sift it down. *)
+let remove_root t =
+  let last = t.len - 1 in
+  t.len <- last;
+  if last = 0 then t.payloads.(0) <- None
+  else begin
+    let times = t.times and seqs = t.seqs and payloads = t.payloads in
+    let time = times.(last) and seq = seqs.(last) in
+    let cell = payloads.(last) in
+    payloads.(last) <- None;
+    let i = ref 0 in
+    let placed = ref false in
+    while not !placed do
+      let left = (2 * !i) + 1 in
+      if left >= last then placed := true
+      else begin
+        let right = left + 1 in
+        let child =
+          if
+            right < last
+            && (times.(right) < times.(left)
+               || (times.(right) = times.(left) && seqs.(right) < seqs.(left)))
+          then right
+          else left
+        in
+        if
+          times.(child) < time || (times.(child) = time && seqs.(child) < seq)
+        then begin
+          times.(!i) <- times.(child);
+          seqs.(!i) <- seqs.(child);
+          payloads.(!i) <- payloads.(child);
+          i := child
+        end
+        else placed := true
+      end
+    done;
+    times.(!i) <- time;
+    seqs.(!i) <- seq;
+    payloads.(!i) <- cell
+  end
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let time = t.times.(0) in
+    let payload = t.payloads.(0) in
+    remove_root t;
+    match payload with
+    | Some p -> Some (time, p)
+    | None -> assert false
+  end
+
+let pop_if_before t ~horizon =
+  if t.len = 0 || t.times.(0) > horizon then None
+  else begin
+    let time = t.times.(0) in
+    let payload = t.payloads.(0) in
+    remove_root t;
+    match payload with
+    | Some p -> Some (time, p)
+    | None -> assert false
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.times.(0)

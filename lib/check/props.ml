@@ -290,6 +290,106 @@ let invariants_hold_everywhere ~count =
 (* [scale] multiplies each property's base case count, so callers can
    run a quick smoke (scale < 1) or a deep soak (scale > 1) from the
    same definitions. Sim-heavy properties get smaller bases. *)
+(* ---- calendar queue vs reference binary heap ------------------------ *)
+
+(* The calendar queue that now backs [Lognic_sim.Event_queue] must pop
+   the exact lexicographic (time, seq) minimum — bit-identical to the
+   binary heap it replaced (kept verbatim in [Heap_ref]).  Random op
+   sequences mix tie storms (integer times), near-uniform floats, huge
+   and negative magnitudes (exercising bucket-index clamping and
+   resizes), horizon-bounded pops right on the boundary, and [clear]
+   (reuse, vs a fresh heap). *)
+let queue_time_gen =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map float_of_int (QCheck.Gen.int_range 0 4);
+      QCheck.Gen.map
+        (fun i -> float_of_int i *. 0.125)
+        (QCheck.Gen.int_range 0 160);
+      QCheck.Gen.float_range 0. 1e-3;
+      QCheck.Gen.oneofl
+        [ 0.; 1e-12; 1.; 1e9; 4.2e15; 1e300; infinity; -1.; -1e9; -1e300 ];
+    ]
+
+let queue_op_gen =
+  QCheck.Gen.frequency
+    [
+      (4, QCheck.Gen.map (fun t -> `Push t) queue_time_gen);
+      (2, QCheck.Gen.return `Pop);
+      (2, QCheck.Gen.map (fun h -> `Pop_before h) queue_time_gen);
+      (1, QCheck.Gen.return `Peek);
+      (1, QCheck.Gen.return `Clear);
+    ]
+
+let queue_ops_gen =
+  QCheck.Gen.list_size (QCheck.Gen.int_range 0 500) queue_op_gen
+
+let queue_op_print = function
+  | `Push t -> Printf.sprintf "push %h" t
+  | `Pop -> "pop"
+  | `Pop_before h -> Printf.sprintf "pop_before %h" h
+  | `Peek -> "peek"
+  | `Clear -> "clear"
+
+let same_float a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let calendar_matches_heap ~count =
+  QCheck.Test.make ~count
+    ~name:"event queue: calendar pop order = reference binary heap"
+    (arb
+       ~print:(fun ops -> String.concat "; " (List.map queue_op_print ops))
+       queue_ops_gen)
+    (fun ops ->
+      let cq = Sim.Event_queue.create () in
+      let heap = ref (Heap_ref.create ()) in
+      let payload = ref 0 in
+      let fail op what =
+        QCheck.Test.fail_reportf "%s: calendar %s reference heap"
+          (queue_op_print op) what
+      in
+      let check op a b =
+        match (a, b) with
+        | None, None -> ()
+        | Some (t1, p1), Some (t2, p2) when same_float t1 t2 && p1 = p2 -> ()
+        | _, _ -> fail op "disagrees with"
+      in
+      List.iter
+        (fun op ->
+          (match op with
+          | `Push t ->
+            incr payload;
+            Sim.Event_queue.push cq ~time:t !payload;
+            Heap_ref.push !heap ~time:t !payload
+          | `Pop -> check op (Sim.Event_queue.pop cq) (Heap_ref.pop !heap)
+          | `Pop_before h ->
+            check op
+              (Sim.Event_queue.pop_if_before cq ~horizon:h)
+              (Heap_ref.pop_if_before !heap ~horizon:h)
+          | `Peek ->
+            (match
+               (Sim.Event_queue.peek_time cq, Heap_ref.peek_time !heap)
+             with
+            | None, None -> ()
+            | Some a, Some b when same_float a b -> ()
+            | _ -> fail op "peeks differently from")
+          | `Clear ->
+            Sim.Event_queue.clear cq;
+            heap := Heap_ref.create ());
+          if Sim.Event_queue.size cq <> Heap_ref.size !heap then
+            fail op "sizes diverge after")
+        ops;
+      (* drain both completely: every queued event must come out in the
+         same order *)
+      let rec drain () =
+        let a = Sim.Event_queue.pop cq and b = Heap_ref.pop !heap in
+        match (a, b) with
+        | None, None -> true
+        | _ ->
+          check `Pop a b;
+          drain ()
+      in
+      drain ())
+
 let suite ?(scale = 1.) () =
   let n base = max 1 (int_of_float (Float.round (float_of_int base *. scale))) in
   [
@@ -304,4 +404,5 @@ let suite ?(scale = 1.) () =
     mm1n_vs_sim_sojourn ~count:(n 6);
     run_wrapper_equivalence ~count:(n 10);
     invariants_hold_everywhere ~count:(n 20);
+    calendar_matches_heap ~count:(n 500);
   ]

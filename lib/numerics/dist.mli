@@ -31,6 +31,11 @@ val mean : t -> float
 
 val sample : t -> Rng.t -> float
 
+val sample_exponential : rate:float -> Rng.t -> float
+(** Exactly [sample (exponential ~rate)] — same draw, same float
+    operations — without constructing the distribution value; the
+    simulator's per-service/per-arrival fast path. *)
+
 val sample_poisson : rate:float -> Rng.t -> int
 (** [sample_poisson ~rate rng] draws a Poisson-distributed count with the
     given mean, via inversion for small rates and

@@ -6,11 +6,14 @@ let split t =
   let a = Random.State.bits t and b = Random.State.bits t in
   Random.State.make [| a; b; Random.State.bits t |]
 
-let float t bound =
+(* Inlinable so [bound] reaches the stdlib draw without boxing at this
+   wrapper's call sites; the boxed int64 inside [Random.State.float]
+   itself is the simulator's per-draw allocation floor. *)
+let[@inline] float t bound =
   assert (bound > 0.);
   Random.State.float t bound
 
-let int t bound =
+let[@inline] int t bound =
   assert (bound > 0);
   Random.State.int t bound
 

@@ -22,30 +22,135 @@ let stddev xs = sqrt (variance xs)
    keep IEEE propagation (a poisoned sum is a signal, not a sample to
    discard). *)
 
+(* Heapsort sift-down over a.(lo..lo+len-1), root at offset [root].
+   Int arguments and unhoisted float reads only: the comparisons stay
+   in float registers, where [Array.sort Float.compare] would box two
+   floats per comparison — ~1M minor words to sort one run's 17k
+   latency samples. *)
+let rec sift_down (a : float array) lo len root =
+  let child = (2 * root) + 1 in
+  if child < len then begin
+    let child =
+      if child + 1 < len && a.(lo + child) < a.(lo + child + 1) then child + 1
+      else child
+    in
+    if a.(lo + root) < a.(lo + child) then begin
+      let tmp = a.(lo + root) in
+      a.(lo + root) <- a.(lo + child);
+      a.(lo + child) <- tmp;
+      sift_down a lo len child
+    end
+  end
+
+(* In-place, allocation-free sort in exactly [Float.compare] order:
+   NaNs first (their mutual order is irrelevant — [Array.sort] is
+   unstable and [Float.compare] equates all NaNs), then [-0.] before
+   [0.], then increasing. For NaN-free input every slot of the result
+   is bit-identical to what [Array.sort Float.compare] produces, which
+   is what keeps measurement JSON byte-stable across the swap. *)
+let sort_floats a =
+  let n = Array.length a in
+  (* compact NaNs to the front *)
+  let nans = ref 0 in
+  for i = 0 to n - 1 do
+    let x = a.(i) in
+    if x <> x then begin
+      a.(i) <- a.(!nans);
+      a.(!nans) <- x;
+      incr nans
+    end
+  done;
+  let lo = !nans in
+  let m = n - lo in
+  (* heapsort the non-NaN suffix: NaN-free direct [<] is a total order *)
+  for root = (m / 2) - 1 downto 0 do
+    sift_down a lo m root
+  done;
+  for last = m - 1 downto 1 do
+    let tmp = a.(lo) in
+    a.(lo) <- a.(lo + last);
+    a.(lo + last) <- tmp;
+    sift_down a lo last 0
+  done;
+  (* [<] equates -0. and 0., so the zero run is mixed: rewrite it with
+     the -0.s first, completing the [Float.compare] order *)
+  let i = ref lo in
+  while !i < n && a.(!i) < 0. do
+    incr i
+  done;
+  let j = ref !i in
+  let neg = ref 0 in
+  while !j < n && a.(!j) = 0. do
+    if 1. /. a.(!j) < 0. then incr neg;
+    incr j
+  done;
+  for k = !i to !i + !neg - 1 do
+    a.(k) <- -0.
+  done;
+  for k = !i + !neg to !j - 1 do
+    a.(k) <- 0.
+  done
+
+(* Sort once, query many: every order statistic in the family reads the
+   same sorted copy, so a summary computing p50/p99/min/max pays for
+   one sort instead of one per call (the old [percentile] re-sorted its
+   input every time). *)
+module Sorted = struct
+  type t = { data : float array; first : int }
+
+  let of_array xs =
+    require_nonempty xs "Stats.Sorted.of_array";
+    let data = Array.copy xs in
+    (* [sort_floats] reproduces the [Float.compare] total order without
+       boxing: NaN sorts before every float, so non-NaN samples occupy
+       a suffix. *)
+    sort_floats data;
+    let n = Array.length data in
+    let first = ref 0 in
+    while
+      !first < n
+      &&
+      let x = data.(!first) in
+      x <> x
+    do
+      incr first
+    done;
+    { data; first = !first }
+
+  let count t = Array.length t.data - t.first
+
+  let percentile t p =
+    if p < 0. || p > 100. then
+      invalid_arg "Stats.percentile: p outside [0,100]";
+    let n = Array.length t.data in
+    let first = t.first in
+    if first = n then Float.nan
+    else
+      let n = n - first in
+      let rank = p /. 100. *. float_of_int (n - 1) in
+      let lo = first + int_of_float (floor rank) in
+      let hi = first + int_of_float (ceil rank) in
+      if lo = hi then t.data.(lo)
+      else
+        let frac = rank -. float_of_int (lo - first) in
+        t.data.(lo) +. (frac *. (t.data.(hi) -. t.data.(lo)))
+
+  let median t = percentile t 50.
+
+  (* First/last non-NaN of the total order = the Float.min/Float.max
+     folds of the old implementation (Float.compare orders -0 below +0,
+     matching Float.min/max's signed-zero treatment). *)
+  let minimum t =
+    if t.first = Array.length t.data then Float.nan else t.data.(t.first)
+
+  let maximum t =
+    let n = Array.length t.data in
+    if t.first = n then Float.nan else t.data.(n - 1)
+end
+
 let percentile xs p =
   require_nonempty xs "Stats.percentile";
-  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0,100]";
-  let sorted = Array.copy xs in
-  (* Float.compare, not polymorphic compare: unboxed comparisons on the
-     latency hot path, and a total order in the presence of NaN. It sorts
-     NaN before every float, so non-NaN samples occupy a suffix. *)
-  Array.sort Float.compare sorted;
-  let n = Array.length sorted in
-  let first = ref 0 in
-  while !first < n && Float.is_nan sorted.(!first) do
-    incr first
-  done;
-  let first = !first in
-  if first = n then Float.nan
-  else
-    let n = n - first in
-    let rank = p /. 100. *. float_of_int (n - 1) in
-    let lo = first + int_of_float (floor rank) in
-    let hi = first + int_of_float (ceil rank) in
-    if lo = hi then sorted.(lo)
-    else
-      let frac = rank -. float_of_int (lo - first) in
-      sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  Sorted.percentile (Sorted.of_array xs) p
 
 let median xs = percentile xs 50.
 

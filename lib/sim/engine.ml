@@ -1,42 +1,70 @@
-type t = { queue : (unit -> unit) Event_queue.t; mutable clock : float }
+(* The clock lives in a 1-slot float array rather than a mutable float
+   field: without flambda a mutable float field of a mixed record is
+   boxed on every store, and the clock is written once per event.
+   [schedule]/[schedule_after] are inlinable wrappers feeding the
+   queue's scratch cell, so the hot path never boxes a time. *)
 
-let create () = { queue = Event_queue.create (); clock = 0. }
-let now t = t.clock
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  clock : float array;
+  mutable executed : int;
+}
 
-let schedule t ~at thunk =
-  if at < t.clock then invalid_arg "Engine.schedule: event in the past";
+let create () =
+  { queue = Event_queue.create (); clock = Array.make 1 0.; executed = 0 }
+
+let[@inline] now t = t.clock.(0)
+
+let past_error () = invalid_arg "Engine.schedule: event in the past"
+let delay_error () = invalid_arg "Engine.schedule_after: negative delay"
+
+let[@inline] schedule t ~at thunk =
+  if at < t.clock.(0) then past_error ();
   Event_queue.push t.queue ~time:at thunk
 
-let schedule_after t ~delay thunk =
-  if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
-  schedule t ~at:(t.clock +. delay) thunk
+let[@inline] schedule_after t ~delay thunk =
+  if delay < 0. then delay_error ();
+  schedule t ~at:(t.clock.(0) +. delay) thunk
 
 let run ?until ?observer t =
   let horizon = Option.value until ~default:infinity in
-  (* Two loops so the no-observer path (the default) stays exactly the
-     pre-observer hot loop: no per-event option match, no closure call. *)
+  let q = t.queue in
+  (* Two loops so the no-observer path (the default) stays the exact
+     hot loop: no per-event option match, no closure call — and via
+     locate/take, no per-event allocation at all. *)
   (match observer with
   | None ->
     let rec loop () =
-      match Event_queue.pop_if_before t.queue ~horizon with
-      | Some (time, thunk) ->
-        t.clock <- time;
+      if Event_queue.locate q ~horizon then begin
+        t.clock.(0) <- Event_queue.located_time q;
+        t.executed <- t.executed + 1;
+        let thunk = Event_queue.take q in
         thunk ();
         loop ()
-      | None -> ()
+      end
     in
     loop ()
   | Some observe ->
     let rec loop () =
-      match Event_queue.pop_if_before t.queue ~horizon with
-      | Some (time, thunk) ->
+      if Event_queue.locate q ~horizon then begin
+        let time = Event_queue.located_time q in
         observe time;
-        t.clock <- time;
+        t.clock.(0) <- time;
+        t.executed <- t.executed + 1;
+        let thunk = Event_queue.take q in
         thunk ();
         loop ()
-      | None -> ()
+      end
     in
     loop ());
-  if horizon < infinity && t.clock < horizon then t.clock <- horizon
+  if horizon < infinity && t.clock.(0) < horizon then t.clock.(0) <- horizon
 
 let pending t = Event_queue.size t.queue
+let executed t = t.executed
+let queue_resizes t = Event_queue.resizes t.queue
+
+let reset t =
+  Event_queue.clear t.queue;
+  t.clock.(0) <- 0.;
+  t.executed <- 0
+

@@ -21,6 +21,22 @@ val run : ?until:float -> ?observer:(float -> unit) -> t -> unit
     left at [until]). [observer], when given, is called with each event's
     time just before it executes — in pop order, so a well-behaved queue
     feeds it non-decreasing times ({!Invariants.observe_event_time}).
-    The default no-observer path runs the exact pre-observer loop. *)
+    The default no-observer path runs the exact pre-observer loop and
+    allocates nothing per event. *)
 
 val pending : t -> int
+
+val executed : t -> int
+(** Events executed so far (cumulative across [run] calls; cleared by
+    {!reset}) — the numerator of the events/sec headline bench. *)
+
+val queue_resizes : t -> int
+(** Calendar rebuilds in this engine's queue since {!create} (not
+    cleared by {!reset}) — a diagnostic for the resize hysteresis; a
+    steady-state workload should settle after a handful. *)
+
+val reset : t -> unit
+(** Back to a fresh engine — clock 0, nothing pending, counter 0 —
+    while keeping the event queue's arrays for reuse, so replicated
+    runs and optimizer sweeps stop reallocating per run. *)
+

@@ -1,10 +1,17 @@
-(** A binary min-heap of timestamped events, stored struct-of-arrays
-    (unboxed float times, int sequence numbers, payloads apart) so the
-    simulator's hot sift loops compare machine floats without chasing
-    pointers, and vacated slots drop their payload references.
+(** A calendar queue (Brown 1988) of timestamped events, stored
+    struct-of-arrays (unboxed float times, int sequence numbers,
+    payloads apart) with O(1) amortized push/pop on the near-uniform
+    timestamp distributions the traffic generators produce.
 
-    Ties in time are broken by insertion order, so simulations are fully
-    deterministic given a seed. *)
+    Ties in time are broken by insertion order — pop order is the exact
+    lexicographic [(time, seq)] minimum, bit-identical to the binary
+    heap this replaced (pinned by the differential property in
+    lib/check) — so simulations are fully deterministic given a seed.
+
+    Steady-state operations allocate nothing: slots are free-listed,
+    bucket geometry only ever changes in deterministic O(n) rebuilds,
+    and the [locate]/[located_time]/[take] triple exposes the earliest
+    event without materializing a [(float * 'a) option]. *)
 
 type 'a t
 
@@ -12,8 +19,28 @@ val create : unit -> 'a t
 val is_empty : 'a t -> bool
 val size : 'a t -> int
 
+val resizes : 'a t -> int
+(** Calendar rebuilds since [create] — a diagnostic for the resize
+    hysteresis (a steady-state workload should see almost none). *)
+
 val push : 'a t -> time:float -> 'a -> unit
 (** Raises [Invalid_argument] on a NaN time. *)
+
+val locate : 'a t -> horizon:float -> bool
+(** [locate t ~horizon] finds (without removing) the earliest event and
+    caches its position; [true] iff the queue is non-empty and that
+    event's time is [<= horizon]. The allocation-free half of
+    {!pop_if_before}; read the time with {!located_time}, remove with
+    {!take}. *)
+
+val located_time : 'a t -> float
+(** Time of the event found by the last successful {!locate}. Only
+    meaningful immediately after [locate] returned [true]. *)
+
+val take : 'a t -> 'a
+(** Removes and returns the event found by the last successful
+    {!locate}. Raises [Invalid_argument] if no located event is
+    pending (locate failed, or the queue was touched since). *)
 
 val pop : 'a t -> (float * 'a) option
 (** Removes and returns the earliest event. *)
@@ -21,6 +48,11 @@ val pop : 'a t -> (float * 'a) option
 val pop_if_before : 'a t -> horizon:float -> (float * 'a) option
 (** [pop_if_before t ~horizon] pops the earliest event only when its
     time is [<= horizon] — the engine's peek-then-pop fused into one
-    heap operation. *)
+    queue operation. *)
 
 val peek_time : 'a t -> float option
+
+val clear : 'a t -> unit
+(** Empty the queue, resetting the sequence counter but keeping every
+    array (slots, buckets) for reuse — so replicated runs and optimizer
+    sweeps stop reallocating queue storage per run. *)

@@ -1,12 +1,56 @@
 type service_dist = Deterministic | Exponential
 
-type request = {
-  work : float;
-  submitted : float;
-  timing : (queued:float -> service:float -> unit) option;
-  span : (lane:int -> queued:float -> service:float -> unit) option;
-  k : unit -> unit;
+(* Pending requests live in per-queue ring buffers stored
+   struct-of-arrays: work and submission times in unboxed float arrays,
+   continuations and observer hooks in parallel pointer arrays. Pushing
+   a request is five array stores — no record, no list cell — and the
+   rings only ever grow (amortized), so steady state allocates
+   nothing. *)
+type ring = {
+  mutable r_work : float array;
+  mutable r_sub : float array;
+  mutable r_tally : float array option array;
+  mutable r_span : (lane:int -> queued:float -> service:float -> unit) option array;
+  mutable r_k : (unit -> unit) array;
+  mutable r_head : int;
+  mutable r_len : int;
 }
+
+let noop () = ()
+
+let ring_create () =
+  {
+    r_work = Array.make 16 0.;
+    r_sub = Array.make 16 0.;
+    r_tally = Array.make 16 None;
+    r_span = Array.make 16 None;
+    r_k = Array.make 16 noop;
+    r_head = 0;
+    r_len = 0;
+  }
+
+let ring_grow r =
+  let cap = Array.length r.r_k in
+  let bigger = 2 * cap in
+  let work = Array.make bigger 0. in
+  let sub = Array.make bigger 0. in
+  let tally = Array.make bigger None in
+  let span = Array.make bigger None in
+  let k = Array.make bigger noop in
+  for i = 0 to r.r_len - 1 do
+    let j = (r.r_head + i) land (cap - 1) in
+    work.(i) <- r.r_work.(j);
+    sub.(i) <- r.r_sub.(j);
+    tally.(i) <- r.r_tally.(j);
+    span.(i) <- r.r_span.(j);
+    k.(i) <- r.r_k.(j)
+  done;
+  r.r_work <- work;
+  r.r_sub <- sub;
+  r.r_tally <- tally;
+  r.r_span <- span;
+  r.r_k <- k;
+  r.r_head <- 0
 
 type t = {
   engine : Engine.t;
@@ -19,7 +63,11 @@ type t = {
       (* single-queue nodes use the M/M/n/N convention: capacity counts
          queued + in-service requests *)
   service_dist : service_dist;
-  queues : request Queue.t array;
+  queues : ring array;
+  mutable queued_total : int;
+      (* requests across all rings: the O(1) idle check that lets
+         dispatch skip the WRR pattern scan entirely when nothing is
+         queued *)
   drops_per_queue : int array;
   pattern : int array;  (* expanded WRR schedule over queue indices *)
   mutable cursor : int;  (* next position in [pattern] *)
@@ -31,10 +79,24 @@ type t = {
          capacity at admission time *)
   mutable busy_engines : int;
   mutable completions : int;
-  mutable busy : float;
-  mutable in_flight : float list;
-      (* completion times of services still running; what [busy]
-         counts beyond the horizon lives entirely in this list *)
+  fb : float array;  (* unboxed: 0 = cumulative scheduled busy time, 1 = scratch *)
+  ifl : float array;
+      (* completion times of services still running, newest last — the
+         old [in_flight] list with its exact element order (and thus
+         the exact float summation order of [busy_within]) replicated
+         in a fixed [engines]-slot array *)
+  mutable ifl_len : int;
+  (* Service-completion slots, pooled per node ([engines] of them, the
+     maximum concurrency): each slot carries the finish time, lane and
+     downstream continuation of one running service, and [sv_fire] is
+     its completion closure built once at node creation — scheduling a
+     completion allocates nothing. *)
+  sv_finish : float array;
+  sv_lane : int array;
+  sv_k : (unit -> unit) array;
+  sv_fire : (unit -> unit) array;
+  sv_free : int array;
+  mutable sv_free_top : int;
   free_lanes : int array;
       (* stack of free engine lanes, only maintained when the node was
          created with [track_lanes] (tracing); empty otherwise so the
@@ -63,31 +125,43 @@ let validate_common ~engines ~rate_per_engine ~capacity =
 
 let make engine ~rng ~label ~engines ~rate_per_engine ~entries_per_queue
     ~weights ~single_queue ~service_dist ~track_lanes =
-  {
-    engine;
-    rng;
-    label;
-    engines;
-    rate_per_engine;
-    entries_per_queue;
-    single_queue;
-    service_dist;
-    queues = Array.init (Array.length weights) (fun _ -> Queue.create ());
-    drops_per_queue = Array.make (Array.length weights) 0;
-    pattern = expand_pattern weights;
-    cursor = 0;
-    offline = 0;
-    capacity_override = None;
-    busy_engines = 0;
-    completions = 0;
-    busy = 0.;
-    in_flight = [];
-    (* lane [0] on top of the stack so the first claim is lane 0 *)
-    free_lanes =
-      (if track_lanes then Array.init engines (fun i -> engines - 1 - i)
-       else [||]);
-    free_top = (if track_lanes then engines else 0);
-  }
+  let t =
+    {
+      engine;
+      rng;
+      label;
+      engines;
+      rate_per_engine;
+      entries_per_queue;
+      single_queue;
+      service_dist;
+      queues = Array.init (Array.length weights) (fun _ -> ring_create ());
+      queued_total = 0;
+      drops_per_queue = Array.make (Array.length weights) 0;
+      pattern = expand_pattern weights;
+      cursor = 0;
+      offline = 0;
+      capacity_override = None;
+      busy_engines = 0;
+      completions = 0;
+      fb = Array.make 2 0.;
+      ifl = Array.make engines 0.;
+      ifl_len = 0;
+      sv_finish = Array.make engines 0.;
+      sv_lane = Array.make engines 0;
+      sv_k = Array.make engines noop;
+      sv_fire = Array.make engines noop;
+      (* slot [0] on top of the stack so the first start takes slot 0 *)
+      sv_free = Array.init engines (fun i -> engines - 1 - i);
+      sv_free_top = engines;
+      (* lane [0] on top of the stack so the first claim is lane 0 *)
+      free_lanes =
+        (if track_lanes then Array.init engines (fun i -> engines - 1 - i)
+         else [||]);
+      free_top = (if track_lanes then engines else 0);
+    }
+  in
+  t
 
 let create ?(track_lanes = false) engine ~rng ~label ~engines ~rate_per_engine
     ~queue_capacity ~service_dist =
@@ -109,14 +183,12 @@ let create_multiqueue ?(track_lanes = false) engine ~rng ~label ~engines
 let label t = t.label
 let engines t = t.engines
 let queue_count t = Array.length t.queues
-
-let in_system t =
-  Array.fold_left (fun acc q -> acc + Queue.length q) t.busy_engines t.queues
+let in_system t = t.busy_engines + t.queued_total
 
 let queue_length t i =
   if i < 0 || i >= Array.length t.queues then
     invalid_arg "Ip_node.queue_length: bad queue index";
-  Queue.length t.queues.(i)
+  t.queues.(i).r_len
 
 let busy_engines t = t.busy_engines
 
@@ -128,51 +200,51 @@ let drops_of_queue t i =
   t.drops_per_queue.(i)
 
 let completions t = t.completions
-let busy_time t = t.busy
+let busy_time t = t.fb.(0)
 
 (* Clip scheduled busy time to the [\[0, until\]] window: every service
-   still in [in_flight] at query time started at or before the horizon,
+   still in flight at query time started at or before the horizon,
    so its overrun past [until] is exactly [end - until]. Without the
    clip, service durations extending past the horizon count fully and
-   utilization can exceed 1 for an overloaded node. *)
+   utilization can exceed 1 for an overloaded node. Newest-first, the
+   old list's fold order, so the float rounding matches exactly. *)
 let busy_within t ~until =
-  List.fold_left
-    (fun acc finish -> acc -. Float.max 0. (finish -. until))
-    t.busy t.in_flight
+  let acc = ref t.fb.(0) in
+  for i = t.ifl_len - 1 downto 0 do
+    acc := !acc -. Float.max 0. (t.ifl.(i) -. until)
+  done;
+  !acc
 
 let utilization t ~until =
   if until <= 0. then 0.
   else Float.max 0. (busy_within t ~until) /. (float_of_int t.engines *. until)
 
-let service_time t work =
+let[@inline] service_time t work =
   let mean = work /. t.rate_per_engine in
   match t.service_dist with
   | Deterministic -> mean
   | Exponential ->
     if mean <= 0. then 0.
-    else
-      Lognic_numerics.Dist.sample
-        (Lognic_numerics.Dist.exponential ~rate:(1. /. mean))
-        t.rng
+    else Lognic_numerics.Dist.sample_exponential ~rate:(1. /. mean) t.rng
 
-(* The WRR pull: scan the expanded pattern from the cursor, skipping
-   empty queues (work conserving); at most one full cycle. *)
-let next_request t =
-  let n = Array.length t.pattern in
-  let rec scan tries =
-    if tries >= n then None
-    else begin
-      let q = t.pattern.(t.cursor) in
-      t.cursor <- (t.cursor + 1) mod n;
-      if Queue.is_empty t.queues.(q) then scan (tries + 1)
-      else Some (Queue.pop t.queues.(q))
-    end
-  in
-  scan 0
+(* Drop the first (newest-first) entry equal to [finish] — the old
+   [remove_first] on the cons list, element order preserved. The target
+   time rides in the [fb] scratch slot and the scan is a top-level
+   recursion over an int index: inlined at the per-completion call
+   site, this removes both the boxed [finish] argument and the [ref]
+   cell the old while-loop allocated. *)
+let rec rif_scan t i =
+  if i >= 0 && t.ifl.(i) <> t.fb.(1) then rif_scan t (i - 1) else i
 
-let rec remove_first x = function
-  | [] -> []
-  | y :: rest -> if y = x then rest else y :: remove_first x rest
+let[@inline] remove_in_flight t finish =
+  t.fb.(1) <- finish;
+  let i = rif_scan t (t.ifl_len - 1) in
+  if i >= 0 then begin
+    for j = i to t.ifl_len - 2 do
+      t.ifl.(j) <- t.ifl.(j + 1)
+    done;
+    t.ifl_len <- t.ifl_len - 1
+  end
 
 (* Pop a free engine lane; only meaningful when lanes are tracked.
    [busy_engines < engines] before every start, so the stack is never
@@ -190,49 +262,113 @@ let release_lane t lane =
     t.free_top <- t.free_top + 1
   end
 
-let rec start_service t req =
-  t.busy_engines <- t.busy_engines + 1;
-  let now = Engine.now t.engine in
-  let duration = service_time t req.work in
-  let finish = now +. duration in
-  t.busy <- t.busy +. duration;
-  t.in_flight <- finish :: t.in_flight;
-  let lane = claim_lane t in
-  (match req.timing with
-  | Some f -> f ~queued:(now -. req.submitted) ~service:duration
-  | None -> ());
-  (match req.span with
-  | Some f -> f ~lane ~queued:(now -. req.submitted) ~service:duration
-  | None -> ());
-  Engine.schedule_after t.engine ~delay:duration (fun () ->
-      t.busy_engines <- t.busy_engines - 1;
-      release_lane t lane;
-      t.in_flight <- remove_first finish t.in_flight;
-      t.completions <- t.completions + 1;
-      (* Work-conserving: the freed engine immediately pulls the next
-         request before the completion continuation runs downstream. *)
-      dispatch t;
-      req.k ())
+(* WRR pull: scan the expanded pattern from the cursor, skipping empty
+   queues (work conserving); the [queued_total > 0] guard at the call
+   site guarantees a hit within one cycle, with the same cursor walk as
+   before. Top-level recursion over ints — the index [ref] this
+   replaces allocated once per service start. *)
+let rec wrr_pick t n =
+  let q = t.pattern.(t.cursor) in
+  t.cursor <- (t.cursor + 1) mod n;
+  if t.queues.(q).r_len = 0 then wrr_pick t n else q
 
-and dispatch t =
-  if t.busy_engines < t.engines - t.offline then
-    match next_request t with
-    | Some req -> start_service t req
-    | None -> ()
+(* One-pass arbitration: while an engine is free and work is queued,
+   pull via the WRR pattern and start service — submit, completion and
+   recovery all funnel through this single drain loop, so a burst of
+   freed engines resolves in one pass instead of one event round-trip
+   each. Grant order is identical to the old one-grant-per-call
+   dispatch (each call could only ever free one engine's worth of
+   capacity at a time). *)
+let rec dispatch t =
+  if t.busy_engines < t.engines - t.offline && t.queued_total > 0 then begin
+    let q = wrr_pick t (Array.length t.pattern) in
+    let r = t.queues.(q) in
+    let cap = Array.length r.r_k in
+    let head = r.r_head in
+    let work = r.r_work.(head) in
+    let submitted = r.r_sub.(head) in
+    let tally = r.r_tally.(head) in
+    let span = r.r_span.(head) in
+    let k = r.r_k.(head) in
+    r.r_tally.(head) <- None;
+    r.r_span.(head) <- None;
+    r.r_k.(head) <- noop;
+    r.r_head <- (head + 1) land (cap - 1);
+    r.r_len <- r.r_len - 1;
+    t.queued_total <- t.queued_total - 1;
+    (* start service (old [start_service], operation order preserved) *)
+    t.busy_engines <- t.busy_engines + 1;
+    let now = Engine.now t.engine in
+    let duration = service_time t work in
+    let finish = now +. duration in
+    t.fb.(0) <- t.fb.(0) +. duration;
+    t.ifl.(t.ifl_len) <- finish;
+    t.ifl_len <- t.ifl_len + 1;
+    let lane = claim_lane t in
+    (match tally with
+    | Some a ->
+      a.(Telemetry.slot_queueing) <-
+        a.(Telemetry.slot_queueing) +. (now -. submitted);
+      a.(Telemetry.slot_service) <- a.(Telemetry.slot_service) +. duration
+    | None -> ());
+    (match span with
+    | Some f -> f ~lane ~queued:(now -. submitted) ~service:duration
+    | None -> ());
+    let slot = t.sv_free.(t.sv_free_top - 1) in
+    t.sv_free_top <- t.sv_free_top - 1;
+    t.sv_finish.(slot) <- finish;
+    t.sv_lane.(slot) <- lane;
+    t.sv_k.(slot) <- k;
+    Engine.schedule_after t.engine ~delay:duration t.sv_fire.(slot);
+    dispatch t
+  end
+
+and fire t slot =
+  let finish = t.sv_finish.(slot) in
+  let lane = t.sv_lane.(slot) in
+  let k = t.sv_k.(slot) in
+  t.busy_engines <- t.busy_engines - 1;
+  release_lane t lane;
+  remove_in_flight t finish;
+  t.completions <- t.completions + 1;
+  t.sv_k.(slot) <- noop;
+  t.sv_free.(t.sv_free_top) <- slot;
+  t.sv_free_top <- t.sv_free_top + 1;
+  (* Work-conserving: the freed engine immediately pulls the next
+     request before the completion continuation runs downstream. *)
+  dispatch t;
+  k ()
+
+(* Completion closures are per-slot and built once here — after the
+   record exists, since they capture it. *)
+let make_fires t =
+  for slot = 0 to t.engines - 1 do
+    t.sv_fire.(slot) <- (fun () -> fire t slot)
+  done;
+  t
+
+let create ?track_lanes engine ~rng ~label ~engines ~rate_per_engine
+    ~queue_capacity ~service_dist =
+  make_fires
+    (create ?track_lanes engine ~rng ~label ~engines ~rate_per_engine
+       ~queue_capacity ~service_dist)
+
+let create_multiqueue ?track_lanes engine ~rng ~label ~engines ~rate_per_engine
+    ~entries_per_queue ~weights ~service_dist =
+  make_fires
+    (create_multiqueue ?track_lanes engine ~rng ~label ~engines
+       ~rate_per_engine ~entries_per_queue ~weights ~service_dist)
 
 let offline t = t.offline
 
 let set_offline t n =
   if n < 0 || n > t.engines then
     invalid_arg "Ip_node.set_offline: count outside [0, engines]";
-  let was = t.offline in
   t.offline <- n;
-  (* Recovery may free several engines at once; one dispatch per freed
-     engine drains the backlog immediately (work conserving). *)
-  if n < was then
-    for _ = 1 to was - n do
-      dispatch t
-    done
+  (* Recovery may free several engines at once; the drain loop starts
+     as many services as there are freed engines and backlogged
+     requests (work conserving). *)
+  dispatch t
 
 let capacity_override t = t.capacity_override
 
@@ -248,7 +384,7 @@ let effective_capacity t =
   | None -> t.entries_per_queue
   | Some c -> min c t.entries_per_queue
 
-let submit ?(queue = 0) ?timing ?span t ~work k =
+let[@inline] submit ?(queue = 0) ?tally ?span t ~work k =
   if queue < 0 || queue >= Array.length t.queues then
     invalid_arg "Ip_node.submit: bad queue index";
   if work < 0. then invalid_arg "Ip_node.submit: negative work";
@@ -256,10 +392,13 @@ let submit ?(queue = 0) ?timing ?span t ~work k =
      but only when its queue is empty, otherwise it would overtake
      queued requests and reorder the stream. *)
   if
-    (work = 0. || t.rate_per_engine = infinity)
-    && Queue.is_empty t.queues.(queue)
+    (work = 0. || t.rate_per_engine = infinity) && t.queues.(queue).r_len = 0
   then begin
-    (match timing with Some f -> f ~queued:0. ~service:0. | None -> ());
+    (match tally with
+    | Some a ->
+      a.(Telemetry.slot_queueing) <- a.(Telemetry.slot_queueing) +. 0.;
+      a.(Telemetry.slot_service) <- a.(Telemetry.slot_service) +. 0.
+    | None -> ());
     (match span with Some f -> f ~lane:0 ~queued:0. ~service:0. | None -> ());
     k ();
     true
@@ -268,15 +407,25 @@ let submit ?(queue = 0) ?timing ?span t ~work k =
     let capacity = effective_capacity t in
     let full =
       if t.single_queue then in_system t >= capacity
-      else Queue.length t.queues.(queue) >= capacity
+      else t.queues.(queue).r_len >= capacity
     in
     if full then begin
       t.drops_per_queue.(queue) <- t.drops_per_queue.(queue) + 1;
       false
     end
     else begin
-      Queue.push { work; submitted = Engine.now t.engine; timing; span; k }
-        t.queues.(queue);
+      let r = t.queues.(queue) in
+      let cap = Array.length r.r_k in
+      if r.r_len = cap then ring_grow r;
+      let cap = Array.length r.r_k in
+      let i = (r.r_head + r.r_len) land (cap - 1) in
+      r.r_work.(i) <- work;
+      r.r_sub.(i) <- Engine.now t.engine;
+      r.r_tally.(i) <- tally;
+      r.r_span.(i) <- span;
+      r.r_k.(i) <- k;
+      r.r_len <- r.r_len + 1;
+      t.queued_total <- t.queued_total + 1;
       dispatch t;
       true
     end

@@ -62,7 +62,7 @@ val queue_count : t -> int
 
 val submit :
   ?queue:int ->
-  ?timing:(queued:float -> service:float -> unit) ->
+  ?tally:float array ->
   ?span:(lane:int -> queued:float -> service:float -> unit) ->
   t ->
   work:float ->
@@ -71,12 +71,17 @@ val submit :
 (** [submit node ~work k] enqueues a request needing [work] bytes of
     processing into [queue] (default 0); [k] fires at service
     completion. Returns [false] (and counts a drop) when that queue is
-    full. [timing], when given, is called once at service start with
-    the request's time-in-queue and drawn service duration — the
-    per-hop inputs to {!Telemetry.latency_terms}. [span] is the tracing
-    sink ({!Trace}): also called once at service start, additionally
-    carrying the serving engine's lane index (see [track_lanes]); when
-    absent, the request records nothing and costs nothing.
+    full. [tally], when given, receives the request's time-in-queue and
+    drawn service duration at service start, accumulated ([+.]) into
+    [tally.(Telemetry.slot_queueing)] /
+    [tally.(Telemetry.slot_service)] — the per-hop inputs to
+    {!Telemetry.latency_terms}, recorded without boxing a float
+    (callers keep one scratch array per in-flight packet; pass a
+    pre-allocated [Some] to stay allocation-free). [span] is the
+    tracing sink ({!Trace}): called once at service start with the same
+    quantities plus the serving engine's lane index (see
+    [track_lanes]); when absent, the request records nothing and costs
+    nothing.
 
     Zero-work requests (and any request on an infinite-rate node) take
     a fast path {e only while their queue is empty}: they complete

@@ -5,8 +5,7 @@ type t = {
   buffer : float;
   mutable scale : float;
       (* fault-injection bandwidth factor; 1. outside degraded intervals *)
-  mutable next_free : float;
-  mutable busy : float;
+  f : float array;  (* unboxed hot state: 0 = next_free, 1 = busy *)
   mutable rejections : int;
 }
 
@@ -19,8 +18,7 @@ let create engine ~label ~bandwidth ?(buffer = 2. *. 1024. *. 1024.) () =
     bandwidth;
     buffer;
     scale = 1.;
-    next_free = 0.;
-    busy = 0.;
+    f = Array.make 2 0.;
     rejections = 0;
   }
 
@@ -40,10 +38,18 @@ let set_scale t factor =
     invalid_arg "Medium.set_scale: factor must be in (0, 1]";
   t.scale <- factor
 
-let transfer ?timing ?span t ~bytes k =
+(* [tally], when given, receives the backlog wait and transmission time
+   as [+.] accumulations into the {!Telemetry} flight-slot layout —
+   unboxed float-array stores, replacing the old per-call [?timing]
+   closure whose float arguments boxed on every hop. *)
+let[@inline] transfer ?tally ?span t ~bytes k =
   if bytes < 0. then invalid_arg "Medium.transfer: negative bytes";
   if bytes = 0. then begin
-    (match timing with Some f -> f ~queued:0. ~wire:0. | None -> ());
+    (match tally with
+    | Some a ->
+      a.(Telemetry.slot_queueing) <- a.(Telemetry.slot_queueing) +. 0.;
+      a.(Telemetry.slot_wire) <- a.(Telemetry.slot_wire) +. 0.
+    | None -> ());
     (match span with Some f -> f ~label:t.label ~queued:0. ~wire:0. | None -> ());
     k ();
     true
@@ -51,18 +57,26 @@ let transfer ?timing ?span t ~bytes k =
   else begin
     let now = Engine.now t.engine in
     let bw = effective_bandwidth t in
-    let backlog_bytes = Float.max 0. (t.next_free -. now) *. bw in
+    let next_free = t.f.(0) in
+    (* [Float.max] spelled out twice below: the stdlib function is a
+       call whose float arguments box on every transfer; neither
+       operand is ever NaN here, so the specialization is exact *)
+    let wait = next_free -. now in
+    let backlog_bytes = (if wait > 0. then wait else 0.) *. bw in
     if backlog_bytes +. bytes > t.buffer then begin
       t.rejections <- t.rejections + 1;
       false
     end
     else begin
-      let start = Float.max now t.next_free in
+      let start = if next_free > now then next_free else now in
       let duration = bytes /. bw in
-      t.next_free <- start +. duration;
-      t.busy <- t.busy +. duration;
-      (match timing with
-      | Some f -> f ~queued:(start -. now) ~wire:duration
+      t.f.(0) <- start +. duration;
+      t.f.(1) <- t.f.(1) +. duration;
+      (match tally with
+      | Some a ->
+        a.(Telemetry.slot_queueing) <-
+          a.(Telemetry.slot_queueing) +. (start -. now);
+        a.(Telemetry.slot_wire) <- a.(Telemetry.slot_wire) +. duration
       | None -> ());
       (match span with
       | Some f -> f ~label:t.label ~queued:(start -. now) ~wire:duration
@@ -73,9 +87,9 @@ let transfer ?timing ?span t ~bytes k =
   end
 
 let backlog t =
-  Float.max 0. (t.next_free -. Engine.now t.engine) *. effective_bandwidth t
+  Float.max 0. (t.f.(0) -. Engine.now t.engine) *. effective_bandwidth t
 
-let busy_time t = t.busy
+let busy_time t = t.f.(1)
 
 (* Transfers admitted while backlogged run back to back, so everything
    scheduled past [until] is the single contiguous run ending at
@@ -84,7 +98,7 @@ let busy_time t = t.busy
    always is). Without the clip, work extending past the simulation
    horizon counts fully and utilization can exceed 1 near saturation. *)
 let busy_within t ~until =
-  Float.max 0. (t.busy -. Float.max 0. (t.next_free -. until))
+  Float.max 0. (t.f.(1) -. Float.max 0. (t.f.(0) -. until))
 
 let utilization t ~until = if until <= 0. then 0. else busy_within t ~until /. until
 let rejections t = t.rejections

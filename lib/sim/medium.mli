@@ -37,7 +37,7 @@ val set_scale : t -> float -> unit
     byte-identical to one that was never degraded. *)
 
 val transfer :
-  ?timing:(queued:float -> wire:float -> unit) ->
+  ?tally:float array ->
   ?span:(label:string -> queued:float -> wire:float -> unit) ->
   t ->
   bytes:float ->
@@ -45,13 +45,17 @@ val transfer :
   bool
 (** [transfer medium ~bytes k] schedules [k] at the completion time and
     returns [true], or returns [false] (counting a rejection) when the
-    pending backlog exceeds the buffer. [timing], when given, is called
-    once at admission with the transfer's backlog wait and transmission
-    time (both zero for zero-byte transfers) — the per-hop inputs to
-    {!Telemetry.latency_terms}. [span] is the tracing sink ({!Trace}):
-    called right after [timing] with the same arguments plus the
-    medium's own label, so one sink closure serves every medium on a
-    hop; when absent the transfer records nothing and costs nothing.
+    pending backlog exceeds the buffer. [tally], when given, receives
+    the transfer's backlog wait and transmission time (both zero for
+    zero-byte transfers) accumulated ([+.]) into
+    [tally.(Telemetry.slot_queueing)] / [tally.(Telemetry.slot_wire)] —
+    the per-hop inputs to {!Telemetry.latency_terms}, recorded without
+    boxing a float (callers keep one scratch array per in-flight
+    packet; pass a pre-allocated [Some] to stay allocation-free).
+    [span] is the tracing sink ({!Trace}): called right after the tally
+    with the same quantities plus the medium's own label, so one sink
+    closure serves every medium on a hop; when absent the transfer
+    records nothing and costs nothing.
     Raises [Invalid_argument] on negative [bytes]. *)
 
 val backlog : t -> float

@@ -97,13 +97,71 @@ type measurement = {
   invariants : Invariants.report option;
 }
 
-(* The per-packet latency ledger threaded through a packet's walk; at
-   egress it becomes the completion's Telemetry.latency_terms. *)
-type tally = {
-  mutable t_queueing : float;
-  mutable t_service : float;
-  mutable t_wire : float;
-  mutable t_overhead : float;
+(* An interned drop counter plus its rendered site name, resolved once
+   at setup so the per-drop path neither hashes a site value nor
+   formats a string. *)
+type dropper = { dk : Telemetry.counter; d_name : string }
+
+(* Dense per-edge runtime row: everything a packet hop reads, one array
+   load away. [e_pe] is the edge's reach probability under the
+   delta-proportional routing (scales per-packet bytes so aggregate
+   medium loads match the model's W-fractions). *)
+type edge_rt = {
+  e_dst : G.vertex_id;
+  e_delta : float;
+  e_alpha : float;
+  e_beta : float;
+  e_pe : float;
+  e_link : Medium.t option;
+  e_link_drop : dropper;  (* meaningful only when [e_link] is [Some] *)
+}
+
+(* Dense per-vertex runtime row, indexed by the (dense) vertex id. *)
+type vertex_rt = {
+  v_label : string;
+  v_is_egress : bool;
+  v_work_factor : float;  (* size multiplier: inflow / p(v) *)
+  v_overhead : float;
+  v_queue_capacity : int;
+  v_node : Ip_node.t option;
+  v_drop : dropper;  (* meaningful only when [v_node] is [Some] *)
+  v_out : int array;  (* edge_rt indices, in {!G.out_edges} order *)
+  v_out_total : float;  (* sum of out-edge deltas, in the same order *)
+}
+
+(* A pooled in-flight packet: the latency ledger lives in the [fs]
+   float array ({!Telemetry.flight_slots} layout, unboxed stores), and
+   each continuation of the walk is a per-flight closure built once
+   when the flight is first allocated. Finished flights chain through
+   [fl_next] onto a free list ([fl_self] is the pre-built [Some] link,
+   so releasing allocates nothing), and steady state recycles them:
+   after warm-up the walk of a packet allocates no flight state at
+   all. *)
+type flight = {
+  fs : float array;
+  mutable fl_id : int;
+  mutable fl_klass : int;
+  mutable fl_vertex : G.vertex_id;  (* vertex being visited *)
+  mutable fl_edge : int;  (* edge_rt index being traversed *)
+  mutable fl_tr : Trace.record option;
+  mutable fl_next : flight option;  (* free-list link *)
+  mutable fl_self : flight option;  (* [Some self], built once *)
+  fl_tally : float array option;  (* [Some fs], built once *)
+  fl_on_served : unit -> unit;
+  fl_continue : unit -> unit;
+  fl_via_memory : unit -> unit;
+  fl_via_link : unit -> unit;
+  fl_arrive : unit -> unit;
+  mutable fl_span_node :
+    (lane:int -> queued:float -> service:float -> unit) option;
+  mutable fl_span_medium :
+    (label:string -> queued:float -> wire:float -> unit) option;
+  (* the built sinks, installed into the two active fields only for
+     sampled packets — see the per-packet installation site *)
+  mutable fl_span_node_on :
+    (lane:int -> queued:float -> service:float -> unit) option;
+  mutable fl_span_medium_on :
+    (label:string -> queued:float -> wire:float -> unit) option;
 }
 
 (* Probability that a packet's walk crosses each vertex/edge, from the
@@ -149,7 +207,7 @@ let interval_boundaries ~duration fault_spans =
   let edges = List.map (fun (a, _, _) -> a) fault_spans in
   Array.of_list (List.sort_uniq Float.compare (grid @ edges))
 
-let execute (spec : Run.t) =
+let execute_with ?engine:reused (spec : Run.t) =
   let g = spec.Run.graph in
   let hw = spec.Run.hw in
   let config = spec.Run.config in
@@ -163,7 +221,17 @@ let execute (spec : Run.t) =
      on it first, so the disabled path costs one pointer compare per
      hook site (gated by bench/main.exe --invariant-overhead). *)
   let checker = if config.check_invariants then Some (Invariants.create ()) else None in
-  let engine = Engine.create () in
+  (* A reused engine is reset, which keeps its event-queue arrays warm:
+     replicated runs stop paying queue (re)allocation per run, and the
+     calendar queue pops in exact (time, seq) order regardless of its
+     inherited bucket geometry, so reuse is result-identical. *)
+  let engine =
+    match reused with
+    | Some e ->
+      Engine.reset e;
+      e
+    | None -> Engine.create ()
+  in
   let rng = N.Rng.create ~seed:config.seed in
   let gen_rng = N.Rng.split rng in
   let route_rng = N.Rng.split rng in
@@ -343,27 +411,68 @@ let execute (spec : Run.t) =
         end)
       faults
   end;
-  (* ------------------------------------------------------------------ *)
+  (* ---- dense runtime tables ---------------------------------------- *)
+  let dropper site =
+    {
+      dk = Telemetry.drop_counter telemetry site;
+      d_name = Telemetry.drop_site_name site;
+    }
+  in
+  let interface_drop = dropper (Telemetry.Medium_buffer "interface") in
+  let memory_drop = dropper (Telemetry.Medium_buffer "memory") in
+  let burst_drop = dropper Telemetry.Fault_burst in
+  let edge_list = G.edges g in
+  let edge_index = Hashtbl.create 16 in
+  List.iteri
+    (fun i (e : G.edge) -> Hashtbl.replace edge_index (e.src, e.dst) i)
+    edge_list;
+  let ert =
+    Array.of_list
+      (List.map
+         (fun (e : G.edge) ->
+           let link = Hashtbl.find_opt links (e.src, e.dst) in
+           {
+             e_dst = e.dst;
+             e_delta = e.delta;
+             e_alpha = e.alpha;
+             e_beta = e.beta;
+             e_pe = prob_edge (e.src, e.dst);
+             e_link = link;
+             e_link_drop =
+               (match link with
+               | Some l -> dropper (Telemetry.Medium_buffer (Medium.label l))
+               | None -> interface_drop);
+           })
+         edge_list)
+  in
   (* Per-vertex processing-work multiplier: size * inflow / p(v). *)
   let work_factor id =
     let p = prob_vertex id in
     if p <= 0. then 0. else Lognic.Throughput.vertex_inflow g id /. p
   in
-  let choose_out_edge id =
-    let outs = G.out_edges g id in
-    let total = List.fold_left (fun acc (e : G.edge) -> acc +. e.delta) 0. outs in
-    if total <= 0. then None
-    else begin
-      let target = N.Rng.float route_rng total in
-      let rec pick acc = function
-        | [] -> None
-        | [ e ] -> Some e
-        | (e : G.edge) :: rest ->
-          let acc = acc +. e.delta in
-          if target < acc then Some e else pick acc rest
-      in
-      pick 0. outs
-    end
+  let vrt =
+    Array.init (G.vertex_count g) (fun id ->
+        let v = G.vertex g id in
+        let outs = G.out_edges g id in
+        {
+          v_label = v.label;
+          v_is_egress = v.kind = G.Egress;
+          v_work_factor = work_factor id;
+          v_overhead = v.service.overhead;
+          v_queue_capacity = v.service.queue_capacity;
+          v_node = Hashtbl.find_opt nodes id;
+          v_drop =
+            (if Hashtbl.mem nodes id then
+               dropper (Telemetry.Node_queue { node = v.label; queue = 0 })
+             else interface_drop);
+          v_out =
+            Array.of_list
+              (List.map
+                 (fun (e : G.edge) -> Hashtbl.find edge_index (e.src, e.dst))
+                 outs);
+          v_out_total =
+            List.fold_left (fun acc (e : G.edge) -> acc +. e.delta) 0. outs;
+        })
   in
   (* Media admission invariant: right after a successful transfer the
      backlog must still fit the buffer. Skipped on faulted runs: a
@@ -380,191 +489,264 @@ let execute (spec : Run.t) =
           "admitted backlog must fit the rate-matching buffer"
     | Some _ | None -> fun _ -> ()
   in
-  let record_drop tr (packet : Packet.t) site =
-    (match checker with
-    | Some inv ->
-      Invariants.packet_dropped inv ~id:packet.id ~time:(Engine.now engine)
-    | None -> ());
-    (match tr with
-    | Some r ->
-      Trace.drop r
-        ~site:(Telemetry.drop_site_name site)
-        ~time:(Engine.now engine)
-    | None -> ());
-    if have_faults then begin
-      let b = bin_of packet.born in
-      bin_dropped.(b) <- bin_dropped.(b) + 1
-    end;
-    Telemetry.record_drop telemetry ~now:(Engine.now engine) ~born:packet.born
-      ~site
-  in
-  let rec arrive id (packet : Packet.t) tally tr =
-    let v = G.vertex g id in
-    let work = packet.size *. work_factor id in
-    let on_served () = depart id v packet tally tr in
-    match Hashtbl.find_opt nodes id with
-    | None -> on_served ()
+  (* ---- the packet walk --------------------------------------------- *)
+  (* Scratch cells for the routing scan: unboxed accumulator and index,
+     so choosing an out-edge allocates nothing beyond the rng draw. The
+     scan never calls out, so the cells cannot be clobbered reentrantly. *)
+  let route_acc = Array.make 1 0. in
+  let route_i = Array.make 1 0 in
+  let free_flights = ref None in
+  let rec arrive_f fl =
+    let vr = vrt.(fl.fl_vertex) in
+    match vr.v_node with
+    | None -> serve_f fl
     | Some node ->
-      let timing ~queued ~service =
-        tally.t_queueing <- tally.t_queueing +. queued;
-        tally.t_service <- tally.t_service +. service
-      in
-      (* The span sink fires at service start, so the queue span is the
-         interval ending now and the service span the one starting now. *)
-      let span =
-        match tr with
-        | None -> None
-        | Some r ->
-          Some
-            (fun ~lane ~queued ~service ->
-              let start = Engine.now engine in
-              Trace.add_span r ~entity:v.label ~lane ~phase:Trace.Queue
-                ~start:(start -. queued) ~duration:queued;
-              Trace.add_span r ~entity:v.label ~lane ~phase:Trace.Service
-                ~start ~duration:service)
-      in
-      if Ip_node.submit node ?span ~timing ~work on_served then begin
+      let work = fl.fs.(Telemetry.slot_size) *. vr.v_work_factor in
+      if
+        Ip_node.submit node ?span:fl.fl_span_node ?tally:fl.fl_tally ~work
+          fl.fl_on_served
+      then begin
         match checker with
         | Some inv ->
           (* Post-admission state bounds. [submit] may have run the
              whole downstream walk synchronously (zero-work fast path),
              but both bounds hold at every instant, so checking after
-             it returns is still sound. *)
+             it returns is still sound. (The flight may already be
+             recycled here — only the node is consulted.) *)
           let time = Engine.now engine in
-          Invariants.check_bound inv ~law:"queue-capacity" ~entity:v.label
+          Invariants.check_bound inv ~law:"queue-capacity" ~entity:vr.v_label
             ~time
-            ~limit:(float_of_int v.service.queue_capacity)
+            ~limit:(float_of_int vr.v_queue_capacity)
             ~actual:(float_of_int (Ip_node.in_system node))
             "in-system requests must not exceed the queue capacity";
-          Invariants.check_bound inv ~law:"engine-count" ~entity:v.label
+          Invariants.check_bound inv ~law:"engine-count" ~entity:vr.v_label
             ~time
             ~limit:(float_of_int (Ip_node.engines node))
             ~actual:(float_of_int (Ip_node.busy_engines node))
             "busy engines must not exceed the configured engine count"
         | None -> ()
       end
-      else
-        record_drop tr packet
-          (Telemetry.Node_queue { node = v.label; queue = 0 })
-  and depart id (v : G.vertex) packet tally tr =
-    if v.kind = G.Egress then begin
+      else drop_flight fl vr.v_drop
+  and serve_f fl =
+    let vr = vrt.(fl.fl_vertex) in
+    if vr.v_is_egress then begin
       (match checker with
       | Some inv ->
         let now = Engine.now engine in
-        Invariants.packet_delivered inv ~id:packet.id ~time:now;
+        Invariants.packet_delivered inv ~id:fl.fl_id ~time:now;
         (* Eq. 2 tiling: the four tallied components must account for
            this packet's entire end-to-end latency. Each hop adds its
            pieces from the same event times that advance the clock, so
            only float rounding separates the two sides. *)
         Invariants.check_close inv ~law:"latency-tiling"
-          ~entity:(Printf.sprintf "packet-%d" packet.id) ~time:now ~tol:1e-9
-          ~expected:(now -. packet.born)
+          ~entity:(Printf.sprintf "packet-%d" fl.fl_id) ~time:now ~tol:1e-9
+          ~expected:(now -. fl.fs.(Telemetry.slot_born))
           ~actual:
-            (tally.t_queueing +. tally.t_service +. tally.t_wire
-           +. tally.t_overhead)
+            (fl.fs.(Telemetry.slot_queueing)
+            +. fl.fs.(Telemetry.slot_service)
+            +. fl.fs.(Telemetry.slot_wire)
+            +. fl.fs.(Telemetry.slot_overhead))
           "queueing + service + wire + overhead must equal birth-to-egress time"
       | None -> ());
-      (match tr with
+      (match fl.fl_tr with
       | Some r -> Trace.deliver r ~time:(Engine.now engine)
       | None -> ());
       if have_faults then begin
-        let b = bin_of packet.born in
+        let b = bin_of fl.fs.(Telemetry.slot_born) in
         bin_delivered.(b) <- bin_delivered.(b) + 1;
-        bin_bytes.(b) <- bin_bytes.(b) +. packet.size;
-        bin_latency.(b) <- bin_latency.(b) +. (Engine.now engine -. packet.born)
+        bin_bytes.(b) <- bin_bytes.(b) +. fl.fs.(Telemetry.slot_size);
+        bin_latency.(b) <-
+          bin_latency.(b) +. (Engine.now engine -. fl.fs.(Telemetry.slot_born))
       end;
-      Telemetry.record_completion telemetry ~now:(Engine.now engine)
-        ~born:packet.born
-        ~terms:
-          {
-            Telemetry.queueing = tally.t_queueing;
-            service = tally.t_service;
-            wire = tally.t_wire;
-            overhead = tally.t_overhead;
-          }
-        ~size:packet.size ~klass:packet.klass ()
+      fl.fs.(Telemetry.slot_now) <- Engine.now engine;
+      Telemetry.record_completion_fs telemetry ~fs:fl.fs ~klass:fl.fl_klass;
+      release_flight fl
     end
-    else
-      match choose_out_edge id with
-      | None ->
-        (* Dead end without egress: validation rejects IPs like this, so
-           only an ingress with zero-delta out-edges can reach here. *)
-        ()
-      | Some e ->
-        let continue () = traverse e packet tally tr in
-        if v.service.overhead > 0. then begin
-          tally.t_overhead <- tally.t_overhead +. v.service.overhead;
-          (match tr with
-          | Some r ->
-            Trace.add_span r ~entity:v.label ~lane:0 ~phase:Trace.Overhead
-              ~start:(Engine.now engine) ~duration:v.service.overhead
-          | None -> ());
-          Engine.schedule_after engine ~delay:v.service.overhead continue
-        end
-        else continue ()
-  and traverse (e : G.edge) packet tally tr =
-    let pe = prob_edge (e.src, e.dst) in
-    let scale x = if pe <= 0. then 0. else packet.size *. x /. pe in
-    let timing ~queued ~wire =
-      tally.t_queueing <- tally.t_queueing +. queued;
-      tally.t_wire <- tally.t_wire +. wire
-    in
-    (* Medium spans are reported at admission time: the backlog wait is
-       the interval starting now, the wire slice follows it. One sink
-       closure serves all three media of the hop (the medium supplies
-       its own label). *)
-    let span =
-      match tr with
-      | None -> None
-      | Some r ->
-        Some
-          (fun ~label ~queued ~wire ->
-            let now = Engine.now engine in
-            Trace.add_span r ~entity:label ~lane:0 ~phase:Trace.Queue
-              ~start:now ~duration:queued;
-            Trace.add_span r ~entity:label ~lane:0 ~phase:Trace.Wire
-              ~start:(now +. queued) ~duration:wire)
-    in
-    let via_link () =
-      match Hashtbl.find_opt links (e.src, e.dst) with
-      | Some link ->
-        if
-          Medium.transfer ~timing ?span link ~bytes:(scale e.delta) (fun () ->
-              arrive e.dst packet tally tr)
-        then check_medium link
-        else record_drop tr packet (Telemetry.Medium_buffer (Medium.label link))
-      | None -> arrive e.dst packet tally tr
-    in
-    let via_memory () =
-      if Medium.transfer ~timing ?span memory ~bytes:(scale e.beta) via_link
-      then check_medium memory
-      else record_drop tr packet (Telemetry.Medium_buffer "memory")
+    else if vr.v_out_total <= 0. then
+      (* Dead end without egress: validation rejects IPs like this, so
+         only an ingress with zero-delta out-edges can reach here. *)
+      release_flight fl
+    else begin
+      (* Delta-proportional out-edge choice, same draw and the same
+         accumulation order as the historical list walk. *)
+      let target = N.Rng.float route_rng vr.v_out_total in
+      let outs = vr.v_out in
+      let n = Array.length outs in
+      route_acc.(0) <- 0.;
+      route_i.(0) <- 0;
+      while
+        route_i.(0) < n - 1
+        && (let acc = route_acc.(0) +. ert.(outs.(route_i.(0))).e_delta in
+            route_acc.(0) <- acc;
+            target >= acc)
+      do
+        route_i.(0) <- route_i.(0) + 1
+      done;
+      fl.fl_edge <- outs.(route_i.(0));
+      if vr.v_overhead > 0. then begin
+        fl.fs.(Telemetry.slot_overhead) <-
+          fl.fs.(Telemetry.slot_overhead) +. vr.v_overhead;
+        (match fl.fl_tr with
+        | Some r ->
+          Trace.add_span r ~entity:vr.v_label ~lane:0 ~phase:Trace.Overhead
+            ~start:(Engine.now engine) ~duration:vr.v_overhead
+        | None -> ());
+        Engine.schedule_after engine ~delay:vr.v_overhead fl.fl_continue
+      end
+      else traverse_f fl
+    end
+  and traverse_f fl =
+    let er = ert.(fl.fl_edge) in
+    let bytes =
+      if er.e_pe <= 0. then 0.
+      else fl.fs.(Telemetry.slot_size) *. er.e_alpha /. er.e_pe
     in
     if
-      Medium.transfer ~timing ?span interface ~bytes:(scale e.alpha) via_memory
+      Medium.transfer ?tally:fl.fl_tally ?span:fl.fl_span_medium interface
+        ~bytes fl.fl_via_memory
     then check_medium interface
-    else record_drop tr packet (Telemetry.Medium_buffer "interface")
+    else drop_flight fl interface_drop
+  and via_memory_f fl =
+    let er = ert.(fl.fl_edge) in
+    let bytes =
+      if er.e_pe <= 0. then 0.
+      else fl.fs.(Telemetry.slot_size) *. er.e_beta /. er.e_pe
+    in
+    if
+      Medium.transfer ?tally:fl.fl_tally ?span:fl.fl_span_medium memory ~bytes
+        fl.fl_via_link
+    then check_medium memory
+    else drop_flight fl memory_drop
+  and via_link_f fl =
+    let er = ert.(fl.fl_edge) in
+    match er.e_link with
+    | Some link ->
+      let bytes =
+        if er.e_pe <= 0. then 0.
+        else fl.fs.(Telemetry.slot_size) *. er.e_delta /. er.e_pe
+      in
+      if
+        Medium.transfer ?tally:fl.fl_tally ?span:fl.fl_span_medium link ~bytes
+          fl.fl_arrive
+      then check_medium link
+      else drop_flight fl er.e_link_drop
+    | None -> arrive_dst_f fl
+  and arrive_dst_f fl =
+    fl.fl_vertex <- ert.(fl.fl_edge).e_dst;
+    arrive_f fl
+  and drop_flight fl d =
+    (match checker with
+    | Some inv ->
+      Invariants.packet_dropped inv ~id:fl.fl_id ~time:(Engine.now engine)
+    | None -> ());
+    (match fl.fl_tr with
+    | Some r -> Trace.drop r ~site:d.d_name ~time:(Engine.now engine)
+    | None -> ());
+    if have_faults then begin
+      let b = bin_of fl.fs.(Telemetry.slot_born) in
+      bin_dropped.(b) <- bin_dropped.(b) + 1
+    end;
+    Telemetry.record_drop_counted telemetry ~born:fl.fs.(Telemetry.slot_born)
+      d.dk;
+    release_flight fl
+  and release_flight fl =
+    fl.fl_tr <- None;
+    fl.fl_next <- !free_flights;
+    free_flights := fl.fl_self
+  in
+  let new_flight () =
+    let fs = Array.make Telemetry.flight_slots 0. in
+    let rec fl =
+      {
+        fs;
+        fl_id = 0;
+        fl_klass = 0;
+        fl_vertex = 0;
+        fl_edge = 0;
+        fl_tr = None;
+        fl_next = None;
+        fl_self = None;
+        fl_tally = Some fs;
+        fl_on_served = (fun () -> serve_f fl);
+        fl_continue = (fun () -> traverse_f fl);
+        fl_via_memory = (fun () -> via_memory_f fl);
+        fl_via_link = (fun () -> via_link_f fl);
+        fl_arrive = (fun () -> arrive_dst_f fl);
+        fl_span_node = None;
+        fl_span_medium = None;
+        fl_span_node_on = None;
+        fl_span_medium_on = None;
+      }
+    in
+    fl.fl_self <- Some fl;
+    if tracing then begin
+      (* Tracing sinks are per-flight too, reading the flight's current
+         trace record (None for unsampled packets). The node span fires
+         at service start — while the flight is still parked at the
+         serving vertex — so the queue span is the interval ending now
+         and the service span the one starting now. Medium spans are
+         reported at admission: backlog wait starts now, the wire slice
+         follows it. *)
+      fl.fl_span_node_on <-
+        Some
+          (fun ~lane ~queued ~service ->
+            match fl.fl_tr with
+            | None -> ()
+            | Some r ->
+              let start = Engine.now engine in
+              let entity = vrt.(fl.fl_vertex).v_label in
+              Trace.add_span r ~entity ~lane ~phase:Trace.Queue
+                ~start:(start -. queued) ~duration:queued;
+              Trace.add_span r ~entity ~lane ~phase:Trace.Service ~start
+                ~duration:service);
+      fl.fl_span_medium_on <-
+        Some
+          (fun ~label ~queued ~wire ->
+            match fl.fl_tr with
+            | None -> ()
+            | Some r ->
+              let now = Engine.now engine in
+              Trace.add_span r ~entity:label ~lane:0 ~phase:Trace.Queue
+                ~start:now ~duration:queued;
+              Trace.add_span r ~entity:label ~lane:0 ~phase:Trace.Wire
+                ~start:(now +. queued) ~duration:wire)
+    end;
+    fl
+  in
+  let acquire_flight () =
+    match !free_flights with
+    | Some fl ->
+      free_flights := fl.fl_next;
+      fl.fl_next <- None;
+      fl
+    | None -> new_flight ()
   in
   let ingresses = G.ingress_vertices g in
   let ingress_ids = Array.of_list (List.map (fun (v : G.vertex) -> v.id) ingresses) in
-  let on_packet packet =
+  let class_sizes =
+    Array.of_list
+      (List.map
+         (fun ((c : Lognic.Traffic.t), _) -> c.Lognic.Traffic.packet_size)
+         spec.Run.mix)
+  in
+  let next_id = ref 0 in
+  let on_arrival klass =
+    let now = Engine.now engine in
+    let size = class_sizes.(klass) in
+    let id = !next_id in
+    next_id := id + 1;
     (match checker with
-    | Some inv ->
-      Invariants.packet_injected inv ~id:packet.Packet.id
-        ~time:(Engine.now engine)
+    | Some inv -> Invariants.packet_injected inv ~id ~time:now
     | None -> ());
-    Telemetry.record_arrival telemetry ~now:(Engine.now engine)
-      ~size:packet.Packet.size;
+    Telemetry.record_arrival telemetry ~now ~size;
     if have_faults then begin
-      let b = bin_of packet.Packet.born in
+      let b = bin_of now in
       bin_offered.(b) <- bin_offered.(b) + 1
     end;
     let tr =
       match trace with
       | None -> None
-      | Some t ->
-        Trace.on_packet t ~packet:packet.Packet.id ~born:packet.born
-          ~size:packet.size ~klass:packet.klass
+      | Some t -> Trace.on_packet t ~packet:id ~born:now ~size ~klass
     in
     (* An active drop burst sheds the packet at ingress. The draw comes
        from the dedicated fault rng, and only while a burst is active,
@@ -576,16 +758,52 @@ let execute (spec : Run.t) =
       | Some frng -> N.Rng.float frng 1. < !burst_p
       | None -> false
     in
-    if shed then record_drop tr packet Telemetry.Fault_burst
+    if shed then begin
+      (match checker with
+      | Some inv -> Invariants.packet_dropped inv ~id ~time:now
+      | None -> ());
+      (match tr with
+      | Some r -> Trace.drop r ~site:burst_drop.d_name ~time:now
+      | None -> ());
+      if have_faults then begin
+        let b = bin_of now in
+        bin_dropped.(b) <- bin_dropped.(b) + 1
+      end;
+      Telemetry.record_drop_counted telemetry ~born:now burst_drop.dk
+    end
     else begin
       let entry =
         if Array.length ingress_ids = 1 then ingress_ids.(0)
         else ingress_ids.(N.Rng.int route_rng (Array.length ingress_ids))
       in
-      let tally =
-        { t_queueing = 0.; t_service = 0.; t_wire = 0.; t_overhead = 0. }
-      in
-      arrive entry packet tally tr
+      let fl = acquire_flight () in
+      let fs = fl.fs in
+      fs.(Telemetry.slot_queueing) <- 0.;
+      fs.(Telemetry.slot_service) <- 0.;
+      fs.(Telemetry.slot_wire) <- 0.;
+      fs.(Telemetry.slot_overhead) <- 0.;
+      fs.(Telemetry.slot_born) <- now;
+      fs.(Telemetry.slot_size) <- size;
+      fl.fl_id <- id;
+      fl.fl_klass <- klass;
+      fl.fl_vertex <- entry;
+      fl.fl_tr <- tr;
+      (* Install span sinks per packet: an unsampled flight carries
+         [None], so the per-hop span calls in [Ip_node]/[Medium]
+         short-circuit before boxing their float arguments — with a
+         64-packet reservoir virtually every packet takes that path,
+         which is what keeps the traced-run overhead inside its 5%
+         budget. *)
+      if tracing then begin
+        match tr with
+        | None ->
+          fl.fl_span_node <- None;
+          fl.fl_span_medium <- None
+        | Some _ ->
+          fl.fl_span_node <- fl.fl_span_node_on;
+          fl.fl_span_medium <- fl.fl_span_medium_on
+      end;
+      arrive_f fl
     end
   in
   (* Periodic state sampling into ring-buffer series (read-only probes:
@@ -639,7 +857,7 @@ let execute (spec : Run.t) =
   in
   let gen =
     Traffic_gen.create engine ~rng:gen_rng ~arrival:config.arrival
-      ~mix:spec.Run.mix ~on_packet
+      ~mix:spec.Run.mix ~on_arrival
   in
   Traffic_gen.start gen ~until:config.duration;
   (match checker with
@@ -844,6 +1062,8 @@ let execute (spec : Run.t) =
     invariants;
   }
 
+let execute spec = execute_with spec
+
 let run ?(config = default_config) g ~hw ~mix =
   execute (Run.make ~config g ~hw ~mix)
 
@@ -1038,7 +1258,12 @@ let replicated_of_measurements measurements =
   }
 
 let execute_replicated ?(runs = 5) spec =
-  replicated_of_measurements (List.map execute (replication_specs spec runs))
+  (* One engine serves every sequential replication: {!Engine.reset}
+     clears it between runs while keeping the calendar queue's arrays
+     warm, and reuse is result-identical (see {!execute_with}). *)
+  let engine = Engine.create () in
+  replicated_of_measurements
+    (List.map (fun s -> execute_with ~engine s) (replication_specs spec runs))
 
 let run_replicated ?(config = default_config) ?(runs = 5) g ~hw ~mix =
   execute_replicated ~runs (Run.make ~config g ~hw ~mix)

@@ -180,6 +180,17 @@ type measurement = {
           byte-identical with checking on or off. *)
 }
 
+val execute_with : ?engine:Engine.t -> Run.t -> measurement
+(** {!execute} with an optional caller-owned engine. The engine is
+    {!Engine.reset} before use, which keeps its event-queue storage
+    warm across runs — sequential sweeps ({!execute_replicated}, the
+    optimizer's inner loops) stop paying queue (re)allocation per run.
+    Reuse is result-identical: the reset restarts the tie-break
+    sequence and the calendar queue pops in exact (time, seq) order
+    whatever bucket geometry it inherited. Do {e not} share one engine
+    across concurrently-executing runs ({!Parallel.map} hands each
+    worker its own spec precisely so it can keep [?engine] unset). *)
+
 val execute : Run.t -> measurement
 (** Run one simulation from a spec. Raises [Invalid_argument] if the
     graph fails validation or a fault event targets an entity the

@@ -4,12 +4,14 @@ module Buf = struct
 
   let create () = { data = Array.make 1024 0.; len = 0 }
 
-  let add t x =
-    if t.len = Array.length t.data then begin
-      let bigger = Array.make (2 * t.len) 0. in
-      Array.blit t.data 0 bigger 0 t.len;
-      t.data <- bigger
-    end;
+  let grow t =
+    let bigger = Array.make (2 * t.len) 0. in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+
+  (* inlinable so the per-delivery latency sample is never boxed *)
+  let[@inline] add t x =
+    if t.len = Array.length t.data then grow t;
     t.data.(t.len) <- x;
     t.len <- t.len + 1
 
@@ -350,20 +352,39 @@ let zero_terms = { queueing = 0.; service = 0.; wire = 0.; overhead = 0. }
 let terms_total { queueing; service; wire; overhead } =
   queueing +. service +. wire +. overhead
 
+(* Layout of the per-flight float scratch array shared by the zero-
+   allocation accounting path ([record_completion_fs]): the four Eq. 2
+   latency terms accumulated along the walk, then birth time, size, and
+   the completion time — all unboxed float-array slots, so the sim hot
+   path updates them without boxing a single float. *)
+let slot_queueing = 0
+let slot_service = 1
+let slot_wire = 2
+let slot_overhead = 3
+let slot_born = 4
+let slot_size = 5
+let slot_now = 6
+let flight_slots = 7
+
+(* An interned per-site drop counter: the sim resolves the site to a
+   counter once at setup and bumps an int per drop, instead of hashing
+   a polymorphic [drop_site] key on every shed packet. *)
+type counter = { c_site : drop_site; mutable c_hits : int }
+
 type t = {
   warmup : float;
   mutable offered : int;
   mutable dropped : int;
   mutable delivered : int;
-  mutable delivered_bytes : float;
+  fsums : float array;
+      (* unboxed accumulators: 0 delivered_bytes, then the four
+         latency-term sums (queueing/service/wire/overhead) *)
   latencies : Buf.t;
-  classes : (int, int * float) Hashtbl.t;
-      (* class -> (count, latency sum) *)
+  mutable class_counts : int array;  (* dense by class index *)
+  mutable class_sums : float array;
+  classes : (int, int * float) Hashtbl.t;  (* negative-class fallback *)
   site_drops : (drop_site, int) Hashtbl.t;
-  mutable sum_queueing : float;
-  mutable sum_service : float;
-  mutable sum_wire : float;
-  mutable sum_overhead : float;
+  mutable counters : counter list;
 }
 
 let create ~warmup =
@@ -372,24 +393,37 @@ let create ~warmup =
     offered = 0;
     dropped = 0;
     delivered = 0;
-    delivered_bytes = 0.;
+    fsums = Array.make 5 0.;
     latencies = Buf.create ();
+    class_counts = Array.make 8 0;
+    class_sums = Array.make 8 0.;
     classes = Hashtbl.create 8;
     site_drops = Hashtbl.create 8;
-    sum_queueing = 0.;
-    sum_service = 0.;
-    sum_wire = 0.;
-    sum_overhead = 0.;
+    counters = [];
   }
 
-let record_arrival t ~now ~size =
+let[@inline] record_arrival t ~now ~size =
   ignore size;
   if now >= t.warmup then t.offered <- t.offered + 1
 
-let record_drop t ~now ~born ~site =
+let drop_counter t site =
+  match List.find_opt (fun c -> c.c_site = site) t.counters with
+  | Some c -> c
+  | None ->
+    let c = { c_site = site; c_hits = 0 } in
+    t.counters <- c :: t.counters;
+    c
+
+let[@inline] record_drop_counted t ~born c =
   (* Gate on birth time: arrivals are recorded at generation (now =
      born), so a drop must be attributed to the same window as its
      offered-packet record or loss_rate can exceed 1. *)
+  if born >= t.warmup then begin
+    t.dropped <- t.dropped + 1;
+    c.c_hits <- c.c_hits + 1
+  end
+
+let record_drop t ~now ~born ~site =
   ignore now;
   if born >= t.warmup then begin
     t.dropped <- t.dropped + 1;
@@ -397,21 +431,60 @@ let record_drop t ~now ~born ~site =
     Hashtbl.replace t.site_drops site (count + 1)
   end
 
+let grow_classes t klass =
+  let n = Array.length t.class_counts in
+  let bigger = max (klass + 1) (2 * n) in
+  let counts = Array.make bigger 0 in
+  let sums = Array.make bigger 0. in
+  Array.blit t.class_counts 0 counts 0 n;
+  Array.blit t.class_sums 0 sums 0 n;
+  t.class_counts <- counts;
+  t.class_sums <- sums
+
+let[@inline] bump_class t klass latency =
+  if klass >= Array.length t.class_counts then grow_classes t klass;
+  t.class_counts.(klass) <- t.class_counts.(klass) + 1;
+  t.class_sums.(klass) <- t.class_sums.(klass) +. latency
+
+(* The allocation-free completion record: every float comes in through
+   the caller's scratch array and lands in unboxed accumulators. *)
+let record_completion_fs t ~fs ~klass =
+  let born = fs.(slot_born) in
+  if born >= t.warmup then begin
+    t.delivered <- t.delivered + 1;
+    t.fsums.(0) <- t.fsums.(0) +. fs.(slot_size);
+    let latency = fs.(slot_now) -. born in
+    Buf.add t.latencies latency;
+    t.fsums.(1) <- t.fsums.(1) +. fs.(slot_queueing);
+    t.fsums.(2) <- t.fsums.(2) +. fs.(slot_service);
+    t.fsums.(3) <- t.fsums.(3) +. fs.(slot_wire);
+    t.fsums.(4) <- t.fsums.(4) +. fs.(slot_overhead);
+    if klass >= 0 then bump_class t klass latency
+    else
+      let count, sum =
+        Option.value (Hashtbl.find_opt t.classes klass) ~default:(0, 0.)
+      in
+      Hashtbl.replace t.classes klass (count + 1, sum +. latency)
+  end
+
 let record_completion t ~now ~born ?(terms = zero_terms) ~size ~klass () =
   (* Attribute the packet to the measurement window by its birth time so
      arrival accounting and completion accounting agree. *)
   if born >= t.warmup then begin
     t.delivered <- t.delivered + 1;
-    t.delivered_bytes <- t.delivered_bytes +. size;
-    Buf.add t.latencies (now -. born);
-    t.sum_queueing <- t.sum_queueing +. terms.queueing;
-    t.sum_service <- t.sum_service +. terms.service;
-    t.sum_wire <- t.sum_wire +. terms.wire;
-    t.sum_overhead <- t.sum_overhead +. terms.overhead;
-    let count, sum =
-      Option.value (Hashtbl.find_opt t.classes klass) ~default:(0, 0.)
-    in
-    Hashtbl.replace t.classes klass (count + 1, sum +. (now -. born))
+    t.fsums.(0) <- t.fsums.(0) +. size;
+    let latency = now -. born in
+    Buf.add t.latencies latency;
+    t.fsums.(1) <- t.fsums.(1) +. terms.queueing;
+    t.fsums.(2) <- t.fsums.(2) +. terms.service;
+    t.fsums.(3) <- t.fsums.(3) +. terms.wire;
+    t.fsums.(4) <- t.fsums.(4) +. terms.overhead;
+    if klass >= 0 then bump_class t klass latency
+    else
+      let count, sum =
+        Option.value (Hashtbl.find_opt t.classes klass) ~default:(0, 0.)
+      in
+      Hashtbl.replace t.classes klass (count + 1, sum +. latency)
   end
 
 type summary = {
@@ -435,16 +508,39 @@ type summary = {
 let summarize t ~horizon =
   let window = Float.max 0. (horizon -. t.warmup) in
   let latencies = Buf.to_array t.latencies in
-  let stat f = if Array.length latencies = 0 then 0. else f latencies in
+  (* one sort feeds every order statistic (p50/p99/max) *)
+  let sorted =
+    if Array.length latencies = 0 then None
+    else Some (Lognic_numerics.Stats.Sorted.of_array latencies)
+  in
+  let stat f = match sorted with None -> 0. | Some s -> f s in
   let per_class =
+    let dense = ref [] in
+    Array.iteri
+      (fun klass count ->
+        if count > 0 then
+          dense :=
+            (klass, count, t.class_sums.(klass) /. float_of_int count)
+            :: !dense)
+      t.class_counts;
     Hashtbl.fold
       (fun klass (count, sum) acc ->
         (klass, count, if count = 0 then 0. else sum /. float_of_int count) :: acc)
-      t.classes []
+      t.classes !dense
     |> List.sort compare
   in
   let drop_breakdown =
-    Hashtbl.fold (fun site count acc -> (site, count) :: acc) t.site_drops []
+    (* merge interned counters with any hash-recorded drops *)
+    let merged = Hashtbl.copy t.site_drops in
+    List.iter
+      (fun c ->
+        if c.c_hits > 0 then
+          let count =
+            Option.value (Hashtbl.find_opt merged c.c_site) ~default:0
+          in
+          Hashtbl.replace merged c.c_site (count + c.c_hits))
+      t.counters;
+    Hashtbl.fold (fun site count acc -> (site, count) :: acc) merged []
     |> List.sort (fun (sa, ca) (sb, cb) ->
            match compare cb ca with 0 -> compare sa sb | c -> c)
   in
@@ -453,10 +549,10 @@ let summarize t ~horizon =
     else
       let d = float_of_int t.delivered in
       {
-        queueing = t.sum_queueing /. d;
-        service = t.sum_service /. d;
-        wire = t.sum_wire /. d;
-        overhead = t.sum_overhead /. d;
+        queueing = t.fsums.(1) /. d;
+        service = t.fsums.(2) /. d;
+        wire = t.fsums.(3) /. d;
+        overhead = t.fsums.(4) /. d;
       }
   in
   {
@@ -464,14 +560,16 @@ let summarize t ~horizon =
     offered_packets = t.offered;
     delivered_packets = t.delivered;
     dropped_packets = t.dropped;
-    delivered_bytes = t.delivered_bytes;
-    throughput = (if window > 0. then t.delivered_bytes /. window else 0.);
+    delivered_bytes = t.fsums.(0);
+    throughput = (if window > 0. then t.fsums.(0) /. window else 0.);
     packet_rate =
       (if window > 0. then float_of_int t.delivered /. window else 0.);
-    mean_latency = stat Lognic_numerics.Stats.mean;
-    p50_latency = stat (fun l -> Lognic_numerics.Stats.percentile l 50.);
-    p99_latency = stat (fun l -> Lognic_numerics.Stats.percentile l 99.);
-    max_latency = stat Lognic_numerics.Stats.maximum;
+    mean_latency =
+      (if Array.length latencies = 0 then 0.
+       else Lognic_numerics.Stats.mean latencies);
+    p50_latency = stat (fun s -> Lognic_numerics.Stats.Sorted.percentile s 50.);
+    p99_latency = stat (fun s -> Lognic_numerics.Stats.Sorted.percentile s 99.);
+    max_latency = stat Lognic_numerics.Stats.Sorted.maximum;
     loss_rate =
       (if t.offered = 0 then 0.
        else float_of_int t.dropped /. float_of_int t.offered);

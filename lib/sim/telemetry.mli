@@ -122,6 +122,43 @@ val record_drop : t -> now:float -> born:float -> site:drop_site -> unit
     window is excluded — exactly like its arrival record — keeping
     [loss_rate <= 1]. *)
 
+(** {2 Allocation-free accounting}
+
+    The simulator's hot path records through these instead of the
+    generic entry points above: drop sites are interned to counters at
+    setup, and completions read every float out of a caller-owned
+    scratch array (layout below), so steady state never boxes a float
+    or hashes a variant. Results are identical to the generic path. *)
+
+type counter
+(** An interned per-site drop counter; its hits merge into
+    {!summary.drop_breakdown} exactly like {!record_drop} calls. *)
+
+val drop_counter : t -> drop_site -> counter
+(** Intern a site (idempotent: same site, same counter). *)
+
+val record_drop_counted : t -> born:float -> counter -> unit
+(** Same accounting and warmup window as {!record_drop}. *)
+
+(** Slot indices into the per-flight scratch array consumed by
+    {!record_completion_fs} (and filled along the packet walk): the
+    four Eq. 2 latency terms, then birth time, packet size, and
+    completion time. [flight_slots] is the required array length. *)
+
+val slot_queueing : int
+
+val slot_service : int
+val slot_wire : int
+val slot_overhead : int
+val slot_born : int
+val slot_size : int
+val slot_now : int
+val flight_slots : int
+
+val record_completion_fs : t -> fs:float array -> klass:int -> unit
+(** [record_completion ~now:fs.(slot_now) ~born:fs.(slot_born) ...]
+    without boxing any float. [fs] must be {!flight_slots} long. *)
+
 val record_completion :
   t ->
   now:float ->

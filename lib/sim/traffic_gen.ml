@@ -1,25 +1,30 @@
 type arrival = Poisson | Paced | Bursty of { burstiness : float; mean_on : float }
 
+(* Scratch-float layout: mutable float record fields box on every store
+   (no flambda), so the generator's float state lives in [fb]. *)
+let fb_phase_until = 0 (* end of the current ON phase (Bursty) *)
+let fb_acc = 1 (* class-scan accumulator *)
+
 type t = {
   engine : Engine.t;
   rng : Lognic_numerics.Rng.t;
   arrival : arrival;
-  classes : (float * float) array;  (* (size, packet rate) per class *)
+  class_rates : float array;  (* packet rate per class *)
   total_pps : float;
-  on_packet : Packet.t -> unit;
+  on_arrival : int -> unit;
   mutable count : int;
-  mutable phase_until : float;  (* end of the current ON phase (Bursty) *)
+  mutable cursor : int;  (* class-scan index *)
+  fb : float array;
 }
 
-let create engine ~rng ~arrival ~mix ~on_packet =
-  let classes =
+let create engine ~rng ~arrival ~mix ~on_arrival =
+  let class_rates =
     Array.of_list
       (List.map
-         (fun ((c : Lognic.Traffic.t), _) ->
-           (c.packet_size, Lognic.Traffic.packet_rate c))
+         (fun ((c : Lognic.Traffic.t), _) -> Lognic.Traffic.packet_rate c)
          mix)
   in
-  let total_pps = Array.fold_left (fun acc (_, r) -> acc +. r) 0. classes in
+  let total_pps = Array.fold_left ( +. ) 0. class_rates in
   if total_pps <= 0. then invalid_arg "Traffic_gen.create: zero packet rate";
   (match arrival with
   | Bursty { burstiness; mean_on } ->
@@ -27,57 +32,84 @@ let create engine ~rng ~arrival ~mix ~on_packet =
       invalid_arg "Traffic_gen.create: burstiness must be > 1";
     if mean_on <= 0. then invalid_arg "Traffic_gen.create: mean_on must be > 0"
   | Poisson | Paced -> ());
-  { engine; rng; arrival; classes; total_pps; on_packet; count = 0; phase_until = 0. }
+  {
+    engine;
+    rng;
+    arrival;
+    class_rates;
+    total_pps;
+    on_arrival;
+    count = 0;
+    cursor = 0;
+    fb = Array.make 2 0.;
+  }
 
+(* Same draw and the same accumulation order as the historical
+   recursive scan, as a loop over scratch cells: no boxed accumulator,
+   no per-call closure. *)
 let pick_class t =
   let target = Lognic_numerics.Rng.float t.rng t.total_pps in
-  let rec scan i acc =
-    if i = Array.length t.classes - 1 then i
+  let n = Array.length t.class_rates in
+  t.fb.(fb_acc) <- 0.;
+  t.cursor <- 0;
+  while
+    t.cursor < n - 1
+    && (let acc = t.fb.(fb_acc) +. t.class_rates.(t.cursor) in
+        t.fb.(fb_acc) <- acc;
+        target >= acc)
+  do
+    t.cursor <- t.cursor + 1
+  done;
+  t.cursor
+
+(* Next arrival time from [now], Bursty case. Packets are only
+   generated inside ON phases; crossing the phase boundary inserts an
+   OFF gap and draws a fresh ON phase (memorylessness makes restarting
+   the inter-arrival draw at the new phase start exact). *)
+let rec bursty_next t ~burstiness ~mean_on now =
+  if now >= t.fb.(fb_phase_until) then begin
+    (* we are in an OFF gap (or at start): open a new ON phase *)
+    let off =
+      if t.fb.(fb_phase_until) = 0. && now = 0. then 0.
+      else
+        Lognic_numerics.Dist.sample_exponential
+          ~rate:(1. /. (mean_on *. (burstiness -. 1.)))
+          t.rng
+    in
+    let start = Float.max now t.fb.(fb_phase_until) +. off in
+    t.fb.(fb_phase_until) <-
+      start +. Lognic_numerics.Dist.sample_exponential ~rate:(1. /. mean_on) t.rng;
+    bursty_next t ~burstiness ~mean_on start
+  end
+  else begin
+    let candidate =
+      now
+      +. Lognic_numerics.Dist.sample_exponential
+           ~rate:(t.total_pps *. burstiness)
+           t.rng
+    in
+    if candidate < t.fb.(fb_phase_until) then candidate
     else
-      let acc = acc +. snd t.classes.(i) in
-      if target < acc then i else scan (i + 1) acc
-  in
-  scan 0 0.
+      (* the draw crossed the phase end: resume from the boundary,
+         where the OFF branch above takes over *)
+      bursty_next t ~burstiness ~mean_on t.fb.(fb_phase_until)
+  end
 
-let sample_exp t rate =
-  Lognic_numerics.Dist.sample (Lognic_numerics.Dist.exponential ~rate) t.rng
-
-(* Next arrival time from [now]. For Bursty, packets are only generated
-   inside ON phases; crossing the phase boundary inserts an OFF gap and
-   draws a fresh ON phase (memorylessness makes restarting the
-   inter-arrival draw at the new phase start exact). *)
-let rec next_arrival t now =
+(* Inlinable dispatcher so the Poisson/Paced fast paths never box [now]
+   at a call boundary; only Bursty pays the recursive helper. *)
+let[@inline] next_arrival t now =
   match t.arrival with
   | Paced -> now +. (1. /. t.total_pps)
-  | Poisson -> now +. sample_exp t t.total_pps
-  | Bursty { burstiness; mean_on } ->
-    if now >= t.phase_until then begin
-      (* we are in an OFF gap (or at start): open a new ON phase *)
-      let off =
-        if t.phase_until = 0. && now = 0. then 0.
-        else sample_exp t (1. /. (mean_on *. (burstiness -. 1.)))
-      in
-      let start = Float.max now t.phase_until +. off in
-      t.phase_until <- start +. sample_exp t (1. /. mean_on);
-      next_arrival t start
-    end
-    else begin
-      let candidate = now +. sample_exp t (t.total_pps *. burstiness) in
-      if candidate < t.phase_until then candidate
-      else
-        (* the draw crossed the phase end: resume from the boundary,
-           where the OFF branch above takes over *)
-        next_arrival t t.phase_until
-    end
+  | Poisson ->
+    now +. Lognic_numerics.Dist.sample_exponential ~rate:t.total_pps t.rng
+  | Bursty { burstiness; mean_on } -> bursty_next t ~burstiness ~mean_on now
 
 let start t ~until =
   let rec emit () =
     let now = Engine.now t.engine in
     let klass = pick_class t in
-    let size, _ = t.classes.(klass) in
-    let packet = Packet.make ~id:t.count ~size ~klass ~born:now in
     t.count <- t.count + 1;
-    t.on_packet packet;
+    t.on_arrival klass;
     let next = next_arrival t now in
     if next < until then Engine.schedule t.engine ~at:next emit
   in

@@ -23,8 +23,14 @@ val create :
   rng:Lognic_numerics.Rng.t ->
   arrival:arrival ->
   mix:Lognic.Traffic.mix ->
-  on_packet:(Packet.t -> unit) ->
+  on_arrival:(int -> unit) ->
   t
+(** [on_arrival klass] fires once per generated packet with the drawn
+    class index (position in [mix]). The callback derives everything
+    else itself — birth time is the engine's current time, size is the
+    class's packet size, ids are dense in arrival order — so the
+    generator never materializes a packet record ({!Packet.t} remains
+    available for callers that want one). *)
 
 val start : t -> until:float -> unit
 (** Schedules the arrival process from the current time up to (not

@@ -9,6 +9,7 @@ let () =
       ("sim", Test_sim.suite);
       ("invariants", Test_invariants.suite);
       ("check", Test_check.suite);
+      ("golden", Test_golden.suite);
       ("observability", Test_observability.suite);
       ("parallel", Test_parallel.suite);
       ("faults", Test_faults.suite);
