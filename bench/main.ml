@@ -32,6 +32,7 @@ type cli = {
   trace_overhead : bool;
   fault_overhead : bool;
   invariant_overhead : bool;
+  contention_overhead : bool;
   events_per_sec : bool;
   jobs : int option;
   json : string option;
@@ -43,7 +44,8 @@ let cli =
     prerr_endline
       "usage: main.exe [--quick] [--bench-only|--figures-only] \
        [--trace-overhead] [--fault-overhead] [--invariant-overhead] \
-       [--events-per-sec] [--jobs N] [--json PATH] [FIG...]";
+       [--contention-overhead] [--events-per-sec] [--jobs N] [--json PATH] \
+       [FIG...]";
     exit 2
   in
   let rec walk acc = function
@@ -55,6 +57,8 @@ let cli =
     | "--fault-overhead" :: rest -> walk { acc with fault_overhead = true } rest
     | "--invariant-overhead" :: rest ->
       walk { acc with invariant_overhead = true } rest
+    | "--contention-overhead" :: rest ->
+      walk { acc with contention_overhead = true } rest
     | "--events-per-sec" :: rest -> walk { acc with events_per_sec = true } rest
     | "--jobs" :: v :: rest -> (
       match int_of_string_opt v with
@@ -72,6 +76,7 @@ let cli =
       trace_overhead = false;
       fault_overhead = false;
       invariant_overhead = false;
+      contention_overhead = false;
       events_per_sec = false;
       jobs = None;
       json = None;
@@ -449,6 +454,92 @@ let invariant_overhead_gate () =
     exit 3
   end
 
+(* --- contention-overhead gate (--contention-overhead) ---
+
+   Two assertions about the multi-resource contention layer on
+   contention-free runs. First, identity: [Contention.run] without a
+   contention spec must drive the {e identical} simulation a plain
+   [Netsim.run] with the same (fully pinned) config would — the
+   measurement JSON inside the report must be byte-identical to the
+   standalone run (exit 4 on mismatch; the joint model and the report
+   join are observation-only). Second, overhead: the full contention
+   report (joint model, tail analysis, per-entity join) must cost at
+   most 5% over the bare simulation it wraps — the model side is
+   microseconds against a 10 ms simulated run, so a breach means the
+   report path started re-running simulations or scanning telemetry
+   super-linearly (exit 3). Timing protocol as in the trace gate:
+   interleaved whole runs, compare minima. *)
+
+let contention_overhead_gate () =
+  let config =
+    {
+      Lognic_sim.Netsim.default_config with
+      duration = 1e-2;
+      warmup = 2e-4;
+      (* pinned explicitly: Explain.run_mix would otherwise default it *)
+      sample_interval = Some (1e-2 /. 256.);
+    }
+  in
+  let mix =
+    [
+      ( Lognic.Traffic.make
+          ~rate:(D.Liquidio.line_rate /. 2.)
+          ~packet_size:U.mtu,
+        0.6 );
+      (Lognic.Traffic.make ~rate:(D.Liquidio.line_rate /. 4.) ~packet_size:512., 0.4);
+    ]
+  in
+  let json m =
+    Lognic_sim.Telemetry.Json.to_string
+      (Lognic_sim.Netsim.measurement_to_json m)
+  in
+  let report =
+    Lognic_sim.Contention.run ~config md5_graph ~hw:D.Liquidio.hardware ~mix
+  in
+  let plain =
+    Lognic_sim.Netsim.run ~config md5_graph ~hw:D.Liquidio.hardware ~mix
+  in
+  if json report.Lognic_sim.Contention.base.Lognic_sim.Explain.mix_measurement
+     <> json plain
+  then begin
+    Fmt.epr
+      "FAIL: contention-off report measurement is not byte-identical to a \
+       plain run@.";
+    exit 4
+  end;
+  Fmt.pr "contention-off identity: OK (%d bytes of measurement JSON)@."
+    (String.length (json plain));
+  let run_report () =
+    ignore
+      (Lognic_sim.Contention.run ~config md5_graph ~hw:D.Liquidio.hardware ~mix)
+  in
+  let run_plain () =
+    ignore (Lognic_sim.Netsim.run ~config md5_graph ~hw:D.Liquidio.hardware ~mix)
+  in
+  run_report ();
+  run_plain ();
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let iters = if quick then 9 else 21 in
+  let bare = ref infinity and reported = ref infinity in
+  for _ = 1 to iters do
+    bare := Float.min !bare (time run_plain);
+    reported := Float.min !reported (time run_report)
+  done;
+  let overhead = (!reported -. !bare) /. !bare in
+  Fmt.pr
+    "contention-report overhead: plain %.2f ms, full report %.2f ms -> \
+     %+.1f%%@."
+    (!bare *. 1e3) (!reported *. 1e3) (overhead *. 100.);
+  if overhead > 0.05 then begin
+    Fmt.epr "FAIL: contention-report overhead %.1f%% exceeds the 5%% budget@."
+      (overhead *. 100.);
+    exit 3
+  end
+
 (* --- events/sec headline gate (--events-per-sec) ---
 
    The engine-throughput headline: simulated events executed per
@@ -631,11 +722,12 @@ let write_json path ~rows ~wall_s =
 let () =
   if
     cli.trace_overhead || cli.fault_overhead || cli.invariant_overhead
-    || cli.events_per_sec
+    || cli.contention_overhead || cli.events_per_sec
   then begin
     if cli.trace_overhead then trace_overhead_gate ();
     if cli.fault_overhead then fault_overhead_gate ();
     if cli.invariant_overhead then invariant_overhead_gate ();
+    if cli.contention_overhead then contention_overhead_gate ();
     if cli.events_per_sec then events_per_sec_gate ();
     exit 0
   end;

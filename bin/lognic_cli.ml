@@ -495,7 +495,6 @@ let explain_cmd =
   let run graph_path rate packet queue_model duration seed json =
     let ( let* ) = Result.bind in
     let* doc = load_document graph_path in
-    let* traffic = resolve_traffic doc rate packet in
     let config =
       {
         Lognic_sim.Netsim.default_config with
@@ -504,17 +503,34 @@ let explain_cmd =
         seed;
       }
     in
-    let report =
-      Lognic_sim.Explain.run ~config ~queue_model doc.graph
-        ~hw:(hardware_of doc) ~traffic
-    in
-    Fmt.pr "%a@." Lognic_sim.Explain.pp report;
-    Option.iter
-      (fun path ->
-        write_json path (Lognic_sim.Explain.to_json report);
-        Fmt.pr "explain report written to %s@." path)
-      json;
-    Ok ()
+    (* a graph carrying `class` lines explains the whole mix (per-class
+       residual rows) unless the command line pins a single class *)
+    (match (doc.mix, rate, packet) with
+    | Some mix, None, None ->
+      let report =
+        Lognic_sim.Explain.run_mix ~config ~queue_model doc.graph
+          ~hw:(hardware_of doc) ~mix
+      in
+      Fmt.pr "%a@." Lognic_sim.Explain.pp_mix report;
+      Option.iter
+        (fun path ->
+          write_json path (Lognic_sim.Explain.mix_to_json report);
+          Fmt.pr "explain report written to %s@." path)
+        json;
+      Ok ()
+    | _ ->
+      let* traffic = resolve_traffic doc rate packet in
+      let report =
+        Lognic_sim.Explain.run ~config ~queue_model doc.graph
+          ~hw:(hardware_of doc) ~traffic
+      in
+      Fmt.pr "%a@." Lognic_sim.Explain.pp report;
+      Option.iter
+        (fun path ->
+          write_json path (Lognic_sim.Explain.to_json report);
+          Fmt.pr "explain report written to %s@." path)
+        json;
+      Ok ())
   in
   let term =
     Term.(
@@ -529,6 +545,187 @@ let explain_cmd =
           traffic, join them per entity, and rank the bottlenecks with \
           residual attribution (model vs measured utilization and queue \
           depths).")
+    term
+
+(* contention *)
+
+let contention_cmd =
+  let resource_arg =
+    let doc =
+      "Add shared resource $(i,NAME) with byte/s capacity $(i,CAPACITY) to \
+       the hardware (repeatable; accepts unit suffixes)."
+    in
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "resource" ] ~docv:"NAME:CAPACITY" ~doc)
+  in
+  let demand_arg =
+    let doc =
+      "Class $(i,CLASS) (0-based mix index) consumes $(i,VALUE) bytes of \
+       resource $(i,RESOURCE) per offered byte (repeatable)."
+    in
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "class-demand" ] ~docv:"CLASS:RESOURCE:VALUE" ~doc)
+  in
+  let interference_arg =
+    let doc =
+      "Class $(i,VICTIM) is slowed by $(i,M) times class $(i,AGGRESSOR)'s \
+       resource pressure (repeatable)."
+    in
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "interference" ] ~docv:"VICTIM:AGGRESSOR:M" ~doc)
+  in
+  let json_arg =
+    let doc = "Also write the full contention report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+  in
+  let quantity_field name s =
+    match Lognic_dsl.Quantity.parse s with
+    | Ok v -> Ok v
+    | Error e -> Error (`Msg (Printf.sprintf "%s: %s" name e))
+  in
+  let int_field name s =
+    match int_of_string_opt s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "%s: not an integer: %S" name s))
+  in
+  let parse_specs name specs parse =
+    let ( let* ) = Result.bind in
+    List.fold_left
+      (fun acc spec ->
+        let* acc = acc in
+        let* v =
+          match parse (String.split_on_char ':' spec) with
+          | Ok v -> Ok v
+          | Error (`Msg m) ->
+            Error (`Msg (Printf.sprintf "--%s %s: %s" name spec m))
+        in
+        Ok (v :: acc))
+      (Ok []) specs
+    |> Result.map List.rev
+  in
+  let run graph_path rate packet queue_model duration seed resources demands
+      interferences json =
+    let ( let* ) = Result.bind in
+    let* doc = load_document graph_path in
+    let* mix =
+      match (doc.mix, rate, packet) with
+      | Some mix, None, None -> Ok mix
+      | _ ->
+        let* traffic = resolve_traffic doc rate packet in
+        Ok [ (traffic, 1.) ]
+    in
+    let n = List.length mix in
+    let* resources =
+      parse_specs "resource" resources (function
+        | [ name; cap ] ->
+          let* cap = quantity_field "CAPACITY" cap in
+          Ok (name, cap)
+        | _ -> Error (`Msg "expected NAME:CAPACITY"))
+    in
+    let* demands =
+      parse_specs "class-demand" demands (function
+        | [ cls; resource; value ] ->
+          let* cls = int_field "CLASS" cls in
+          let* value = quantity_field "VALUE" value in
+          Ok (cls, resource, value)
+        | _ -> Error (`Msg "expected CLASS:RESOURCE:VALUE"))
+    in
+    let* interferences =
+      parse_specs "interference" interferences (function
+        | [ victim; aggressor; m ] ->
+          let* victim = int_field "VICTIM" victim in
+          let* aggressor = int_field "AGGRESSOR" aggressor in
+          let* m = quantity_field "M" m in
+          Ok (victim, aggressor, m)
+        | _ -> Error (`Msg "expected VICTIM:AGGRESSOR:M"))
+    in
+    let* () =
+      let bad =
+        List.filter_map
+          (fun (c, _, _) -> if c < 0 || c >= n then Some c else None)
+          demands
+        @ List.concat_map
+            (fun (v, a, _) ->
+              List.filter (fun i -> i < 0 || i >= n) [ v; a ])
+            interferences
+      in
+      match bad with
+      | [] -> Ok ()
+      | c :: _ ->
+        Error
+          (`Msg
+             (Printf.sprintf "class index %d out of range (mix has %d classes)"
+                c n))
+    in
+    let hw =
+      let base = hardware_of doc in
+      if resources = [] then base
+      else
+        Lognic.Params.with_resources base
+          (base.Lognic.Params.resources @ resources)
+    in
+    let contention =
+      if demands = [] && interferences = [] then None
+      else
+        let demand_vectors =
+          List.init n (fun i ->
+              List.filter_map
+                (fun (c, r, v) -> if c = i then Some (r, v) else None)
+                demands)
+        in
+        let interference =
+          let m = Array.make_matrix n n 0. in
+          List.iter (fun (v, a, x) -> if v <> a then m.(v).(a) <- x)
+            interferences;
+          m
+        in
+        Some
+          (Lognic.Extensions.contention ~demands:demand_vectors ~interference)
+    in
+    let config =
+      {
+        Lognic_sim.Netsim.default_config with
+        duration;
+        warmup = duration /. 10.;
+        seed;
+      }
+    in
+    let* report =
+      match
+        Lognic_sim.Contention.run ~config ~queue_model ?contention doc.graph
+          ~hw ~mix
+      with
+      | report -> Ok report
+      | exception Invalid_argument m -> Error (`Msg m)
+    in
+    Fmt.pr "%a@." Lognic_sim.Contention.pp report;
+    Option.iter
+      (fun path ->
+        write_json path (Lognic_sim.Contention.to_json report);
+        Fmt.pr "contention report written to %s@." path)
+      json;
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ graph_arg $ rate_arg $ packet_arg $ queue_model_arg
+       $ duration_arg $ seed_arg $ resource_arg $ demand_arg
+       $ interference_arg $ json_arg))
+  in
+  Cmd.v
+    (Cmd.info "contention"
+       ~doc:
+         "Run the joint multi-class model with the multi-resource contention \
+          layer against one simulation: per-class model-vs-sim residuals, \
+          contention slowdowns and resource ceilings, and a ranked \
+          interference report.")
     term
 
 (* faults *)
@@ -945,8 +1142,8 @@ let () =
     Cmd.group info
       [
         estimate_cmd; sweep_cmd; simulate_cmd; check_cmd; report_cmd; explain_cmd;
-        faults_cmd; validate_cmd; optimize_cmd; sensitivity_cmd; roofline_cmd;
-        params_cmd; figures_cmd;
+        contention_cmd; faults_cmd; validate_cmd; optimize_cmd; sensitivity_cmd;
+        roofline_cmd; params_cmd; figures_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -31,7 +31,9 @@ let default_offered = 85. *. U.gbps
 let model_point ~offered ~profile ~credits =
   let mix = T.mix_of_sizes ~rate:offered ~sizes:profile.sizes in
   let g = P.pipelined_graph ~credits ~sizes:profile.sizes () in
-  let traffic = T.make ~rate:offered ~packet_size:(T.mean_packet_size mix) in
+  let traffic =
+    T.make ~rate:offered ~packet_size:(T.mean_packet_size_by_packets mix)
+  in
   let report = Lognic.Latency.evaluate g ~hw:P.hardware ~traffic in
   (report.Lognic.Latency.carried_rate, report.Lognic.Latency.mean)
 

@@ -180,6 +180,21 @@ let wild st =
     mix = mix ~rates:[ 2.5e7; 2.5e8; 1e9; 4e9 ] () st;
   }
 
+(* Two classes at a low fixed per-class rate on a tame chain: combined
+   packet gaps stay well above the largest service time, so per-class
+   model-vs-sim latency agreement is sharp (the mix analogue of
+   [low_load_chain]). *)
+let low_load_mix_chain st =
+  let cls () =
+    Lognic.Traffic.make ~rate:1e7 ~packet_size:(QGen.oneofl packet_sizes st)
+  in
+  {
+    label = "low-load-mix-chain";
+    graph = chain_graph () st;
+    hw = hardware st;
+    mix = Lognic.Traffic.mix [ (cls (), 1.); (cls (), 1.) ];
+  }
+
 let arrival st =
   QGen.oneofl
     [

@@ -85,3 +85,34 @@ let scenarios () =
 let measurement_string run =
   Sim.Telemetry.Json.to_string
     (Sim.Netsim.measurement_to_json (Sim.Netsim.execute run))
+
+(* Contended two-class workload, pinned end to end: the joint
+   multi-class model with the multi-resource interference layer against
+   a fixed-seed simulation, captured as the full contention-report JSON
+   (per-class residuals, slowdowns, resource ceilings, ranked
+   interference).  One fixture pins the model math and the report
+   serialization together. *)
+let contention_scenarios () =
+  [
+    ( "contended-two-class",
+      fun () ->
+        let mix =
+          [
+            ( T.make ~rate:(D.Liquidio.line_rate /. 2.) ~packet_size:U.mtu,
+              0.6 );
+            (T.make ~rate:(D.Liquidio.line_rate /. 4.) ~packet_size:512., 0.4);
+          ]
+        in
+        let contention =
+          Lognic.Extensions.contention
+            ~demands:
+              [ [ ("l2-fill", 1.) ]; [ ("l2-fill", 1.); ("dram", 0.5) ] ]
+            ~interference:[| [| 0.; 0.6 |]; [| 0.3; 0. |] |]
+        in
+        let report =
+          Sim.Contention.run
+            ~config:(config ~seed:13 ())
+            ~contention (md5_graph ()) ~hw:D.Liquidio.hardware ~mix
+        in
+        Sim.Telemetry.Json.to_string (Sim.Contention.to_json report) );
+  ]

@@ -285,6 +285,204 @@ let invariants_hold_everywhere ~count =
       && (json checked = json plain
          || QCheck.Test.fail_reportf "checking changed the measurement JSON"))
 
+(* ---- traffic mixes and contention ------------------------------------ *)
+
+let same_bits a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let fail_bits ~what expected actual =
+  same_bits expected actual
+  || QCheck.Test.fail_reportf "%s: expected %h, got %h (not bit-identical)"
+       what expected actual
+
+(* Tentpole regression guard: pushing one class through the joint
+   multi-class machinery is the single-class model, bit for bit — the
+   shares all collapse to exactly 1 and every scaling step is skipped. *)
+let mix_single_class_limit ~count =
+  QCheck.Test.make ~count
+    ~name:"mix: one-class mix is bit-identical to the single-class model"
+    (arb Gen.wild ~print:(fun s -> s.Gen.label))
+    (fun sc ->
+      let traffic = fst (List.hd sc.Gen.mix) in
+      let solo = Lognic.Estimate.run sc.Gen.graph ~hw:sc.Gen.hw ~traffic in
+      let joint =
+        Lognic.Estimate.run_mix sc.Gen.graph ~hw:sc.Gen.hw
+          ~mix:[ (traffic, 1.) ]
+      in
+      let _, _, tp, lat = List.hd joint.Lognic.Extensions.classes in
+      fail_bits ~what:"capacity" solo.Lognic.Estimate.throughput.Lognic.Throughput.capacity
+        tp.Lognic.Throughput.capacity
+      && fail_bits ~what:"attained" solo.Lognic.Estimate.throughput.Lognic.Throughput.attained
+           tp.Lognic.Throughput.attained
+      && fail_bits ~what:"mean latency" solo.Lognic.Estimate.latency.Lognic.Latency.mean
+           lat.Lognic.Latency.mean
+      && fail_bits ~what:"carried rate" solo.Lognic.Estimate.latency.Lognic.Latency.carried_rate
+           lat.Lognic.Latency.carried_rate
+      && fail_bits ~what:"aggregate throughput"
+           solo.Lognic.Estimate.throughput.Lognic.Throughput.attained
+           joint.Lognic.Extensions.throughput
+      && fail_bits ~what:"aggregate latency" solo.Lognic.Estimate.latency.Lognic.Latency.mean
+           joint.Lognic.Extensions.latency)
+
+(* Drop the per-class summary field — the only place the class split
+   is allowed to show — and demand the rest of the measurement byte
+   over byte. *)
+let rec strip_per_class = function
+  | Sim.Telemetry.Json.Obj kvs ->
+    Sim.Telemetry.Json.Obj
+      (List.filter_map
+         (fun (k, v) ->
+           if k = "per_class" then None else Some (k, strip_per_class v))
+         kvs)
+  | Sim.Telemetry.Json.Arr vs -> Sim.Telemetry.Json.Arr (List.map strip_per_class vs)
+  | other -> other
+
+(* Splitting one class into two identical copies at rate/2 changes
+   which class index each packet carries and nothing else: the
+   generator draws the same arrival stream (r/2 + r/2 = r is exact)
+   and every packet has the same size, so the measurement JSON minus
+   [per_class] must be byte-identical — at any jobs count — and the
+   model aggregates must collapse bit-exactly.  (Only the halving
+   split is float-exact end to end: r/N for N not a power of two
+   rounds, and even N = 4 hits 3/4·r partial sums whose significand
+   needs two extra bits.) *)
+let mix_identical_classes_collapse ~count =
+  QCheck.Test.make ~count
+    ~name:"mix: two identical half-rate classes are byte-identical to the merged class"
+    (arb Gen.low_load_chain ~print:(fun s -> Printf.sprintf "%s halved" s.Gen.label))
+    (fun sc ->
+      let merged = fst (List.hd sc.Gen.mix) in
+      let part =
+        { merged with Lognic.Traffic.rate = merged.Lognic.Traffic.rate /. 2. }
+      in
+      let split = [ (part, 1.); (part, 1.) ] in
+      (* model side: aggregates collapse bit-exactly *)
+      let a = Lognic.Estimate.run_mix sc.Gen.graph ~hw:sc.Gen.hw ~mix:[ (merged, 1.) ] in
+      let b = Lognic.Estimate.run_mix sc.Gen.graph ~hw:sc.Gen.hw ~mix:split in
+      fail_bits ~what:"aggregate throughput" a.Lognic.Extensions.throughput
+        b.Lognic.Extensions.throughput
+      && fail_bits ~what:"aggregate latency" a.Lognic.Extensions.latency
+           b.Lognic.Extensions.latency
+      &&
+      (* sim side: identical event stream, so the stripped measurement
+         JSON is byte-identical *)
+      let config =
+        { Sim.Netsim.default_config with duration = 2e-3; warmup = 2e-4 }
+      in
+      let json mix =
+        Sim.Telemetry.Json.to_string
+          (strip_per_class
+             (Sim.Netsim.measurement_to_json
+                (Sim.Netsim.run ~config sc.Gen.graph ~hw:sc.Gen.hw ~mix)))
+      in
+      (json [ (merged, 1.) ] = json split
+      || QCheck.Test.fail_reportf "split mix changed the measurement JSON")
+      &&
+      (* and the split spec stays bit-identical across jobs counts *)
+      let spec =
+        Sim.Netsim.Run.make ~config sc.Gen.graph ~hw:sc.Gen.hw ~mix:split
+      in
+      Sim.Parallel.execute_replicated ~jobs:1 ~runs:2 spec
+      = Sim.Parallel.execute_replicated ~jobs:4 ~runs:2 spec
+      || QCheck.Test.fail_reportf "split mix diverges across jobs")
+
+(* The joint evaluation must not care how the class list is ordered:
+   same classes, same weights, permuted — same per-class results and
+   (up to summation order) the same aggregates. *)
+let mix_permutation_invariant ~count =
+  QCheck.Test.make ~count
+    ~name:"mix: class order does not change the joint evaluation"
+    (arb Gen.low_load_mix_chain ~print:(fun s -> s.Gen.label))
+    (fun sc ->
+      let rev = List.rev sc.Gen.mix in
+      let a = Lognic.Estimate.run_mix sc.Gen.graph ~hw:sc.Gen.hw ~mix:sc.Gen.mix in
+      let b = Lognic.Estimate.run_mix sc.Gen.graph ~hw:sc.Gen.hw ~mix:rev in
+      let tol = 1e-9 in
+      fail_close ~tol ~what:"aggregate throughput" a.Lognic.Extensions.throughput
+        b.Lognic.Extensions.throughput
+      && fail_close ~tol ~what:"aggregate latency" a.Lognic.Extensions.latency
+           b.Lognic.Extensions.latency
+      && List.for_all2
+           (fun (_, _, tp1, lat1) (_, _, tp2, lat2) ->
+             fail_close ~tol ~what:"class capacity" tp1.Lognic.Throughput.capacity
+               tp2.Lognic.Throughput.capacity
+             && fail_close ~tol ~what:"class latency" lat1.Lognic.Latency.mean
+                  lat2.Lognic.Latency.mean)
+           a.Lognic.Extensions.classes
+           (List.rev b.Lognic.Extensions.classes))
+
+(* Contention monotonicity: a co-located aggressor can only take shared
+   bytes and add slowdown — the victim's capacity and attained rate
+   never improve over running alone. *)
+let contention_monotonic ~count =
+  QCheck.Test.make ~count
+    ~name:"contention: adding a class never raises another's capacity"
+    (arb
+       (QCheck.Gen.quad Gen.low_load_mix_chain
+          (QCheck.Gen.oneofl [ 0.5; 1.; 2. ])
+          (QCheck.Gen.oneofl [ 0.5; 1.; 2. ])
+          (QCheck.Gen.oneofl [ 0.; 0.5; 1. ]))
+       ~print:(fun (s, d0, d1, m) ->
+         Printf.sprintf "%s d0=%g d1=%g M01=%g" s.Gen.label d0 d1 m))
+    (fun (sc, d0, d1, m01) ->
+      let hw = Lognic.Params.with_resources sc.Gen.hw [ ("shared", 5e7) ] in
+      let victim, aggressor =
+        match sc.Gen.mix with
+        | [ a; b ] -> (a, b)
+        | _ -> assert false
+      in
+      let solo =
+        Lognic.Estimate.run_mix sc.Gen.graph ~hw
+          ~contention:
+            (Lognic.Extensions.contention
+               ~demands:[ [ ("shared", d0) ] ]
+               ~interference:[| [| 0. |] |])
+          ~mix:[ victim ]
+      in
+      let pair =
+        Lognic.Estimate.run_mix sc.Gen.graph ~hw
+          ~contention:
+            (Lognic.Extensions.contention
+               ~demands:[ [ ("shared", d0) ]; [ ("shared", d1) ] ]
+               ~interference:[| [| 0.; m01 |]; [| 0.; 0. |] |])
+          ~mix:[ victim; aggressor ]
+      in
+      let cap r =
+        let _, _, tp, _ = List.hd r.Lognic.Extensions.classes in
+        (tp.Lognic.Throughput.capacity, tp.Lognic.Throughput.attained)
+      in
+      let solo_cap, solo_att = cap solo and pair_cap, pair_att = cap pair in
+      (pair_cap <= solo_cap
+      || QCheck.Test.fail_reportf "capacity rose: alone %.12g, contended %.12g"
+           solo_cap pair_cap)
+      && (pair_att <= solo_att
+         || QCheck.Test.fail_reportf
+              "attained rose: alone %.12g, contended %.12g" solo_att pair_att))
+
+(* The acceptance bar for the joint model: at low load, per-class mean
+   latency from the joint evaluation tracks the simulator's per-class
+   measurement within 5%. *)
+let mix_low_load_latency ~count =
+  QCheck.Test.make ~count
+    ~name:"model-vs-sim: two-class low-load per-class latency within 5%"
+    (arb Gen.low_load_mix_chain ~print:(fun s -> s.Gen.label))
+    (fun sc ->
+      let model =
+        Lognic.Estimate.run_mix ~queue_model:Lognic.Latency.No_queueing
+          sc.Gen.graph ~hw:sc.Gen.hw ~mix:sc.Gen.mix
+      in
+      let m =
+        Sim.Netsim.run ~config:low_load_config sc.Gen.graph ~hw:sc.Gen.hw
+          ~mix:sc.Gen.mix
+      in
+      let per_class = m.Sim.Netsim.summary.Sim.Telemetry.per_class in
+      List.for_all2
+        (fun (_, _, _, lat) (klass, delivered, sim_mean) ->
+          delivered > 0
+          && fail_close ~tol:0.05
+               ~what:(Printf.sprintf "class %d mean latency" klass)
+               lat.Lognic.Latency.mean sim_mean)
+        model.Lognic.Extensions.classes per_class)
+
 (* ---- suite ----------------------------------------------------------- *)
 
 (* [scale] multiplies each property's base case count, so callers can
@@ -405,4 +603,9 @@ let suite ?(scale = 1.) () =
     run_wrapper_equivalence ~count:(n 10);
     invariants_hold_everywhere ~count:(n 20);
     calendar_matches_heap ~count:(n 500);
+    mix_single_class_limit ~count:(n 50);
+    mix_identical_classes_collapse ~count:(n 6);
+    mix_permutation_invariant ~count:(n 100);
+    contention_monotonic ~count:(n 100);
+    mix_low_load_latency ~count:(n 6);
   ]

@@ -11,7 +11,10 @@ let run ?queue_model g ~hw ~traffic =
     traffic;
   }
 
-let run_mix g ~hw ~mix = Extensions.mixed_traffic ~hw ~graph_for:(fun _ -> g) mix
+let run_mix ?queue_model ?contention g ~hw ~mix =
+  Extensions.mixed_traffic ?queue_model ?contention ~hw
+    ~graph_for:(fun _ -> g)
+    mix
 
 let saturation_sweep ?(points = 20) ?queue_model g ~hw ~packet_size ~max_rate =
   List.init points (fun i ->

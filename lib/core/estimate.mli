@@ -16,8 +16,15 @@ val run :
   report
 
 val run_mix :
-  Graph.t -> hw:Params.hardware -> mix:Traffic.mix -> Extensions.mixed_report
-(** Extension #2 applied with a size-independent graph. *)
+  ?queue_model:Latency.queue_model ->
+  ?contention:Extensions.contention ->
+  Graph.t ->
+  hw:Params.hardware ->
+  mix:Traffic.mix ->
+  Extensions.mixed_report
+(** Joint multi-class evaluation ({!Extensions.mixed_traffic}) with a
+    size-independent graph; [?contention] adds the multi-resource
+    interference layer. *)
 
 val saturation_sweep :
   ?points:int ->

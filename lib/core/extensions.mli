@@ -44,20 +44,104 @@ val consolidate : hw:Params.hardware -> tenant list -> consolidated
     bandwidth is scaled down by the other tenants' α/β pressure.
     Raises [Invalid_argument] on an empty tenant list. *)
 
+type class_contention = {
+  slowdown : float;
+      (** service-time dilation from co-located classes' pressure,
+          ≥ 1; applied as A/slowdown on every finite vertex *)
+  pressure : (string * float) list;
+      (** this class's own per-resource pressure: rate·demand/capacity *)
+  resource_caps : (string * float) list;
+      (** this class's byte/s ceiling on each resource it demands:
+          share·capacity/demand, where share is the offered-byte share *)
+}
+
+type contention = {
+  demands : (string * float) list list;
+      (** per class (mix order): (resource name, demand per offered
+          byte). Resources must exist in {!Params.hardware.resources}. *)
+  interference : float array array;
+      (** M with zero diagonal; slowdown_i = 1 + Σ_{j≠i} M_ij ·
+          pressure_j, so adding a co-located class can only slow the
+          others down (monotone by construction) *)
+}
+
+val contention :
+  demands:(string * float) list list ->
+  interference:float array array ->
+  contention
+(** Validating constructor: one demand vector per class, an n×n matrix
+    with zero diagonal and finite non-negative entries, finite
+    non-negative demands with non-empty resource names. Raises
+    [Invalid_argument] otherwise. *)
+
 type mixed_report = {
   classes : (Traffic.t * float * Throughput.result * Latency.result) list;
-  throughput : float;  (** Σ dist_size · P_attainable *)
+      (** per class: normalized weight, capacity split by byte share
+          (plus any contention resource cap), latency on the union
+          queues *)
+  throughput : float;  (** Σ per-class attained bytes/s *)
   latency : float;  (** Σ dist_size · T_attainable *)
+  contention : class_contention list option;
+      (** per-class slowdown/pressure report, [Some] iff a contention
+          spec was supplied *)
 }
 
 val mixed_traffic :
+  ?queue_model:Latency.queue_model ->
+  ?contention:contention ->
   hw:Params.hardware ->
   graph_for:(Traffic.t -> Graph.t) ->
   Traffic.mix ->
   mixed_report
-(** [mixed_traffic ~hw ~graph_for mix] evaluates [graph_for cls] for
-    each class (letting δ, O, C vary with packet size, as Extension #2
-    requires) and averages by the normalized weights. *)
+(** Joint multi-class evaluation (Extension #2 done properly): classes
+    are evaluated against {e shared} entities, not private device
+    copies. Entities are matched across the per-class graphs by vertex
+    label / (src,dst) label pair / the two device media; each entity's
+    capacity is split across its sharing classes by offered-byte share
+    (weighted multi-class processor sharing), and each class's
+    throughput ceiling is {!Throughput.evaluate} on its share-scaled
+    graph. Latency feeds every shared vertex the {e union} of class
+    arrival streams: λ = Σ λ_j and a packet-size-mixture service rate
+    (λ-weighted harmonic mean of the per-class μ_j, with an M/G/1
+    (1+SCV)/2 waiting inflation when the μ_j differ), via
+    {!Latency.terms_of_rates}. The aggregate throughput is the {e sum}
+    of per-class attained rates (the weight-averaged number the old
+    behavior reported is recoverable as Σ wᵢ·attainedᵢ).
+
+    A class that is the only user of an entity gets share 1 exactly, so
+    a single-class mix is bit-for-bit identical to
+    {!Throughput.evaluate} + {!Latency.evaluate} on the plain graph.
+
+    With [?contention], co-located classes additionally dilate each
+    other's service times (slowdown from the interference matrix and
+    resource pressures) and each class's capacity is min'd with its
+    share of every named resource ({!Throughput.Resource_bound}).
+    Raises [Invalid_argument] on a demand-vector arity mismatch or a
+    resource name absent from [hw.resources]. *)
+
+val mixed_traffic_independent :
+  hw:Params.hardware ->
+  graph_for:(Traffic.t -> Graph.t) ->
+  Traffic.mix ->
+  mixed_report
+(** The pre-joint behavior, kept for comparison and ablation: each
+    class is evaluated on a private copy of the device and the
+    aggregates are weight-averaged per-class results. Structurally
+    optimistic whenever classes actually share hardware — see the
+    "Mixed traffic" section of MODEL.md for the delta. [contention] is
+    always [None]. *)
+
+val mixed_tail :
+  ?model:Latency.queue_model ->
+  ?contention:contention ->
+  hw:Params.hardware ->
+  graph_for:(Traffic.t -> Graph.t) ->
+  Traffic.mix ->
+  (Traffic.t * Tail.result) list
+(** Per-class tail-latency analysis under the same joint evaluation:
+    each class's sojourn moments are computed with the union-queue
+    (λ, μ) of every shared vertex threaded through
+    {!Tail.evaluate}'s [rates_for] hook. *)
 
 val insert_rate_limiter :
   Graph.t ->

@@ -55,15 +55,14 @@ let vertex_rates g ~(traffic : Traffic.t) id =
   in
   (lambda, mu)
 
-let vertex_terms ?(model = Mm1n_model) g ~traffic id =
+(* The queue-model dispatch given a vertex's (lambda, mu): the shared
+   tail of [vertex_terms] and of the joint multi-class evaluation, which
+   feeds it union arrival rates and mixture service rates instead of the
+   single-class Eq 11 values. *)
+let terms_of_rates ?(model = Mm1n_model) g id ~service ~lambda ~mu =
   let v = Graph.vertex g id in
-  let service = vertex_service_time g ~traffic id in
-  if v.service.throughput = infinity || Throughput.vertex_inflow g id <= 0. then
-    { vid = id; queueing = 0.; service; utilization = 0.; drop_probability = 0. }
-  else
-    let lambda, mu = vertex_rates g ~traffic id in
-    let utilization = lambda /. mu in
-    match model with
+  let utilization = lambda /. mu in
+  match model with
     | No_queueing ->
       { vid = id; queueing = 0.; service; utilization; drop_probability = 0. }
     | Mm1_model ->
@@ -114,6 +113,15 @@ let vertex_terms ?(model = Mm1n_model) g ~traffic id =
         drop_probability = Lognic_queueing.Mmcn.blocking_probability queue;
       }
 
+let vertex_terms ?model g ~traffic id =
+  let v = Graph.vertex g id in
+  let service = vertex_service_time g ~traffic id in
+  if v.service.throughput = infinity || Throughput.vertex_inflow g id <= 0. then
+    { vid = id; queueing = 0.; service; utilization = 0.; drop_probability = 0. }
+  else
+    let lambda, mu = vertex_rates g ~traffic id in
+    terms_of_rates ?model g id ~service ~lambda ~mu
+
 let vertex_queueing ?model g ~traffic id = (vertex_terms ?model g ~traffic id).queueing
 
 let edge_transfer_time g ~(hw : Params.hardware) ~(traffic : Traffic.t)
@@ -155,7 +163,8 @@ let path_weights g =
   if total <= 0. then raw
   else List.map (fun (p, w) -> (p, w /. total)) raw
 
-let evaluate ?(model = Mm1n_model) g ~hw ~traffic =
+let evaluate_with ~term_of:(uncached : Graph.vertex_id -> vertex_terms) g ~hw
+    ~(traffic : Traffic.t) =
   (match Graph.validate g with
   | Ok () -> ()
   | Error errors ->
@@ -167,7 +176,7 @@ let evaluate ?(model = Mm1n_model) g ~hw ~traffic =
     match Hashtbl.find_opt terms id with
     | Some t -> t
     | None ->
-      let t = vertex_terms ~model g ~traffic id in
+      let t = uncached id in
       Hashtbl.add terms id t;
       t
   in
@@ -222,6 +231,10 @@ let evaluate ?(model = Mm1n_model) g ~hw ~traffic =
     traffic.rate *. survival
   in
   { mean; per_path; per_vertex; carried_rate }
+
+let evaluate ?(model = Mm1n_model) g ~hw ~traffic =
+  evaluate_with ~term_of:(fun id -> vertex_terms ~model g ~traffic id) g ~hw
+    ~traffic
 
 let pp_result ppf r =
   Fmt.pf ppf "@[<v>mean latency: %.2f us@,carried rate: %.3f Gbps"

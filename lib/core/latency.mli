@@ -72,6 +72,25 @@ val vertex_rates : Graph.t -> traffic:Traffic.t -> Graph.vertex_id -> float * fl
 (** (λ, μ) of the vertex's virtual shared queue per Eq 11 — the inputs
     to the queueing term, exposed for the tail-latency extension. *)
 
+val vertex_terms :
+  ?model:queue_model -> Graph.t -> traffic:Traffic.t -> Graph.vertex_id -> vertex_terms
+(** The full single-class per-vertex evaluation: Eq 11 rates fed to the
+    selected queue model, zero terms for transparent vertices. *)
+
+val terms_of_rates :
+  ?model:queue_model ->
+  Graph.t ->
+  Graph.vertex_id ->
+  service:float ->
+  lambda:float ->
+  mu:float ->
+  vertex_terms
+(** The queue-model dispatch of {!vertex_terms} with caller-supplied
+    (λ, μ) and service time — the hook the joint multi-class evaluation
+    ({!Extensions.mixed_traffic}) uses to feed a vertex the union of
+    class arrival streams and a packet-size-mixture service rate.
+    Queue capacity and parallelism still come from the vertex. *)
+
 val edge_transfer_time :
   Graph.t -> hw:Params.hardware -> traffic:Traffic.t -> Graph.edge -> float
 (** g_in·α/BW_INTF + g_in·β/BW_MEM (+ g_in·δ/BW_mn on a dedicated
@@ -91,5 +110,18 @@ val evaluate :
   result
 (** Raises [Invalid_argument] if the graph fails {!Graph.validate} or
     has no ingress→egress path. *)
+
+val evaluate_with :
+  term_of:(Graph.vertex_id -> vertex_terms) ->
+  Graph.t ->
+  hw:Params.hardware ->
+  traffic:Traffic.t ->
+  result
+(** {!evaluate} with the per-vertex queueing terms supplied by
+    [term_of] (memoized per vertex, called at most once per id) instead
+    of the single-class Eq 11 derivation. [traffic] still scopes the
+    edge-transfer times (packet size) and the carried-rate discount
+    (offered rate). [evaluate] is [evaluate_with] over
+    {!vertex_terms}. *)
 
 val pp_result : Format.formatter -> result -> unit

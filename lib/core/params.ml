@@ -1,9 +1,33 @@
-type hardware = { bw_interface : float; bw_memory : float }
+type hardware = {
+  bw_interface : float;
+  bw_memory : float;
+  resources : (string * float) list;
+}
 
 let hardware ~bw_interface ~bw_memory =
   if bw_interface <= 0. || bw_memory <= 0. then
     invalid_arg "Params.hardware: bandwidths must be > 0";
-  { bw_interface; bw_memory }
+  { bw_interface; bw_memory; resources = [] }
+
+let with_resources hw resources =
+  List.iter
+    (fun (name, capacity) ->
+      if name = "" then invalid_arg "Params.with_resources: empty resource name";
+      if capacity <= 0. then
+        invalid_arg
+          ("Params.with_resources: resource " ^ name ^ " capacity must be > 0"))
+    resources;
+  let rec dup = function
+    | [] -> ()
+    | (name, _) :: rest ->
+      if List.mem_assoc name rest then
+        invalid_arg ("Params.with_resources: duplicate resource " ^ name);
+      dup rest
+  in
+  dup resources;
+  { hw with resources }
+
+let resource_capacity hw name = List.assoc_opt name hw.resources
 
 type source = Spec | Characterization | Configurable
 

@@ -12,10 +12,24 @@ type hardware = {
   bw_memory : float;
       (** BW_MEM — memory-subsystem bandwidth shared by all β-traffic,
           bytes/s *)
+  resources : (string * float) list;
+      (** Named shared-resource capacities beyond the two modeled media —
+          e.g. [("cache", bytes/s of LLC fill bandwidth)] — consumed by
+          the multi-resource contention layer
+          ({!Extensions.mixed_traffic}). Empty means no contention
+          modeling; the base model ignores this field entirely. *)
 }
 
 val hardware : bw_interface:float -> bw_memory:float -> hardware
-(** Raises [Invalid_argument] on non-positive bandwidths. *)
+(** Raises [Invalid_argument] on non-positive bandwidths. [resources]
+    starts empty; attach capacities with {!with_resources}. *)
+
+val with_resources : hardware -> (string * float) list -> hardware
+(** Replaces the named shared-resource capacities. Raises
+    [Invalid_argument] on an empty name, a non-positive capacity, or a
+    duplicate name. *)
+
+val resource_capacity : hardware -> string -> float option
 
 type source = Spec | Characterization | Configurable
 (** Where a parameter's value comes from (Table 2's SPEC/CHAR/CONF

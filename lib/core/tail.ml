@@ -52,12 +52,20 @@ let mmcn_moments ~lambda ~mu ~servers ~capacity =
     (!m1, Float.max 0. (!m2 -. (!m1 *. !m1)))
   end
 
-let vertex_sojourn_moments ?(model = Latency.Mm1n_model) g ~traffic id =
+let vertex_sojourn_moments ?(model = Latency.Mm1n_model) ?rates_for g ~traffic
+    id =
   let v = Graph.vertex g id in
   if v.service.throughput = infinity || Throughput.vertex_inflow g id <= 0. then
     (0., 0.)
   else begin
-    let lambda, mu = Latency.vertex_rates g ~traffic id in
+    let lambda, mu =
+      match rates_for with
+      | Some f -> (
+        match f id with
+        | Some rates -> rates
+        | None -> Latency.vertex_rates g ~traffic id)
+      | None -> Latency.vertex_rates g ~traffic id
+    in
     match model with
     | Latency.Mmcn_model ->
       (* undo Eq 11's per-engine arrival split, as Latency does *)
@@ -77,10 +85,10 @@ type path_shape = {
   random_mean : float;
 }
 
-let path_shape ?model g ~hw ~traffic path =
+let path_shape ?model ?rates_for g ~hw ~traffic path =
   let rec walk mean var shift = function
     | a :: (b :: _ as rest) ->
-      let m, v = vertex_sojourn_moments ?model g ~traffic a in
+      let m, v = vertex_sojourn_moments ?model ?rates_for g ~traffic a in
       let overhead = (Graph.vertex g a).Graph.service.overhead in
       let transfer =
         match Graph.edge g ~src:a ~dst:b with
@@ -89,7 +97,7 @@ let path_shape ?model g ~hw ~traffic path =
       in
       walk (mean +. m) (var +. v) (shift +. overhead +. transfer) rest
     | [ last ] ->
-      let m, v = vertex_sojourn_moments ?model g ~traffic last in
+      let m, v = vertex_sojourn_moments ?model ?rates_for g ~traffic last in
       (mean +. m, var +. v, shift)
     | [] -> (mean, var, shift)
   in
@@ -145,14 +153,16 @@ let mixture_quantile shapes_weights p =
   done;
   0.5 *. (!lo +. !hi)
 
-let evaluate ?model g ~hw ~traffic =
+let evaluate ?model ?rates_for g ~hw ~traffic =
   (match Graph.validate g with
   | Ok () -> ()
   | Error errors -> invalid_arg ("Tail: invalid graph: " ^ String.concat "; " errors));
   let weighted_paths = Latency.path_weights g in
   if weighted_paths = [] then invalid_arg "Tail: no ingress->egress path";
   let shapes =
-    List.map (fun (p, w) -> (path_shape ?model g ~hw ~traffic p, p, w)) weighted_paths
+    List.map
+      (fun (p, w) -> (path_shape ?model ?rates_for g ~hw ~traffic p, p, w))
+      weighted_paths
   in
   let tails =
     List.map (fun (s, p, w) -> { tpath = p; tweight = w; tq = quantiles_of_shape s }) shapes

@@ -44,6 +44,7 @@ val per_path : result -> path_tail list
 
 val vertex_sojourn_moments :
   ?model:Latency.queue_model ->
+  ?rates_for:(Graph.vertex_id -> (float * float) option) ->
   Graph.t ->
   traffic:Traffic.t ->
   Graph.vertex_id ->
@@ -51,10 +52,13 @@ val vertex_sojourn_moments :
 (** (mean, variance) of the vertex's sojourn (queueing + service) for
     an accepted request; (0, 0) for transparent vertices. Only
     [Mm1n_model] and [Mmcn_model] are meaningful; the ablation models
-    fall back to Mm1n. *)
+    fall back to Mm1n. [rates_for] overrides the Eq 11 (λ, μ) per
+    vertex ([None] falls back) — the hook {!Extensions.mixed_tail}
+    uses to thread union-queue rates through the tail analysis. *)
 
 val evaluate :
   ?model:Latency.queue_model ->
+  ?rates_for:(Graph.vertex_id -> (float * float) option) ->
   Graph.t ->
   hw:Params.hardware ->
   traffic:Traffic.t ->

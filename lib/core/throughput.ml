@@ -3,6 +3,7 @@ type bound =
   | Edge_bound of Graph.vertex_id * Graph.vertex_id
   | Interface_bound
   | Memory_bound
+  | Resource_bound of string
   | Offered_load
 
 type result = {
@@ -106,6 +107,7 @@ let pp_bound g ppf = function
   | Edge_bound (s, d) -> Fmt.pf ppf "edge %d->%d" s d
   | Interface_bound -> Fmt.string ppf "shared interface bandwidth"
   | Memory_bound -> Fmt.string ppf "memory bandwidth"
+  | Resource_bound name -> Fmt.pf ppf "shared resource %s" name
   | Offered_load -> Fmt.string ppf "offered load (ingress rate)"
 
 let pp_result g ppf r =

@@ -20,6 +20,11 @@ type bound =
   | Edge_bound of Graph.vertex_id * Graph.vertex_id
   | Interface_bound
   | Memory_bound
+  | Resource_bound of string
+      (** a named shared resource from {!Params.hardware.resources}
+          binds — only produced by the multi-resource contention layer
+          ({!Extensions.mixed_traffic}); the single-class evaluation
+          never emits it *)
   | Offered_load  (** the ingress rate itself is the binding constraint *)
 
 type result = {

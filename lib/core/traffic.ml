@@ -37,5 +37,17 @@ let mean_packet_size classes =
 
 let total_rate classes = List.fold_left (fun acc (c, _) -> acc +. c.rate) 0. classes
 
+let total_packet_rate classes =
+  List.fold_left (fun acc (c, _) -> acc +. packet_rate c) 0. classes
+
+let mean_packet_size_by_packets classes =
+  (* Harmonic in the byte weights: total bytes/s over total packets/s is
+     the size of the average *packet*, which is what packet-rate
+     conversions (lambda = rate / size) need. The byte-weighted
+     [mean_packet_size] systematically overweights large packets there:
+     a 50/50-byte split of 64B and 1500B packets averages 782 B/packet
+     by bytes but only ~123 B/packet by packets. *)
+  total_rate classes /. total_packet_rate classes
+
 let pp ppf t =
   Fmt.pf ppf "%.2f Gbps of %gB packets" (Units.to_gbps t.rate) t.packet_size

@@ -17,7 +17,12 @@ let total_cores = 8
 let core_frequency = 2.5e9
 
 let hardware =
-  Lognic.Params.hardware ~bw_interface:(200. *. U.gbps) ~bw_memory:(120. *. U.gbps)
+  (* The ARM cluster's shared LLC and the PCIe DMA engines are the
+     cross-graph choke points the contention layer models. *)
+  Lognic.Params.with_resources
+    (Lognic.Params.hardware ~bw_interface:(200. *. U.gbps)
+       ~bw_memory:(120. *. U.gbps))
+    [ ("llc", 60. *. U.gbps); ("pcie-dma", 128.e9) ]
 
 let has_accelerator = function Dpi -> false | Fw | Lb | Nat | Pe -> true
 

@@ -25,6 +25,9 @@ val line_rate : float
 val total_cores : int
 val core_frequency : float
 val hardware : Lognic.Params.hardware
+(** interface = SoC interconnect, memory = DRAM controllers. The
+    resource vector names the ARM cluster's shared LLC ([llc]) and the
+    PCIe DMA engines ([pcie-dma]) for the contention layer. *)
 
 val has_accelerator : nf -> bool
 (** False only for DPI. *)

@@ -7,8 +7,16 @@ let cmi_bandwidth = 50. *. U.gbps
 let io_bandwidth = 40. *. U.gbps
 let core_frequency = 1.5e9
 
+let l2_fill_bandwidth = 30. *. U.gbps
+let dram_bandwidth = 25.6e9
+
 let hardware =
-  Lognic.Params.hardware ~bw_interface:io_bandwidth ~bw_memory:cmi_bandwidth
+  (* Beyond the two modeled media, co-located graphs contend for the
+     shared L2 fill path and the single DDR3 channel; the contention
+     layer prices those through the resource vector. *)
+  Lognic.Params.with_resources
+    (Lognic.Params.hardware ~bw_interface:io_bandwidth ~bw_memory:cmi_bandwidth)
+    [ ("l2-fill", l2_fill_bandwidth); ("dram", dram_bandwidth) ]
 
 let core_rate_bytes ~(spec : Accel_spec.t) ~cores ~packet_size =
   float_of_int cores *. spec.core_issue_ops *. packet_size

@@ -21,7 +21,9 @@ val io_bandwidth : float
 (** 40 Gbps. *)
 
 val hardware : Lognic.Params.hardware
-(** interface = I/O interconnect, memory = CMI. *)
+(** interface = I/O interconnect, memory = CMI. The resource vector
+    names the L2 fill path ([l2-fill]) and the DDR3 channel ([dram])
+    for the multi-resource contention layer. *)
 
 val core_rate_bytes :
   spec:Accel_spec.t -> cores:int -> packet_size:float -> float

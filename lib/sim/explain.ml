@@ -33,6 +33,7 @@ let bound_name g = function
   | Lognic.Throughput.Edge_bound (s, d) -> Printf.sprintf "link-%d-%d" s d
   | Lognic.Throughput.Interface_bound -> "interface"
   | Lognic.Throughput.Memory_bound -> "memory"
+  | Lognic.Throughput.Resource_bound name -> "resource:" ^ name
   | Lognic.Throughput.Offered_load -> "offered-load"
 
 let relative_error ~model ~sim =
@@ -254,3 +255,319 @@ let pp ppf t =
     t.rows
 
 let to_text t = Format.asprintf "%a" pp t
+
+(* ---- traffic mixes -------------------------------------------------- *)
+
+type class_row = {
+  c_traffic : Lognic.Traffic.t;
+  c_weight : float;
+  c_model_throughput : float;
+  c_sim_throughput : float;
+  c_throughput_error : float;
+  c_model_latency : float;
+  c_sim_latency : float option;
+  c_latency_error : float option;
+  c_model_bottleneck : string;
+}
+
+type mix_report = {
+  mix_model : Lognic.Extensions.mixed_report;
+  mix_measurement : Netsim.measurement;
+  class_rows : class_row list;
+  mix_rows : entity_row list;
+  mix_model_bottleneck : string;
+  mix_sim_bottleneck : string;
+  mix_agree : bool;
+  mix_model_throughput : float;
+  mix_sim_throughput : float;
+  mix_throughput_error : float;
+  mix_model_latency : float;
+  mix_sim_latency : float;
+  mix_latency_error : float;
+}
+
+let run_mix ?config ?queue_model ?contention g ~hw ~mix =
+  let model = Lognic.Estimate.run_mix ?queue_model ?contention g ~hw ~mix in
+  let config = Option.value config ~default:Netsim.default_config in
+  let config =
+    match config.Netsim.sample_interval with
+    | Some _ -> config
+    | None ->
+      { config with Netsim.sample_interval = Some (config.duration /. 256.) }
+  in
+  let measurement = Netsim.run ~config g ~hw ~mix in
+  let summary = measurement.Netsim.summary in
+  let window = summary.Telemetry.window in
+  let classes = model.Lognic.Extensions.classes in
+  let class_rows =
+    List.mapi
+      (fun i ((cls : Lognic.Traffic.t), w, (tp : Lognic.Throughput.result), (lat : Lognic.Latency.result)) ->
+        let delivered, sim_mean =
+          match
+            List.find_opt
+              (fun (c, _, _) -> c = i)
+              summary.Telemetry.per_class
+          with
+          | Some (_, d, m) -> (d, m)
+          | None -> (0, 0.)
+        in
+        let c_sim_throughput =
+          if window > 0. then
+            float_of_int delivered *. cls.packet_size /. window
+          else 0.
+        in
+        let c_sim_latency = if delivered > 0 then Some sim_mean else None in
+        {
+          c_traffic = cls;
+          c_weight = w;
+          c_model_throughput = tp.attained;
+          c_sim_throughput;
+          c_throughput_error =
+            relative_error ~model:tp.attained ~sim:c_sim_throughput;
+          c_model_latency = lat.mean;
+          c_sim_latency;
+          c_latency_error =
+            Option.map
+              (fun sim -> relative_error ~model:lat.mean ~sim)
+              c_sim_latency;
+          c_model_bottleneck = bound_name g tp.bottleneck;
+        })
+      classes
+  in
+  (* Shared-entity view: roofline caps are traffic-independent (Eq 4),
+     so one plain evaluation supplies them; the joint utilization is
+     the classes' summed carried rate over each cap. Queue depths sum
+     per-class Little's-law terms over the union streams. *)
+  let first_cls = match classes with (c, _, _, _) :: _ -> c | [] -> assert false in
+  let caps = Lognic.Throughput.evaluate g ~hw ~traffic:first_cls in
+  let total_attained = model.Lognic.Extensions.throughput in
+  let vertex_rows =
+    List.filter_map
+      (fun (vid, cap) ->
+        let v = G.vertex g vid in
+        match
+          List.find_opt
+            (fun (s : Netsim.vertex_stats) -> s.vid = vid)
+            measurement.Netsim.vertex_stats
+        with
+        | None -> None
+        | Some s ->
+          let per_class_terms =
+            List.filter_map
+              (fun ((cls : Lognic.Traffic.t), w, _, (lat : Lognic.Latency.result)) ->
+                Option.map
+                  (fun (t : Lognic.Latency.vertex_terms) -> (cls, w, t))
+                  (List.find_opt
+                     (fun (t : Lognic.Latency.vertex_terms) -> t.vid = vid)
+                     lat.Lognic.Latency.per_vertex))
+              classes
+          in
+          let model_queue_depth =
+            match per_class_terms with
+            | [] -> None
+            | terms ->
+              Some
+                (List.fold_left
+                   (fun acc ((cls : Lognic.Traffic.t), _, (t : Lognic.Latency.vertex_terms)) ->
+                     let pkt_rate =
+                       cls.rate
+                       *. Lognic.Throughput.vertex_inflow g vid
+                       /. cls.packet_size
+                     in
+                     acc +. (pkt_rate *. (t.queueing +. t.service)))
+                   0. terms)
+          in
+          let weighted f =
+            match per_class_terms with
+            | [] -> None
+            | terms ->
+              Some (List.fold_left (fun acc (_, w, t) -> acc +. (w *. f t)) 0. terms)
+          in
+          let model_utilization =
+            if cap > 0. then total_attained /. cap else 0.
+          in
+          Some
+            {
+              name = v.G.label;
+              model_utilization;
+              sim_utilization = s.utilization;
+              residual = s.utilization -. Float.min 1. model_utilization;
+              model_queueing =
+                weighted (fun (t : Lognic.Latency.vertex_terms) -> t.queueing);
+              model_queue_depth;
+              sim_queue_depth =
+                series_mean measurement.Netsim.series (v.G.label ^ ".depth");
+              model_drop_probability =
+                weighted (fun (t : Lognic.Latency.vertex_terms) ->
+                    t.drop_probability);
+              drops = s.drops;
+            })
+      caps.Lognic.Throughput.vertex_caps
+  in
+  let medium_row label =
+    List.find_opt
+      (fun (s : Netsim.medium_stats) -> s.mlabel = label)
+      measurement.Netsim.medium_stats
+  in
+  let shared_medium name cap sim_utilization =
+    let drops =
+      match medium_row name with Some s -> s.Netsim.m_rejections | None -> 0
+    in
+    let model_utilization =
+      if cap > 0. && cap < infinity then total_attained /. cap else 0.
+    in
+    {
+      name;
+      model_utilization;
+      sim_utilization;
+      residual = sim_utilization -. Float.min 1. model_utilization;
+      model_queueing = None;
+      model_queue_depth = None;
+      sim_queue_depth = series_mean measurement.Netsim.series (name ^ ".backlog");
+      model_drop_probability = None;
+      drops;
+    }
+  in
+  let medium_rows =
+    [
+      shared_medium "interface" caps.Lognic.Throughput.interface_cap
+        measurement.Netsim.interface_utilization;
+      shared_medium "memory" caps.Lognic.Throughput.memory_cap
+        measurement.Netsim.memory_utilization;
+    ]
+    @ List.filter_map
+        (fun ((s, d), cap) ->
+          let name = Printf.sprintf "link-%d-%d" s d in
+          Option.map
+            (fun (m : Netsim.medium_stats) ->
+              shared_medium name cap m.m_utilization)
+            (medium_row name))
+        caps.Lognic.Throughput.edge_caps
+  in
+  let mix_rows =
+    List.stable_sort
+      (fun a b -> Float.compare b.sim_utilization a.sim_utilization)
+      (vertex_rows @ medium_rows)
+  in
+  (* the joint model bottleneck: the bound of the class with the
+     tightest capacity, the mix-level analogue of [report.model_bottleneck] *)
+  let mix_model_bottleneck =
+    match
+      List.stable_sort
+        (fun (_, _, (a : Lognic.Throughput.result), _)
+             (_, _, (b : Lognic.Throughput.result), _) ->
+          Float.compare a.capacity b.capacity)
+        classes
+    with
+    | (_, _, tp, _) :: _ -> bound_name g tp.Lognic.Throughput.bottleneck
+    | [] -> "none"
+  in
+  let mix_sim_bottleneck =
+    match mix_rows with [] -> "none" | top :: _ -> top.name
+  in
+  let mix_sim_throughput = summary.Telemetry.throughput in
+  let mix_sim_latency = summary.Telemetry.mean_latency in
+  let mix_model_latency = model.Lognic.Extensions.latency in
+  {
+    mix_model = model;
+    mix_measurement = measurement;
+    class_rows;
+    mix_rows;
+    mix_model_bottleneck;
+    mix_sim_bottleneck;
+    mix_agree = String.equal mix_model_bottleneck mix_sim_bottleneck;
+    mix_model_throughput = total_attained;
+    mix_sim_throughput;
+    mix_throughput_error =
+      relative_error ~model:total_attained ~sim:mix_sim_throughput;
+    mix_model_latency;
+    mix_sim_latency;
+    mix_latency_error =
+      relative_error ~model:mix_model_latency ~sim:mix_sim_latency;
+  }
+
+let class_row_to_json i r =
+  J.Obj
+    [
+      ("class", J.Num (float_of_int i));
+      ("rate", J.Num r.c_traffic.Lognic.Traffic.rate);
+      ("packet_size", J.Num r.c_traffic.Lognic.Traffic.packet_size);
+      ("weight", J.Num r.c_weight);
+      ("model_throughput", J.Num r.c_model_throughput);
+      ("sim_throughput", J.Num r.c_sim_throughput);
+      ("throughput_error", J.Num r.c_throughput_error);
+      ("model_latency", J.Num r.c_model_latency);
+      ("sim_latency", opt_float r.c_sim_latency);
+      ("latency_error", opt_float r.c_latency_error);
+      ("model_bottleneck", J.Str r.c_model_bottleneck);
+    ]
+
+let mix_to_json t =
+  J.versioned ~kind:"explain"
+    [
+      ( "model",
+        J.Obj
+          [
+            ("throughput", J.Num t.mix_model_throughput);
+            ("latency", J.Num t.mix_model_latency);
+            ("bottleneck", J.Str t.mix_model_bottleneck);
+          ] );
+      ( "sim",
+        J.Obj
+          [
+            ("throughput", J.Num t.mix_sim_throughput);
+            ("latency", J.Num t.mix_sim_latency);
+            ("bottleneck", J.Str t.mix_sim_bottleneck);
+          ] );
+      ("agree", J.Bool t.mix_agree);
+      ("throughput_error", J.Num t.mix_throughput_error);
+      ("latency_error", J.Num t.mix_latency_error);
+      ( "classes",
+        J.Arr (List.mapi (fun i r -> class_row_to_json i r) t.class_rows) );
+      ( "entities",
+        J.Arr (List.mapi (fun i r -> row_to_json (i + 1) r) t.mix_rows) );
+    ]
+
+let mix_to_string t = J.to_string (mix_to_json t)
+
+let pp_mix ppf t =
+  let pct x = 100. *. x in
+  Format.fprintf ppf "explain: model vs simulation (%d-class mix)@\n"
+    (List.length t.class_rows);
+  Format.fprintf ppf
+    "  throughput  model %.4g B/s   sim %.4g B/s   error %.1f%%@\n"
+    t.mix_model_throughput t.mix_sim_throughput (pct t.mix_throughput_error);
+  Format.fprintf ppf
+    "  latency     model %.4g s     sim %.4g s     error %.1f%%@\n"
+    t.mix_model_latency t.mix_sim_latency (pct t.mix_latency_error);
+  Format.fprintf ppf "  bottleneck  model=%s  sim=%s  (%s)@\n"
+    t.mix_model_bottleneck t.mix_sim_bottleneck
+    (if t.mix_agree then "agree" else "disagree");
+  Format.fprintf ppf "  %-5s %9s %7s %12s %12s %8s %12s %12s %8s@\n" "class"
+    "size" "weight" "model-tput" "sim-tput" "t-err" "model-lat" "sim-lat"
+    "l-err";
+  List.iteri
+    (fun i r ->
+      let opt = function None -> "-" | Some x -> Printf.sprintf "%.4g" x in
+      let opt_pct = function
+        | None -> "-"
+        | Some x -> Printf.sprintf "%.1f%%" (pct x)
+      in
+      Format.fprintf ppf "  %-5d %9.0f %7.3f %12.4g %12.4g %7.1f%% %12.4g %12s %8s@\n"
+        i r.c_traffic.Lognic.Traffic.packet_size r.c_weight
+        r.c_model_throughput r.c_sim_throughput
+        (pct r.c_throughput_error) r.c_model_latency (opt r.c_sim_latency)
+        (opt_pct r.c_latency_error))
+    t.class_rows;
+  Format.fprintf ppf
+    "  %-4s %-16s %9s %9s %9s %11s %9s %6s@\n" "rank" "entity" "model-u"
+    "sim-u" "residual" "modelQ(pkt)" "simQ" "drops";
+  List.iteri
+    (fun i r ->
+      let opt = function None -> "-" | Some x -> Printf.sprintf "%.3g" x in
+      Format.fprintf ppf "  %-4d %-16s %9.3f %9.3f %+9.3f %11s %9s %6d@\n"
+        (i + 1) r.name r.model_utilization r.sim_utilization r.residual
+        (opt r.model_queue_depth) (opt r.sim_queue_depth) r.drops)
+    t.mix_rows
+
+let mix_to_text t = Format.asprintf "%a" pp_mix t

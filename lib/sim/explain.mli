@@ -73,3 +73,67 @@ val pp : Format.formatter -> report -> unit
 (** The human-readable ranked table. *)
 
 val to_text : report -> string
+
+(** {2 Traffic mixes} *)
+
+type class_row = {
+  c_traffic : Lognic.Traffic.t;
+  c_weight : float;  (** normalized mix weight *)
+  c_model_throughput : float;  (** this class's carried bytes/s *)
+  c_sim_throughput : float;  (** delivered bytes over the window *)
+  c_throughput_error : float;
+  c_model_latency : float;
+  c_sim_latency : float option;
+      (** [None] when the simulator delivered no packets of the class *)
+  c_latency_error : float option;
+  c_model_bottleneck : string;
+      (** the class's binding entity, {!bound_name} convention (may be
+          ["resource:NAME"] under contention) *)
+}
+
+type mix_report = {
+  mix_model : Lognic.Extensions.mixed_report;
+  mix_measurement : Netsim.measurement;
+  class_rows : class_row list;  (** mix order *)
+  mix_rows : entity_row list;
+      (** joint per-entity residuals — model utilization is the summed
+          carried rate over the entity's (traffic-independent) cap *)
+  mix_model_bottleneck : string;
+      (** bound of the class with the tightest joint capacity *)
+  mix_sim_bottleneck : string;
+  mix_agree : bool;
+  mix_model_throughput : float;  (** Σ per-class carried bytes/s *)
+  mix_sim_throughput : float;
+  mix_throughput_error : float;
+  mix_model_latency : float;
+  mix_sim_latency : float;
+  mix_latency_error : float;
+}
+
+val run_mix :
+  ?config:Netsim.config ->
+  ?queue_model:Lognic.Latency.queue_model ->
+  ?contention:Lognic.Extensions.contention ->
+  Lognic.Graph.t ->
+  hw:Lognic.Params.hardware ->
+  mix:Lognic.Traffic.mix ->
+  mix_report
+(** {!run} generalized to a traffic mix: the joint multi-class model
+    ({!Lognic.Estimate.run_mix}) against one multi-class simulation,
+    joined per class (residual rows) and per entity. Defaults
+    [sample_interval] like {!run}. *)
+
+val row_to_json : int -> entity_row -> Telemetry.Json.t
+(** One entity row at the given rank — shared with {!Contention}. *)
+
+val class_row_to_json : int -> class_row -> Telemetry.Json.t
+(** One class row at the given index — shared with {!Contention}. *)
+
+val mix_to_json : mix_report -> Telemetry.Json.t
+(** Versioned [kind:"explain"] JSON with a [classes] array next to the
+    [entities] ranking — field-compatible with {!to_json} plus the
+    per-class rows. *)
+
+val mix_to_string : mix_report -> string
+val pp_mix : Format.formatter -> mix_report -> unit
+val mix_to_text : mix_report -> string

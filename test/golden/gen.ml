@@ -2,14 +2,20 @@
    [Lognic_check.Golden] into the directory given as argv(1).  Run once
    against a known-good engine and commit the output; the test suite
    then asserts byte-equality on every run. *)
+let write dir name contents =
+  let path = Filename.concat dir (name ^ ".json") in
+  let oc = open_out_bin path in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 let () =
   let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
   List.iter
     (fun (name, run) ->
-      let path = Filename.concat dir (name ^ ".json") in
-      let oc = open_out_bin path in
-      output_string oc (Lognic_check.Golden.measurement_string run);
-      output_char oc '\n';
-      close_out oc;
-      Printf.printf "wrote %s\n%!" path)
-    (Lognic_check.Golden.scenarios ())
+      write dir name (Lognic_check.Golden.measurement_string run))
+    (Lognic_check.Golden.scenarios ());
+  List.iter
+    (fun (name, render) -> write dir name (render ()))
+    (Lognic_check.Golden.contention_scenarios ())

@@ -74,16 +74,19 @@ let consolidate_disjoint_resources_compose () =
 (* Extension #2: mixed traffic *)
 
 let mixed_traffic_weighted_average () =
+  (* The legacy independent evaluation: private device copies,
+     weight-averaged aggregate. Kept as an explicit ablation. *)
   let g, _ = chain (5. *. U.gbps) in
   let mk rate size = T.make ~rate ~packet_size:size in
   let mix =
     T.mix [ (mk (1. *. U.gbps) 64., 1.); (mk (1. *. U.gbps) 1500., 3.) ]
   in
-  let report = E.mixed_traffic ~hw ~graph_for:(fun _ -> g) mix in
+  let report = E.mixed_traffic_independent ~hw ~graph_for:(fun _ -> g) mix in
   Alcotest.(check int) "two classes" 2 (List.length report.classes);
   (* both classes are under capacity, so throughput is the weighted
      average of the class rates *)
   check_close ~tol:1e-9 "weighted attained" (1. *. U.gbps) report.throughput;
+  Alcotest.(check bool) "no contention data" true (report.contention = None);
   (* latency must lie between the two per-class latencies *)
   let latencies =
     List.map (fun (_, _, _, (l : Lognic.Latency.result)) -> l.mean) report.classes
@@ -94,7 +97,9 @@ let mixed_traffic_weighted_average () =
     (report.latency >= lo -. 1e-12 && report.latency <= hi +. 1e-12)
 
 let mixed_traffic_size_dependent_graphs () =
-  (* Extension #2 allows a different graph per size class. *)
+  (* Extension #2 allows a different graph per size class. Under the
+     legacy independent evaluation the aggregate is the weight-averaged
+     per-class attained rate. *)
   let graph_for (cls : T.t) =
     let rate = if cls.packet_size < 500. then 1. *. U.gbps else 8. *. U.gbps in
     fst (chain rate)
@@ -106,10 +111,166 @@ let mixed_traffic_size_dependent_graphs () =
         (T.make ~rate:(2. *. U.gbps) ~packet_size:1500., 1.);
       ]
   in
-  let report = E.mixed_traffic ~hw ~graph_for mix in
+  let report = E.mixed_traffic_independent ~hw ~graph_for mix in
   (* small class clipped at 1G, large class carried at 2G: mean 1.5G *)
   check_close ~tol:1e-9 "per-class graphs respected" (1.5 *. U.gbps)
     report.throughput
+
+let mixed_traffic_single_class_limit () =
+  (* A one-class mix through the joint evaluation must be bit-for-bit
+     the plain single-class model. *)
+  let g, _ = chain (5. *. U.gbps) in
+  let traffic = T.make ~rate:(4. *. U.gbps) ~packet_size:1500. in
+  let direct = Lognic.Estimate.run g ~hw ~traffic in
+  let report = E.mixed_traffic ~hw ~graph_for:(fun _ -> g) (T.mix [ (traffic, 1.) ]) in
+  let bits = Int64.bits_of_float in
+  (match report.classes with
+  | [ (_, _, tp, lat) ] ->
+    Alcotest.(check int64) "capacity bits"
+      (bits direct.throughput.Lognic.Throughput.capacity)
+      (bits tp.Lognic.Throughput.capacity);
+    Alcotest.(check int64) "attained bits"
+      (bits direct.throughput.Lognic.Throughput.attained)
+      (bits tp.Lognic.Throughput.attained);
+    Alcotest.(check int64) "mean latency bits"
+      (bits direct.latency.Lognic.Latency.mean)
+      (bits lat.Lognic.Latency.mean);
+    Alcotest.(check int64) "carried rate bits"
+      (bits direct.latency.Lognic.Latency.carried_rate)
+      (bits lat.Lognic.Latency.carried_rate)
+  | _ -> Alcotest.fail "expected one class");
+  Alcotest.(check int64) "aggregate throughput bits"
+    (bits direct.throughput.Lognic.Throughput.attained)
+    (bits report.throughput)
+
+let mixed_traffic_joint_shares_capacity () =
+  (* Two classes on the same 5G chain: the joint model splits the IP by
+     offered-byte share, and the aggregate is the SUM of carried rates.
+     Two 4G offers on a 5G vertex must carry 5G total, not the legacy
+     4G average. *)
+  let g, _ = chain ~alpha:0. (5. *. U.gbps) in
+  let mix =
+    T.mix
+      [
+        (T.make ~rate:(4. *. U.gbps) ~packet_size:64., 1.);
+        (T.make ~rate:(4. *. U.gbps) ~packet_size:1500., 1.);
+      ]
+  in
+  let report = E.mixed_traffic ~hw ~graph_for:(fun _ -> g) mix in
+  check_close ~tol:1e-9 "aggregate = joint capacity" (5. *. U.gbps)
+    report.throughput;
+  List.iter
+    (fun (_, _, (tp : Lognic.Throughput.result), _) ->
+      (* equal byte shares: each class gets half of the 5G vertex *)
+      check_close ~tol:1e-9 "per-class cap = half" (2.5 *. U.gbps) tp.capacity;
+      check_close ~tol:1e-9 "per-class carried" (2.5 *. U.gbps) tp.attained)
+    report.classes;
+  (* under-committed classes keep their own rate: 1G + 1G on 5G = 2G *)
+  let light =
+    E.mixed_traffic ~hw
+      ~graph_for:(fun _ -> g)
+      (T.mix
+         [
+           (T.make ~rate:(1. *. U.gbps) ~packet_size:64., 1.);
+           (T.make ~rate:(1. *. U.gbps) ~packet_size:1500., 1.);
+         ])
+  in
+  check_close ~tol:1e-9 "sum of carried rates" (2. *. U.gbps) light.throughput
+
+let mixed_traffic_joint_latency_exceeds_solo () =
+  (* Sharing a queue with a second class must not make the first class
+     faster: the joint per-class latency is >= its solo latency. *)
+  let g, _ = chain ~alpha:0. (5. *. U.gbps) in
+  let a = T.make ~rate:(1. *. U.gbps) ~packet_size:64. in
+  let b = T.make ~rate:(1. *. U.gbps) ~packet_size:1500. in
+  let solo cls = (Lognic.Estimate.run g ~hw ~traffic:cls).latency.Lognic.Latency.mean in
+  let joint = E.mixed_traffic ~hw ~graph_for:(fun _ -> g) (T.mix [ (a, 1.); (b, 1.) ]) in
+  List.iter2
+    (fun cls (_, _, _, (lat : Lognic.Latency.result)) ->
+      Alcotest.(check bool) "joint latency >= solo" true
+        (lat.mean >= solo cls -. 1e-15))
+    [ a; b ] joint.classes
+
+let mixed_traffic_contention_slowdown () =
+  let g, _ = chain ~alpha:0. (5. *. U.gbps) in
+  let hw = Lognic.Params.with_resources hw [ ("cache", 8. *. U.gbps) ] in
+  let mix =
+    T.mix
+      [
+        (T.make ~rate:(1. *. U.gbps) ~packet_size:64., 1.);
+        (T.make ~rate:(1. *. U.gbps) ~packet_size:1500., 1.);
+      ]
+  in
+  let spec =
+    E.contention
+      ~demands:[ [ ("cache", 1.) ]; [ ("cache", 1.) ] ]
+      ~interference:[| [| 0.; 0.5 |]; [| 0.; 0. |] |]
+  in
+  let plain = E.mixed_traffic ~hw ~graph_for:(fun _ -> g) mix in
+  let contended = E.mixed_traffic ~contention:spec ~hw ~graph_for:(fun _ -> g) mix in
+  (match contended.contention with
+  | Some [ c0; c1 ] ->
+    (* class 1 pressures cache at 1G/8G = 0.125; M_01 = 0.5 *)
+    check_close ~tol:1e-9 "class 0 slowed" (1. +. (0.5 *. 0.125)) c0.slowdown;
+    check_close ~tol:1e-9 "class 1 unaffected" 1. c1.slowdown;
+    (* each class's cache ceiling: half the 8G capacity at demand 1 *)
+    (match c0.resource_caps with
+    | [ ("cache", cap) ] -> check_close ~tol:1e-9 "cache cap" (4. *. U.gbps) cap
+    | _ -> Alcotest.fail "expected a cache cap")
+  | _ -> Alcotest.fail "expected contention data for two classes");
+  (* slowdown shaves class 0's vertex ceiling but not its carried 1G *)
+  let cap i r = match List.nth r.E.classes i with _, _, (tp : Lognic.Throughput.result), _ -> tp.capacity in
+  Alcotest.(check bool) "class 0 ceiling reduced" true (cap 0 contended < cap 0 plain);
+  check_close ~tol:1e-9 "still offered-load bound" (2. *. U.gbps) contended.throughput;
+  (* a binding resource produces a Resource_bound bottleneck *)
+  let tight =
+    E.mixed_traffic
+      ~contention:
+        (E.contention
+           ~demands:[ [ ("cache", 8.) ]; [ ("cache", 8.) ] ]
+           ~interference:[| [| 0.; 0. |]; [| 0.; 0. |] |])
+      ~hw
+      ~graph_for:(fun _ -> g)
+      mix
+  in
+  List.iter
+    (fun (_, _, (tp : Lognic.Throughput.result), _) ->
+      (* each class: share 0.5 of 8G at 8 demand-bytes/byte = 0.5G cap *)
+      check_close ~tol:1e-9 "resource-capped" (0.5 *. U.gbps) tp.capacity;
+      Alcotest.(check bool) "resource bottleneck" true
+        (tp.bottleneck = Lognic.Throughput.Resource_bound "cache"))
+    tight.classes
+
+let contention_validation () =
+  check_raises_invalid "empty demands" (fun () ->
+      E.contention ~demands:[] ~interference:[||]);
+  check_raises_invalid "matrix arity" (fun () ->
+      E.contention ~demands:[ [] ] ~interference:[||]);
+  check_raises_invalid "nonzero diagonal" (fun () ->
+      E.contention ~demands:[ [] ] ~interference:[| [| 1. |] |]);
+  check_raises_invalid "negative entry" (fun () ->
+      E.contention ~demands:[ []; [] ]
+        ~interference:[| [| 0.; -1. |]; [| 0.; 0. |] |]);
+  check_raises_invalid "negative demand" (fun () ->
+      E.contention ~demands:[ [ ("cache", -1.) ] ] ~interference:[| [| 0. |] |]);
+  let g, _ = chain ~alpha:0. (5. *. U.gbps) in
+  let mix = T.mix [ (T.make ~rate:1e9 ~packet_size:1500., 1.) ] in
+  check_raises_invalid "unknown resource" (fun () ->
+      E.mixed_traffic
+        ~contention:(E.contention ~demands:[ [ ("cache", 1.) ] ] ~interference:[| [| 0. |] |])
+        ~hw
+        ~graph_for:(fun _ -> g)
+        mix);
+  check_raises_invalid "demand arity mismatch" (fun () ->
+      E.mixed_traffic
+        ~contention:(E.contention ~demands:[ [] ] ~interference:[| [| 0. |] |])
+        ~hw
+        ~graph_for:(fun _ -> g)
+        (T.mix
+           [
+             (T.make ~rate:1e9 ~packet_size:64., 1.);
+             (T.make ~rate:1e9 ~packet_size:1500., 1.);
+           ]))
 
 (* Extension #3: rate limiter *)
 
@@ -314,7 +475,8 @@ let estimate_run_mix () =
       ]
   in
   let report = Lognic.Estimate.run_mix g ~hw ~mix in
-  check_close ~tol:1e-9 "both classes carried" (1. *. U.gbps)
+  (* joint evaluation: the aggregate is the sum of carried class rates *)
+  check_close ~tol:1e-9 "both classes carried" (2. *. U.gbps)
     report.Lognic.Extensions.throughput;
   Alcotest.(check int) "classes evaluated" 2
     (List.length report.Lognic.Extensions.classes)
@@ -467,6 +629,11 @@ let suite =
     quick "consolidate: disjoint tenants" consolidate_disjoint_resources_compose;
     quick "mixed traffic: weighted average" mixed_traffic_weighted_average;
     quick "mixed traffic: per-size graphs" mixed_traffic_size_dependent_graphs;
+    quick "mixed traffic: single-class limit" mixed_traffic_single_class_limit;
+    quick "mixed traffic: joint capacity split" mixed_traffic_joint_shares_capacity;
+    quick "mixed traffic: joint latency >= solo" mixed_traffic_joint_latency_exceeds_solo;
+    quick "contention: slowdown and resource caps" mixed_traffic_contention_slowdown;
+    quick "contention: validation" contention_validation;
     quick "rate limiter: insertion" rate_limiter_insertion;
     quick "rate limiter: end-to-end in sim" rate_limiter_end_to_end_in_sim;
     quick "rate limiter: validation" rate_limiter_validation;

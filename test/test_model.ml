@@ -54,6 +54,14 @@ let traffic_mix () =
   in
   check_close "total rate preserved" 1000. (T.total_rate mix);
   check_close "equal-bandwidth mean size" 782. (T.mean_packet_size mix);
+  (* the per-packet mean is harmonic in the byte weights: each class
+     carries 500 B/s, so packets/s = 500/64 + 500/1500 and the mean
+     size is 1000 / (500/64 + 500/1500) ≈ 122.76 — far from 782 *)
+  check_close ~tol:1e-2 "per-packet mean size" 122.76
+    (T.mean_packet_size_by_packets mix);
+  check_close "packet-rate consistency"
+    (T.total_rate mix /. T.mean_packet_size_by_packets mix)
+    (T.total_packet_rate mix);
   let normalized = T.normalize_weights mix in
   check_close "weights sum to 1" 1.
     (List.fold_left (fun acc (_, w) -> acc +. w) 0. normalized);
