@@ -33,23 +33,58 @@ type cli = {
   fault_overhead : bool;
   invariant_overhead : bool;
   contention_overhead : bool;
+  metrics_overhead : bool;
   events_per_sec : bool;
   jobs : int option;
   json : string option;
   requested : string list;
 }
 
+let usage_line =
+  "usage: main.exe [--quick] [--bench-only|--figures-only] \
+   [--trace-overhead] [--fault-overhead] [--invariant-overhead] \
+   [--contention-overhead] [--metrics-overhead] [--events-per-sec] \
+   [--jobs N] [--json PATH] [FIG...]"
+
+let help () =
+  print_endline usage_line;
+  print_string
+    "\n\
+     With no gate flags: regenerate the paper's tables/figures (part 1)\n\
+     and run the Bechamel microbenchmark suite (part 2).\n\n\
+     Gate flags run CI assertions instead; each gate prints what it\n\
+     measured and exits through one of two shared verdicts:\n\n\
+     exit codes:\n\
+    \  0  all requested gates passed (or normal figure/bench run)\n\
+    \  2  usage error\n\
+    \  3  budget breach: a performance budget was exceeded (overhead\n\
+    \     above its 5% cap, events/sec under the floor, words/event\n\
+    \     over the ceiling)\n\
+    \  4  identity breach: a byte-identity or correctness invariant\n\
+    \     failed (an observation-only feature changed the measurement\n\
+    \     JSON, or a gate's self-check found wrong results)\n\n\
+     gates:\n\
+    \  --trace-overhead       packet-lifecycle tracer <= 5% overhead\n\
+    \  --fault-overhead       empty fault plan byte-identical; no-op\n\
+    \                         plan <= 5% overhead\n\
+    \  --invariant-overhead   check_invariants observation-only; the\n\
+    \                         disabled path does no checker work\n\
+    \  --contention-overhead  contention report byte-identical to a\n\
+    \                         plain run; report cost <= 5%\n\
+    \  --metrics-overhead     metrics streaming observation-only;\n\
+    \                         full NDJSON streaming <= 5% overhead\n\
+    \  --events-per-sec       engine-reuse byte-identical; events/sec\n\
+    \                         floor and words/event ceiling\n";
+  exit 0
+
 let cli =
   let usage () =
-    prerr_endline
-      "usage: main.exe [--quick] [--bench-only|--figures-only] \
-       [--trace-overhead] [--fault-overhead] [--invariant-overhead] \
-       [--contention-overhead] [--events-per-sec] [--jobs N] [--json PATH] \
-       [FIG...]";
+    prerr_endline usage_line;
     exit 2
   in
   let rec walk acc = function
     | [] -> { acc with requested = List.rev acc.requested }
+    | ("--help" | "-h") :: _ -> help ()
     | "--quick" :: rest -> walk { acc with quick = true } rest
     | "--bench-only" :: rest -> walk { acc with bench_only = true } rest
     | "--figures-only" :: rest -> walk { acc with figures_only = true } rest
@@ -59,6 +94,8 @@ let cli =
       walk { acc with invariant_overhead = true } rest
     | "--contention-overhead" :: rest ->
       walk { acc with contention_overhead = true } rest
+    | "--metrics-overhead" :: rest ->
+      walk { acc with metrics_overhead = true } rest
     | "--events-per-sec" :: rest -> walk { acc with events_per_sec = true } rest
     | "--jobs" :: v :: rest -> (
       match int_of_string_opt v with
@@ -77,12 +114,31 @@ let cli =
       fault_overhead = false;
       invariant_overhead = false;
       contention_overhead = false;
+      metrics_overhead = false;
       events_per_sec = false;
       jobs = None;
       json = None;
       requested = [];
     }
     (List.tl (Array.to_list Sys.argv))
+
+(* Every gate reports failure through one of these two verdicts, so the
+   exit-code convention lives in exactly one place (and in --help):
+   identity/correctness breaches exit 4, performance-budget breaches
+   exit 3. Both print a FAIL line on stderr first. *)
+let fail_identity fmt =
+  Fmt.kstr
+    (fun msg ->
+      Fmt.epr "FAIL: %s@." msg;
+      exit 4)
+    fmt
+
+let fail_budget fmt =
+  Fmt.kstr
+    (fun msg ->
+      Fmt.epr "FAIL: %s@." msg;
+      exit 3)
+    fmt
 
 let quick = cli.quick
 let () = Option.iter Lognic_numerics.Parallel.set_default_jobs cli.jobs
@@ -301,11 +357,9 @@ let trace_overhead_gate () =
   let overhead = (!traced_best -. !untraced) /. !untraced in
   Fmt.pr "trace overhead: untraced %.2f ms, traced %.2f ms -> %+.1f%%@."
     (!untraced *. 1e3) (!traced_best *. 1e3) (overhead *. 100.);
-  if overhead > 0.05 then begin
-    Fmt.epr "FAIL: tracing overhead %.1f%% exceeds the 5%% budget@."
-      (overhead *. 100.);
-    exit 3
-  end
+  if overhead > 0.05 then
+    fail_budget "tracing overhead %.1f%% exceeds the 5%% budget"
+      (overhead *. 100.)
 
 (* --- fault-overhead gate (--fault-overhead) ---
 
@@ -344,11 +398,9 @@ let fault_overhead_gate () =
     Lognic_sim.Telemetry.Json.to_string
       (Lognic_sim.Netsim.measurement_to_json m)
   in
-  if json legacy <> json empty then begin
-    Fmt.epr
-      "FAIL: empty-plan Run-spec execute is not byte-identical to run_single@.";
-    exit 4
-  end;
+  if json legacy <> json empty then
+    fail_identity
+      "empty-plan Run-spec execute is not byte-identical to run_single";
   Fmt.pr "empty-plan identity: OK (%d bytes of measurement JSON)@."
     (String.length (json legacy));
   let run faults = ignore (Lognic_sim.Netsim.execute (spec faults)) in
@@ -368,11 +420,9 @@ let fault_overhead_gate () =
   let overhead = (!faulted -. !bare) /. !bare in
   Fmt.pr "fault-plan overhead: empty %.2f ms, no-op plan %.2f ms -> %+.1f%%@."
     (!bare *. 1e3) (!faulted *. 1e3) (overhead *. 100.);
-  if overhead > 0.05 then begin
-    Fmt.epr "FAIL: fault-plan overhead %.1f%% exceeds the 5%% budget@."
-      (overhead *. 100.);
-    exit 3
-  end
+  if overhead > 0.05 then
+    fail_budget "fault-plan overhead %.1f%% exceeds the 5%% budget"
+      (overhead *. 100.)
 
 (* --- invariant-overhead gate (--invariant-overhead) ---
 
@@ -409,23 +459,18 @@ let invariant_overhead_gate () =
       (Lognic_sim.Netsim.measurement_to_json m)
   in
   let off = measure false and on_ = measure true in
-  if json off <> json on_ then begin
-    Fmt.epr
-      "FAIL: check_invariants changed the measurement JSON (must be \
-       observation-only)@.";
-    exit 4
-  end;
+  if json off <> json on_ then
+    fail_identity
+      "check_invariants changed the measurement JSON (must be \
+       observation-only)";
   (match on_.Lognic_sim.Netsim.invariants with
   | Some r when Lognic_sim.Invariants.ok r ->
     Fmt.pr "checked run: %d invariant checks, 0 violations@."
       r.Lognic_sim.Invariants.checks
   | Some r ->
-    Fmt.epr "FAIL: %d invariant violations on the bench fixture@."
-      r.Lognic_sim.Invariants.total_violations;
-    exit 4
-  | None ->
-    Fmt.epr "FAIL: check_invariants=true produced no report@.";
-    exit 4);
+    fail_identity "%d invariant violations on the bench fixture"
+      r.Lognic_sim.Invariants.total_violations
+  | None -> fail_identity "check_invariants=true produced no report");
   let run check = ignore (measure check) in
   run false;
   run true;
@@ -446,13 +491,11 @@ let invariant_overhead_gate () =
     "invariant checkers: disabled %.2f ms, enabled %.2f ms (checks cost \
      %+.1f%% when on)@."
     (!disabled *. 1e3) (!enabled *. 1e3) (checker_cost *. 100.);
-  if disabled_overhead > 0.05 then begin
-    Fmt.epr
-      "FAIL: disabled path is %.1f%% SLOWER than the checked path — it is \
-       doing work the check_invariants=false branch must skip (budget 5%%)@."
-      (disabled_overhead *. 100.);
-    exit 3
-  end
+  if disabled_overhead > 0.05 then
+    fail_budget
+      "disabled path is %.1f%% SLOWER than the checked path — it is doing \
+       work the check_invariants=false branch must skip (budget 5%%)"
+      (disabled_overhead *. 100.)
 
 (* --- contention-overhead gate (--contention-overhead) ---
 
@@ -501,12 +544,10 @@ let contention_overhead_gate () =
   in
   if json report.Lognic_sim.Contention.base.Lognic_sim.Explain.mix_measurement
      <> json plain
-  then begin
-    Fmt.epr
-      "FAIL: contention-off report measurement is not byte-identical to a \
-       plain run@.";
-    exit 4
-  end;
+  then
+    fail_identity
+      "contention-off report measurement is not byte-identical to a plain \
+       run";
   Fmt.pr "contention-off identity: OK (%d bytes of measurement JSON)@."
     (String.length (json plain));
   let run_report () =
@@ -534,11 +575,93 @@ let contention_overhead_gate () =
     "contention-report overhead: plain %.2f ms, full report %.2f ms -> \
      %+.1f%%@."
     (!bare *. 1e3) (!reported *. 1e3) (overhead *. 100.);
-  if overhead > 0.05 then begin
-    Fmt.epr "FAIL: contention-report overhead %.1f%% exceeds the 5%% budget@."
-      (overhead *. 100.);
-    exit 3
-  end
+  if overhead > 0.05 then
+    fail_budget "contention-report overhead %.1f%% exceeds the 5%% budget"
+      (overhead *. 100.)
+
+(* --- metrics-overhead gate (--metrics-overhead) ---
+
+   Two assertions about the live streaming-metrics layer ({!Metrics}).
+   First, identity: a run with the full metrics pipeline enabled — a
+   snapshot at the default reference cadence (one per 1e-3 s simulated,
+   [Metrics.default_config.interval]), a firing SLO rule, and every
+   snapshot serialized to NDJSON — must produce measurement JSON
+   byte-identical to a plain run (exit 4 on mismatch): every registered
+   probe is read-only and the snapshot ticks split no rng, so metrics
+   must be observation-only by construction. Second, overhead: that
+   same full streaming configuration must cost at most 5% over the
+   bare run (exit 3 on breach) — the budget covers the per-delivery
+   histogram observe, the per-tick probe sweep, SLO evaluation, and
+   NDJSON rendering, i.e. exactly what [lognic watch] exercises in
+   production. Per-tick cost scales linearly with cadence, so the
+   budget is stated at the default; MODEL.md documents the scaling.
+   Timing protocol as in the trace gate: interleaved whole runs,
+   compare minima. *)
+
+let metrics_overhead_gate () =
+  let module M = Lognic_sim.Metrics in
+  let config metrics =
+    {
+      Lognic_sim.Netsim.default_config with
+      duration = 1e-2;
+      warmup = 2e-4;
+      metrics;
+    }
+  in
+  let sink = Buffer.create 65536 in
+  let streaming =
+    Some
+      {
+        M.default_config with
+        M.slo = [ M.Slo.parse_exn "*.utilization>0.5" ];
+        on_snapshot =
+          Some
+            (fun snap ->
+              M.snapshot_to_buffer sink snap;
+              Buffer.add_char sink '\n');
+      }
+  in
+  let measure metrics =
+    Buffer.clear sink;
+    Lognic_sim.Netsim.run_single ~config:(config metrics) md5_graph
+      ~hw:D.Liquidio.hardware ~traffic:md5_traffic
+  in
+  let json m =
+    Lognic_sim.Telemetry.Json.to_string
+      (Lognic_sim.Netsim.measurement_to_json m)
+  in
+  let off = measure None in
+  let on_ = measure streaming in
+  if json off <> json on_ then
+    fail_identity
+      "metrics streaming changed the measurement JSON (probes must be \
+       read-only)";
+  if Buffer.length sink = 0 then
+    fail_identity "metrics-enabled run streamed no snapshots";
+  Fmt.pr
+    "metrics-off identity: OK (%d bytes of measurement JSON; enabled run \
+     streamed %d bytes of NDJSON)@."
+    (String.length (json off)) (Buffer.length sink);
+  let run metrics = ignore (measure metrics) in
+  run None;
+  run streaming;
+  let time metrics =
+    let t0 = Unix.gettimeofday () in
+    run metrics;
+    Unix.gettimeofday () -. t0
+  in
+  let iters = if quick then 9 else 21 in
+  let bare = ref infinity and streamed = ref infinity in
+  for _ = 1 to iters do
+    bare := Float.min !bare (time None);
+    streamed := Float.min !streamed (time streaming)
+  done;
+  let overhead = (!streamed -. !bare) /. !bare in
+  Fmt.pr "metrics overhead: bare %.2f ms, streaming %.2f ms -> %+.1f%%@."
+    (!bare *. 1e3) (!streamed *. 1e3) (overhead *. 100.);
+  if overhead > 0.05 then
+    fail_budget "metrics streaming overhead %.1f%% exceeds the 5%% budget"
+      (overhead *. 100.)
 
 (* --- events/sec headline gate (--events-per-sec) ---
 
@@ -616,11 +739,9 @@ let events_per_sec_gate () =
   let engine = Lognic_sim.Engine.create () in
   ignore (Lognic_sim.Netsim.execute_with ~engine (spec ()));
   let reused = Lognic_sim.Netsim.execute_with ~engine (spec ()) in
-  if json legacy <> json reused then begin
-    Fmt.epr
-      "FAIL: reused-engine execute_with is not byte-identical to run_single@.";
-    exit 4
-  end;
+  if json legacy <> json reused then
+    fail_identity
+      "reused-engine execute_with is not byte-identical to run_single";
   Fmt.pr "engine-reuse identity: OK (%d bytes of measurement JSON)@."
     (String.length (json legacy));
   let run () = ignore (Lognic_sim.Netsim.execute_with ~engine (spec ())) in
@@ -672,20 +793,15 @@ let events_per_sec_gate () =
     let ceil_wpe =
       baseline_number ~path:baseline ~key:"words_per_event_ceiling"
     in
-    if words_per_event > ceil_wpe then begin
-      Fmt.epr
-        "FAIL: %.2f words/event exceeds the %.2f ceiling — boxing returned \
-         to the hot path, or this is a dev-profile build (-opaque defeats \
-         the inlining; use dune exec --profile release)@."
+    if words_per_event > ceil_wpe then
+      fail_budget
+        "%.2f words/event exceeds the %.2f ceiling — boxing returned to the \
+         hot path, or this is a dev-profile build (-opaque defeats the \
+         inlining; use dune exec --profile release)"
         words_per_event ceil_wpe;
-      exit 3
-    end;
-    if events_per_sec < 0.9 *. floor_eps then begin
-      Fmt.epr
-        "FAIL: %.3e events/sec is >10%% below the committed %.3e floor@."
+    if events_per_sec < 0.9 *. floor_eps then
+      fail_budget "%.3e events/sec is >10%% below the committed %.3e floor"
         events_per_sec floor_eps;
-      exit 3
-    end;
     Fmt.pr "events/sec floor OK (>= 0.9 x %.2e), words/event ceiling OK \
             (<= %.1f)@."
       floor_eps ceil_wpe
@@ -722,12 +838,13 @@ let write_json path ~rows ~wall_s =
 let () =
   if
     cli.trace_overhead || cli.fault_overhead || cli.invariant_overhead
-    || cli.contention_overhead || cli.events_per_sec
+    || cli.contention_overhead || cli.metrics_overhead || cli.events_per_sec
   then begin
     if cli.trace_overhead then trace_overhead_gate ();
     if cli.fault_overhead then fault_overhead_gate ();
     if cli.invariant_overhead then invariant_overhead_gate ();
     if cli.contention_overhead then contention_overhead_gate ();
+    if cli.metrics_overhead then metrics_overhead_gate ();
     if cli.events_per_sec then events_per_sec_gate ();
     exit 0
   end;

@@ -485,6 +485,234 @@ let report_cmd =
           JSON/CSV export.")
     term
 
+(* watch *)
+
+let watch_cmd =
+  let module M = Lognic_sim.Metrics in
+  let interval_arg =
+    let doc =
+      "Snapshot interval in simulated seconds (default: duration/100)."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let stream_arg =
+    let doc =
+      "Write every snapshot as one NDJSON line (schema \"metrics\") to \
+       $(docv), flushed as the run progresses."
+    in
+    Arg.(value & opt (some string) None & info [ "stream" ] ~docv:"FILE" ~doc)
+  in
+  let openmetrics_arg =
+    let doc =
+      "Write the final cumulative state as OpenMetrics text to $(docv)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "openmetrics" ] ~docv:"FILE" ~doc)
+  in
+  let slo_arg =
+    let doc =
+      "SLO watchdog rule, repeatable. Grammar: [ENTITY.]METRIC>VALUE[xN], \
+       [ENTITY.]METRIC<VALUE[xN], or [ENTITY.]METRIC^N (value rising for N \
+       consecutive intervals); ENTITY defaults to '*' (any), xN requires N \
+       consecutive breaching intervals before firing and the same N clean \
+       intervals to resolve. Examples: '*.utilization>0.95x2', \
+       'md5.queue_depth^3', 'run.latency_p99>1e-3'."
+    in
+    Arg.(value & opt_all string [] & info [ "slo" ] ~docv:"RULE" ~doc)
+  in
+  let alerts_json_arg =
+    let doc = "Write the final alert states as JSON (schema \"alerts\") to \
+               $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "alerts-json" ] ~docv:"FILE" ~doc)
+  in
+  let profile_arg =
+    let doc =
+      "Also run the wall-clock self-profiler (engine phases + GC per \
+       interval) and print per-phase totals; write the full report with \
+       --profile-json."
+    in
+    Arg.(value & flag & info [ "profile" ] ~doc)
+  in
+  let profile_json_arg =
+    let doc = "Write the self-profiler report as JSON (schema \"profile\") \
+               to $(docv); implies --profile." in
+    Arg.(
+      value & opt (some string) None & info [ "profile-json" ] ~docv:"FILE" ~doc)
+  in
+  let run graph_path rate packet duration seed interval stream openmetrics
+      slo_rules alerts_json profile profile_json =
+    let ( let* ) = Result.bind in
+    let* doc = load_document graph_path in
+    let dt = match interval with Some dt -> dt | None -> duration /. 100. in
+    let* () =
+      if dt <= 0. then Error (`Msg "--interval must be > 0") else Ok ()
+    in
+    let* slo =
+      List.fold_left
+        (fun acc rule ->
+          let* rules = acc in
+          match M.Slo.parse rule with
+          | Ok r -> Ok (r :: rules)
+          | Error e -> Error (`Msg ("--slo " ^ e)))
+        (Ok []) slo_rules
+      |> Result.map List.rev
+    in
+    let* mix =
+      match (doc.mix, rate, packet) with
+      | Some mix, None, None -> Ok mix
+      | _ ->
+        let* traffic = resolve_traffic doc rate packet in
+        Ok [ (traffic, 1.) ]
+    in
+    let stream_oc = Option.map Out_channel.open_text stream in
+    let tty = Unix.isatty Unix.stdout in
+    let active = Hashtbl.create 8 in
+    let last_draw = ref 0. in
+    let render (snap : M.snapshot) =
+      Fmt.pr "\027[2J\027[H";
+      Fmt.pr "lognic watch   t=%.6fs   snapshot %d@.@." snap.M.s_time
+        snap.M.s_seq;
+      List.iter
+        (fun (e : M.entity_snapshot) ->
+          let cells =
+            List.map
+              (fun (name, s) ->
+                match s with
+                | M.Counter_s { delta; total } ->
+                  Printf.sprintf "%s +%g (%g)" name delta total
+                | M.Gauge_s { value } -> Printf.sprintf "%s %g" name value
+                | M.Rate_s { value; _ } -> Printf.sprintf "%s %.3f" name value
+                | M.Hist_s { count; p99; _ } ->
+                  Printf.sprintf "%s n=%d p99=%.3gs" name count p99)
+              e.M.e_samples
+          in
+          Fmt.pr "  %-22s %s@." e.M.e_name (String.concat "  " cells))
+        snap.M.s_entities;
+      if Hashtbl.length active > 0 then begin
+        Fmt.pr "@.active alerts:@.";
+        Hashtbl.iter
+          (fun (rule, entity) value ->
+            Fmt.pr "  ! %s  (entity %s, value %g)@." rule entity value)
+          active
+      end
+    in
+    let on_snapshot (snap : M.snapshot) =
+      List.iter
+        (fun (ev : M.alert_event) ->
+          if ev.M.ev_firing then
+            Hashtbl.replace active (ev.M.ev_rule, ev.M.ev_entity) ev.M.ev_value
+          else Hashtbl.remove active (ev.M.ev_rule, ev.M.ev_entity))
+        snap.M.s_alerts;
+      (match stream_oc with
+      | Some oc ->
+        output_string oc (M.snapshot_to_string snap);
+        output_char oc '\n';
+        flush oc
+      | None -> ());
+      if tty then begin
+        (* throttle redraws to the human eye, not the simulator *)
+        let now = Unix.gettimeofday () in
+        if now -. !last_draw > 0.05 then begin
+          last_draw := now;
+          render snap
+        end
+      end
+      else
+        List.iter
+          (fun (ev : M.alert_event) ->
+            Fmt.pr "[%.6f] %s %s (entity %s, value %g)@." snap.M.s_time
+              (if ev.M.ev_firing then "ALERT firing:" else "alert resolved:")
+              ev.M.ev_rule ev.M.ev_entity ev.M.ev_value)
+          snap.M.s_alerts
+    in
+    let profile = profile || profile_json <> None in
+    let config =
+      {
+        Lognic_sim.Netsim.default_config with
+        duration;
+        warmup = duration /. 10.;
+        seed;
+        metrics =
+          Some
+            { M.interval = dt; slo; profile; on_snapshot = Some on_snapshot };
+      }
+    in
+    let m = Lognic_sim.Netsim.run ~config doc.graph ~hw:(hardware_of doc) ~mix in
+    Option.iter Out_channel.close stream_oc;
+    let* mm =
+      match m.metrics with
+      | Some mm -> Ok mm
+      | None -> Error (`Msg "internal error: metrics instance missing")
+    in
+    if tty then Fmt.pr "@.";
+    let s = m.summary in
+    Fmt.pr "throughput: %.3f Gbps (%d delivered, %d dropped, loss %.2f%%)@."
+      (Lognic.Units.to_gbps s.Lognic_sim.Telemetry.throughput)
+      s.delivered_packets s.dropped_packets (100. *. s.loss_rate);
+    Fmt.pr "%d snapshots every %gs@." (M.snapshots mm) dt;
+    let fired =
+      List.filter (fun (a : M.alert) -> a.M.a_first_fired >= 0.) (M.alerts mm)
+    in
+    if slo <> [] then
+      if fired = [] then Fmt.pr "SLO: all %d rules clean@." (List.length slo)
+      else
+        List.iter
+          (fun (a : M.alert) ->
+            Fmt.pr
+              "SLO %s: entity %s %s — first fired %.6fs, last %.6fs, %d \
+               breaching intervals, worst %g@."
+              (M.Slo.to_string a.M.a_rule)
+              a.M.a_entity
+              (if a.M.a_active then "STILL FIRING" else "resolved")
+              a.M.a_first_fired a.M.a_last_fired a.M.a_breaches a.M.a_worst)
+          fired;
+    Option.iter
+      (fun path ->
+        Out_channel.with_open_text path (fun oc ->
+            output_string oc (M.to_openmetrics mm));
+        Fmt.pr "openmetrics written to %s@." path)
+      openmetrics;
+    Option.iter
+      (fun path ->
+        write_json path (M.alerts_to_json mm);
+        Fmt.pr "alerts written to %s@." path)
+      alerts_json;
+    (match stream with
+    | Some path -> Fmt.pr "metrics stream written to %s@." path
+    | None -> ());
+    (match M.profiler mm with
+    | Some p ->
+      Fmt.pr "%a@." Lognic_sim.Profile.pp p;
+      Option.iter
+        (fun path ->
+          match M.profile_to_json mm with
+          | Some j ->
+            write_json path j;
+            Fmt.pr "profile written to %s@." path
+          | None -> ())
+        profile_json
+    | None -> ());
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ graph_arg $ rate_arg $ packet_arg $ duration_arg
+       $ seed_arg $ interval_arg $ stream_arg $ openmetrics_arg $ slo_arg
+       $ alerts_json_arg $ profile_arg $ profile_json_arg))
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Simulate with live streaming metrics: per-entity counters, gauges \
+          and latency histograms sampled every --interval sim-seconds, \
+          delta-encoded NDJSON/OpenMetrics export, SLO watchdog rules with \
+          hysteresis, an optional engine self-profiler, and a live \
+          refreshing table on a TTY.")
+    term
+
 (* explain *)
 
 let explain_cmd =
@@ -1141,9 +1369,9 @@ let () =
   let group =
     Cmd.group info
       [
-        estimate_cmd; sweep_cmd; simulate_cmd; check_cmd; report_cmd; explain_cmd;
-        contention_cmd; faults_cmd; validate_cmd; optimize_cmd; sensitivity_cmd;
-        roofline_cmd; params_cmd; figures_cmd;
+        estimate_cmd; sweep_cmd; simulate_cmd; check_cmd; report_cmd; watch_cmd;
+        explain_cmd; contention_cmd; faults_cmd; validate_cmd; optimize_cmd;
+        sensitivity_cmd; roofline_cmd; params_cmd; figures_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -92,6 +92,41 @@ let measurement_string run =
    (per-class residuals, slowdowns, resource ceilings, ranked
    interference).  One fixture pins the model math and the report
    serialization together. *)
+(* Pinned metrics stream: a fixed-seed run with the live registry
+   ticking every 100 µs and an SLO rule that fires and resolves inside
+   the window, captured as the concatenated NDJSON the [on_snapshot]
+   sink emits.  The fixture pins the instrument catalog, sampling
+   order, delta/rate arithmetic, alert transitions and the streaming
+   serializer's byte output in one comparison. *)
+let metrics_scenarios () =
+  [
+    ( "metrics-stream",
+      fun () ->
+        let buf = Buffer.create 65536 in
+        let metrics =
+          Some
+            {
+              Sim.Metrics.default_config with
+              interval = 1e-4;
+              slo =
+                [
+                  Sim.Metrics.Slo.parse_exn "*.utilization>0.5x2";
+                  Sim.Metrics.Slo.parse_exn "run.dropped>0";
+                ];
+              on_snapshot =
+                Some
+                  (fun snap ->
+                    Sim.Metrics.snapshot_to_buffer buf snap;
+                    Buffer.add_char buf '\n');
+            }
+        in
+        let config = { (config ~seed:21 ()) with Sim.Netsim.metrics } in
+        ignore
+          (Sim.Netsim.run_single ~config (md5_graph ())
+             ~hw:D.Liquidio.hardware ~traffic:md5_traffic);
+        Buffer.contents buf );
+  ]
+
 let contention_scenarios () =
   [
     ( "contended-two-class",

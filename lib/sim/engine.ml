@@ -26,14 +26,17 @@ let[@inline] schedule_after t ~delay thunk =
   if delay < 0. then delay_error ();
   schedule t ~at:(t.clock.(0) +. delay) thunk
 
-let run ?until ?observer t =
+let run ?until ?observer ?profile t =
   let horizon = Option.value until ~default:infinity in
   let q = t.queue in
-  (* Two loops so the no-observer path (the default) stays the exact
-     hot loop: no per-event option match, no closure call — and via
-     locate/take, no per-event allocation at all. *)
-  (match observer with
-  | None ->
+  (* Separate loops so the no-observer, no-profile path (the default)
+     stays the exact hot loop: no per-event option match, no closure
+     call — and via locate/take, no per-event allocation at all. The
+     profiled variants bracket queue operations and observer callbacks
+     with {!Profile} phases; event thunks execute in whatever phase was
+     current ([phase_other] unless the thunk switches itself). *)
+  (match (observer, profile) with
+  | None, None ->
     let rec loop () =
       if Event_queue.locate q ~horizon then begin
         t.clock.(0) <- Event_queue.located_time q;
@@ -44,7 +47,7 @@ let run ?until ?observer t =
       end
     in
     loop ()
-  | Some observe ->
+  | Some observe, None ->
     let rec loop () =
       if Event_queue.locate q ~horizon then begin
         let time = Event_queue.located_time q in
@@ -55,6 +58,38 @@ let run ?until ?observer t =
         thunk ();
         loop ()
       end
+    in
+    loop ()
+  | None, Some p ->
+    let rec loop () =
+      let prev = Profile.enter p Profile.phase_queue in
+      if Event_queue.locate q ~horizon then begin
+        t.clock.(0) <- Event_queue.located_time q;
+        t.executed <- t.executed + 1;
+        let thunk = Event_queue.take q in
+        Profile.leave p prev;
+        thunk ();
+        loop ()
+      end
+      else Profile.leave p prev
+    in
+    loop ()
+  | Some observe, Some p ->
+    let rec loop () =
+      let prev = Profile.enter p Profile.phase_queue in
+      if Event_queue.locate q ~horizon then begin
+        let time = Event_queue.located_time q in
+        let pq = Profile.enter p Profile.phase_observer in
+        observe time;
+        Profile.leave p pq;
+        t.clock.(0) <- time;
+        t.executed <- t.executed + 1;
+        let thunk = Event_queue.take q in
+        Profile.leave p prev;
+        thunk ();
+        loop ()
+      end
+      else Profile.leave p prev
     in
     loop ());
   if horizon < infinity && t.clock.(0) < horizon then t.clock.(0) <- horizon

@@ -15,14 +15,17 @@ val schedule : t -> at:float -> (unit -> unit) -> unit
 val schedule_after : t -> delay:float -> (unit -> unit) -> unit
 (** Convenience for [schedule ~at:(now t +. delay)]; [delay >= 0]. *)
 
-val run : ?until:float -> ?observer:(float -> unit) -> t -> unit
+val run :
+  ?until:float -> ?observer:(float -> unit) -> ?profile:Profile.t -> t -> unit
 (** Processes events in order until the queue empties or virtual time
     would exceed [until] (remaining events stay queued, and the clock is
     left at [until]). [observer], when given, is called with each event's
     time just before it executes — in pop order, so a well-behaved queue
     feeds it non-decreasing times ({!Invariants.observe_event_time}).
-    The default no-observer path runs the exact pre-observer loop and
-    allocates nothing per event. *)
+    [profile], when given, charges queue operations (and observer
+    callbacks) to their {!Profile} phases; event thunks run in the
+    enclosing phase. The default path (neither given) runs the exact
+    pre-observer loop and allocates nothing per event. *)
 
 val pending : t -> int
 

@@ -102,6 +102,9 @@ type t = {
          created with [track_lanes] (tracing); empty otherwise so the
          untraced path pays nothing *)
   mutable free_top : int;  (* live entries in [free_lanes] *)
+  mutable prof : Profile.t option;
+      (* self-profiler hook ({!Metrics}); [None] costs one pointer
+         compare per dispatch/completion entry *)
 }
 
 let expand_pattern weights =
@@ -159,6 +162,7 @@ let make engine ~rng ~label ~engines ~rate_per_engine ~entries_per_queue
         (if track_lanes then Array.init engines (fun i -> engines - 1 - i)
          else [||]);
       free_top = (if track_lanes then engines else 0);
+      prof = None;
     }
   in
   t
@@ -279,7 +283,7 @@ let rec wrr_pick t n =
    each. Grant order is identical to the old one-grant-per-call
    dispatch (each call could only ever free one engine's worth of
    capacity at a time). *)
-let rec dispatch t =
+let rec dispatch_loop t =
   if t.busy_engines < t.engines - t.offline && t.queued_total > 0 then begin
     let q = wrr_pick t (Array.length t.pattern) in
     let r = t.queues.(q) in
@@ -320,10 +324,24 @@ let rec dispatch t =
     t.sv_lane.(slot) <- lane;
     t.sv_k.(slot) <- k;
     Engine.schedule_after t.engine ~delay:duration t.sv_fire.(slot);
-    dispatch t
+    dispatch_loop t
   end
 
-and fire t slot =
+(* Profiled entry points charge the drain / completion bookkeeping to
+   the node-service phase; with no profiler attached each is a single
+   pointer compare on top of the original code path. *)
+and dispatch t =
+  match t.prof with
+  | None -> dispatch_loop t
+  | Some p ->
+    let prev = Profile.enter p Profile.phase_node in
+    dispatch_loop t;
+    Profile.leave p prev
+
+(* Completion bookkeeping up to (and including) the work-conserving
+   re-dispatch; returns the continuation so the profiled wrapper can
+   stop the node clock before running downstream work. *)
+and fire_steps t slot =
   let finish = t.sv_finish.(slot) in
   let lane = t.sv_lane.(slot) in
   let k = t.sv_k.(slot) in
@@ -336,8 +354,17 @@ and fire t slot =
   t.sv_free_top <- t.sv_free_top + 1;
   (* Work-conserving: the freed engine immediately pulls the next
      request before the completion continuation runs downstream. *)
-  dispatch t;
-  k ()
+  dispatch_loop t;
+  k
+
+and fire t slot =
+  match t.prof with
+  | None -> (fire_steps t slot) ()
+  | Some p ->
+    let prev = Profile.enter p Profile.phase_node in
+    let k = fire_steps t slot in
+    Profile.leave p prev;
+    k ()
 
 (* Completion closures are per-slot and built once here — after the
    record exists, since they capture it. *)
@@ -360,6 +387,7 @@ let create_multiqueue ?track_lanes engine ~rng ~label ~engines ~rate_per_engine
        ~rate_per_engine ~entries_per_queue ~weights ~service_dist)
 
 let offline t = t.offline
+let set_profile t p = t.prof <- p
 
 let set_offline t n =
   if n < 0 || n > t.engines then

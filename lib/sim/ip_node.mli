@@ -134,3 +134,9 @@ val busy_within : t -> until:float -> float
 val utilization : t -> until:float -> float
 (** Mean fraction of engines busy over [\[0, until\]]; never exceeds 1
     at the horizon, even for an overloaded node. *)
+
+val set_profile : t -> Profile.t option -> unit
+(** Attach (or detach) a self-profiler: dispatch and completion
+    bookkeeping is charged to {!Profile.phase_node}. [None] (the
+    default) costs one pointer compare per entry and never affects
+    scheduling. *)

@@ -7,6 +7,10 @@ type t = {
       (* fault-injection bandwidth factor; 1. outside degraded intervals *)
   f : float array;  (* unboxed hot state: 0 = next_free, 1 = busy *)
   mutable rejections : int;
+  mutable transfers : int;  (* nonzero-byte transfers admitted *)
+  mutable prof : Profile.t option;
+      (* self-profiler hook ({!Metrics}); [None] costs one pointer
+         compare per nonzero transfer *)
 }
 
 let create engine ~label ~bandwidth ?(buffer = 2. *. 1024. *. 1024.) () =
@@ -20,6 +24,8 @@ let create engine ~label ~bandwidth ?(buffer = 2. *. 1024. *. 1024.) () =
     scale = 1.;
     f = Array.make 2 0.;
     rejections = 0;
+    transfers = 0;
+    prof = None;
   }
 
 let label t = t.label
@@ -38,6 +44,39 @@ let set_scale t factor =
     invalid_arg "Medium.set_scale: factor must be in (0, 1]";
   t.scale <- factor
 
+(* Nonzero-byte admission: arbitration, backlog check, scheduling. *)
+let[@inline] transfer_admit ?tally ?span t ~bytes k =
+  let now = Engine.now t.engine in
+  let bw = effective_bandwidth t in
+  let next_free = t.f.(0) in
+  (* [Float.max] spelled out twice below: the stdlib function is a
+     call whose float arguments box on every transfer; neither
+     operand is ever NaN here, so the specialization is exact *)
+  let wait = next_free -. now in
+  let backlog_bytes = (if wait > 0. then wait else 0.) *. bw in
+  if backlog_bytes +. bytes > t.buffer then begin
+    t.rejections <- t.rejections + 1;
+    false
+  end
+  else begin
+    let start = if next_free > now then next_free else now in
+    let duration = bytes /. bw in
+    t.f.(0) <- start +. duration;
+    t.f.(1) <- t.f.(1) +. duration;
+    t.transfers <- t.transfers + 1;
+    (match tally with
+    | Some a ->
+      a.(Telemetry.slot_queueing) <-
+        a.(Telemetry.slot_queueing) +. (start -. now);
+      a.(Telemetry.slot_wire) <- a.(Telemetry.slot_wire) +. duration
+    | None -> ());
+    (match span with
+    | Some f -> f ~label:t.label ~queued:(start -. now) ~wire:duration
+    | None -> ());
+    Engine.schedule t.engine ~at:(start +. duration) k;
+    true
+  end
+
 (* [tally], when given, receives the backlog wait and transmission time
    as [+.] accumulations into the {!Telemetry} flight-slot layout —
    unboxed float-array stores, replacing the old per-call [?timing]
@@ -55,35 +94,13 @@ let[@inline] transfer ?tally ?span t ~bytes k =
     true
   end
   else begin
-    let now = Engine.now t.engine in
-    let bw = effective_bandwidth t in
-    let next_free = t.f.(0) in
-    (* [Float.max] spelled out twice below: the stdlib function is a
-       call whose float arguments box on every transfer; neither
-       operand is ever NaN here, so the specialization is exact *)
-    let wait = next_free -. now in
-    let backlog_bytes = (if wait > 0. then wait else 0.) *. bw in
-    if backlog_bytes +. bytes > t.buffer then begin
-      t.rejections <- t.rejections + 1;
-      false
-    end
-    else begin
-      let start = if next_free > now then next_free else now in
-      let duration = bytes /. bw in
-      t.f.(0) <- start +. duration;
-      t.f.(1) <- t.f.(1) +. duration;
-      (match tally with
-      | Some a ->
-        a.(Telemetry.slot_queueing) <-
-          a.(Telemetry.slot_queueing) +. (start -. now);
-        a.(Telemetry.slot_wire) <- a.(Telemetry.slot_wire) +. duration
-      | None -> ());
-      (match span with
-      | Some f -> f ~label:t.label ~queued:(start -. now) ~wire:duration
-      | None -> ());
-      Engine.schedule t.engine ~at:(start +. duration) k;
-      true
-    end
+    match t.prof with
+    | None -> transfer_admit ?tally ?span t ~bytes k
+    | Some p ->
+      let prev = Profile.enter p Profile.phase_media in
+      let admitted = transfer_admit ?tally ?span t ~bytes k in
+      Profile.leave p prev;
+      admitted
   end
 
 let backlog t =
@@ -102,3 +119,5 @@ let busy_within t ~until =
 
 let utilization t ~until = if until <= 0. then 0. else busy_within t ~until /. until
 let rejections t = t.rejections
+let transfers t = t.transfers
+let set_profile t p = t.prof <- p

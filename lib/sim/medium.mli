@@ -76,3 +76,12 @@ val utilization : t -> until:float -> float
     when admitted work extends past it. *)
 
 val rejections : t -> int
+
+val transfers : t -> int
+(** Nonzero-byte transfers admitted so far (zero-byte transfers bypass
+    the medium and are not counted). *)
+
+val set_profile : t -> Profile.t option -> unit
+(** Attach (or detach) a self-profiler: nonzero-byte admission is
+    charged to {!Profile.phase_media}. [None] (the default) costs one
+    pointer compare per transfer and never affects scheduling. *)

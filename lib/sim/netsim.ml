@@ -11,6 +11,7 @@ type config = {
   series_capacity : int;
   trace : Trace.config option;
   check_invariants : bool;
+  metrics : Metrics.config option;
 }
 
 let default_config =
@@ -24,6 +25,7 @@ let default_config =
     series_capacity = 4096;
     trace = None;
     check_invariants = false;
+    metrics = None;
   }
 
 module Run = struct
@@ -95,6 +97,7 @@ type measurement = {
   resilience : resilience option;
   trace : Trace.t option;
   invariants : Invariants.report option;
+  metrics : Metrics.t option;
 }
 
 (* An interned drop counter plus its rendered site name, resolved once
@@ -489,6 +492,96 @@ let execute_with ?engine:reused (spec : Run.t) =
           "admitted backlog must fit the rate-matching buffer"
     | Some _ | None -> fun _ -> ()
   in
+  (* ---- live metrics ------------------------------------------------ *)
+  (* The metrics registry is built entirely from read-only probes over
+     state the simulator already maintains, splits no rng stream, and
+     its ticks are extra scheduled events — which shift absolute event
+     sequence numbers but never the relative pop order of packet events
+     (the same argument as the series sampler). Enabling metrics
+     therefore never changes simulation results or measurement JSON
+     (gated by bench/main.exe --metrics-overhead). Instruments register
+     in deterministic order: the run entity, drop sites in interning
+     order, nodes in graph order, then media in report order. *)
+  let metrics, metrics_hist =
+    match config.metrics with
+    | None -> (None, None)
+    | Some mc ->
+      let m = Metrics.create mc in
+      Metrics.register m ~entity:"run" ~name:"offered" Metrics.Counter
+        (fun () -> float_of_int (Telemetry.offered telemetry));
+      Metrics.register m ~entity:"run" ~name:"delivered" Metrics.Counter
+        (fun () -> float_of_int (Telemetry.delivered telemetry));
+      Metrics.register m ~entity:"run" ~name:"dropped" Metrics.Counter
+        (fun () -> float_of_int (Telemetry.dropped telemetry));
+      Metrics.register m ~entity:"run" ~name:"delivered_bytes" Metrics.Counter
+        (fun () -> Telemetry.delivered_bytes telemetry);
+      (* The latency histogram is the one new hot-path instrument; its
+         observe is allocation-free and windowed like the summary. Each
+         tick synthesizes latency_p50 / latency_p99 for SLO rules. *)
+      let hist = Metrics.histogram m ~entity:"run" ~name:"latency" () in
+      (* Warmup-windowed drops per site, one entity per interned drop
+         counter (every site was interned during setup above). *)
+      List.iter
+        (fun c ->
+          Metrics.register m
+            ~entity:(Telemetry.drop_site_name (Telemetry.counter_site c))
+            ~name:"drops" Metrics.Counter
+            (fun () -> float_of_int (Telemetry.counter_hits c)))
+        (Telemetry.counters telemetry);
+      List.iter
+        (fun (v : G.vertex) ->
+          match Hashtbl.find_opt nodes v.id with
+          | None -> ()
+          | Some node ->
+            let entity = v.label in
+            Metrics.register m ~entity ~name:"completions" Metrics.Counter
+              (fun () -> float_of_int (Ip_node.completions node));
+            Metrics.register m ~entity ~name:"drops" Metrics.Counter
+              (fun () -> float_of_int (Ip_node.drops node));
+            Metrics.register m ~entity ~name:"queue_depth" Metrics.Gauge
+              (fun () -> float_of_int (Ip_node.in_system node));
+            Metrics.register m ~entity ~name:"busy_engines" Metrics.Gauge
+              (fun () -> float_of_int (Ip_node.busy_engines node));
+            let nameplate = float_of_int (Ip_node.engines node) in
+            (* cumulative busy-engine seconds over the nameplate count:
+               as a [Rate], delta/interval is the interval utilization *)
+            Metrics.register m ~entity ~name:"utilization" Metrics.Rate
+              (fun () ->
+                Ip_node.busy_within node ~until:(Engine.now engine)
+                /. nameplate))
+        (G.vertices g);
+      List.iter
+        (fun md ->
+          let entity = Medium.label md in
+          Metrics.register m ~entity ~name:"transfers" Metrics.Counter
+            (fun () -> float_of_int (Medium.transfers md));
+          Metrics.register m ~entity ~name:"rejections" Metrics.Counter
+            (fun () -> float_of_int (Medium.rejections md));
+          Metrics.register m ~entity ~name:"backlog_bytes" Metrics.Gauge
+            (fun () -> Medium.backlog md);
+          Metrics.register m ~entity ~name:"utilization" Metrics.Rate
+            (fun () -> Medium.busy_within md ~until:(Engine.now engine)))
+        media;
+      (* Attach the optional self-profiler to every phase source; it
+         reads only the host's wall clock, never the simulation. *)
+      (match Metrics.profiler m with
+      | Some _ as p ->
+        Hashtbl.iter (fun _ node -> Ip_node.set_profile node p) nodes;
+        List.iter (fun md -> Medium.set_profile md p) media
+      | None -> ());
+      (* Tick scheduler on the same multiplicative time grid as the
+         series sampler, so rounding never drops the final snapshot. *)
+      let dt = mc.Metrics.interval in
+      let time_of i = float_of_int i *. dt in
+      let rec tick i =
+        ignore (Metrics.tick m ~now:(time_of i));
+        if time_of (i + 1) <= config.duration then
+          Engine.schedule engine ~at:(time_of (i + 1)) (fun () -> tick (i + 1))
+      in
+      if dt <= config.duration then
+        Engine.schedule engine ~at:dt (fun () -> tick 1);
+      (Some m, Some hist)
+  in
   (* ---- the packet walk --------------------------------------------- *)
   (* Scratch cells for the routing scan: unboxed accumulator and index,
      so choosing an out-edge allocates nothing beyond the rng draw. The
@@ -559,6 +652,17 @@ let execute_with ?engine:reused (spec : Run.t) =
           bin_latency.(b) +. (Engine.now engine -. fl.fs.(Telemetry.slot_born))
       end;
       fl.fs.(Telemetry.slot_now) <- Engine.now engine;
+      (* Live-metrics latency histogram, windowed by birth like the
+         summary; [observe] is allocation-free and reads nothing back,
+         so the disabled path is one pointer compare. *)
+      (match metrics_hist with
+      | Some h ->
+        (* slot_now was stamped with the engine clock just above;
+           observe_span keeps the hot path allocation-free *)
+        if fl.fs.(Telemetry.slot_born) >= config.warmup then
+          Metrics.observe_span h fl.fs ~from_slot:Telemetry.slot_born
+            ~to_slot:Telemetry.slot_now
+      | None -> ());
       Telemetry.record_completion_fs telemetry ~fs:fl.fs ~klass:fl.fl_klass;
       release_flight fl
     end
@@ -860,12 +964,15 @@ let execute_with ?engine:reused (spec : Run.t) =
       ~mix:spec.Run.mix ~on_arrival
   in
   Traffic_gen.start gen ~until:config.duration;
+  let profile =
+    match metrics with Some m -> Metrics.profiler m | None -> None
+  in
   (match checker with
   | Some inv ->
     Engine.run ~until:config.duration
       ~observer:(Invariants.observe_event_time inv)
-      engine
-  | None -> Engine.run ~until:config.duration engine);
+      ?profile engine
+  | None -> Engine.run ~until:config.duration ?profile engine);
   let summary = Telemetry.summarize telemetry ~horizon:config.duration in
   let vertex_stats =
     List.filter_map
@@ -1060,6 +1167,7 @@ let execute_with ?engine:reused (spec : Run.t) =
     resilience;
     trace;
     invariants;
+    metrics;
   }
 
 let execute spec = execute_with spec

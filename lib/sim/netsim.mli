@@ -56,6 +56,15 @@ type config = {
           read-only: it never changes a measured quantity, and the
           disabled path adds no work to the simulator hot loop
           (enforced by [bench/main.exe --invariant-overhead]). *)
+  metrics : Metrics.config option;
+      (** when [Some], sample a live metrics registry every
+          [interval] sim-seconds, evaluate its SLO rules, and attach
+          the instance as {!measurement.metrics} (default [None]).
+          Every instrument is a read-only probe (plus an
+          allocation-free latency histogram) and no rng stream is
+          split, so enabling metrics never changes simulation results
+          or measurement JSON (enforced by
+          [bench/main.exe --metrics-overhead]). *)
 }
 
 val default_config : config
@@ -178,6 +187,14 @@ type measurement = {
           {!Invariants.report_to_json}. Like [trace], deliberately
           absent from {!measurement_to_json} so measurement JSON is
           byte-identical with checking on or off. *)
+  metrics : Metrics.t option;
+      (** the live metrics instance after its final tick, present iff
+          [config.metrics] was set; query {!Metrics.alerts}, export
+          with {!Metrics.to_openmetrics} / {!Metrics.alerts_to_json} /
+          {!Metrics.profile_to_json} (snapshots stream through
+          [config.metrics.on_snapshot] during the run). Like [trace],
+          deliberately absent from {!measurement_to_json} so
+          measurement JSON is byte-identical with metrics on or off. *)
 }
 
 val execute_with : ?engine:Engine.t -> Run.t -> measurement

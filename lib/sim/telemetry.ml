@@ -31,34 +31,60 @@ module Json = struct
     | Obj of (string * t) list
 
   let float_repr x =
-    (* shortest decimal that parses back exactly *)
-    let s = Printf.sprintf "%.15g" x in
-    if float_of_string s = x then s else Printf.sprintf "%.17g" x
+    (* Integral values dominate exported documents (counters, totals,
+       sample counts); print them without the sprintf round-trip. The
+       guard keeps the bytes identical to what %.15g would emit: below
+       1e15 the %g fixed notation is exactly the digits, and 0 is
+       excluded so "-0" survives. *)
+    if Float.is_integer x && Float.abs x < 1e15 && x <> 0. then
+      string_of_int (int_of_float x)
+    else
+      (* shortest decimal that parses back exactly *)
+      let s = Printf.sprintf "%.15g" x in
+      if float_of_string s = x then s else Printf.sprintf "%.17g" x
 
   let write_string buf s =
+    (* almost every exported string (labels, metric names, schema kinds)
+       needs no escaping; copy those in one add_string *)
+    let n = String.length s in
+    let rec clean i =
+      i >= n
+      ||
+      match String.unsafe_get s i with
+      | '"' | '\\' -> false
+      | c when Char.code c < 0x20 -> false
+      | _ -> clean (i + 1)
+    in
     Buffer.add_char buf '"';
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | '\n' -> Buffer.add_string buf "\\n"
-        | '\r' -> Buffer.add_string buf "\\r"
-        | '\t' -> Buffer.add_string buf "\\t"
-        | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char buf c)
-      s;
+    if clean 0 then Buffer.add_string buf s
+    else
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '\n' -> Buffer.add_string buf "\\n"
+          | '\r' -> Buffer.add_string buf "\\r"
+          | '\t' -> Buffer.add_string buf "\\t"
+          | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+          | c -> Buffer.add_char buf c)
+        s;
     Buffer.add_char buf '"'
+
+  let write_num buf x =
+    if not (Float.is_finite x) then Buffer.add_string buf "null"
+    else if Float.is_integer x && Float.abs x < 1e15 then
+      if x = 0. then
+        (* sprintf keeps the "-0" spelling the fast path would lose *)
+        Buffer.add_string buf (Printf.sprintf "%.0f" x)
+      else Buffer.add_string buf (string_of_int (int_of_float x))
+    else Buffer.add_string buf (float_repr x)
 
   let rec write buf = function
     | Null -> Buffer.add_string buf "null"
     | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-    | Num x ->
-      if not (Float.is_finite x) then Buffer.add_string buf "null"
-      else if Float.is_integer x && Float.abs x < 1e15 then
-        Buffer.add_string buf (Printf.sprintf "%.0f" x)
-      else Buffer.add_string buf (float_repr x)
+    | Num x -> write_num buf x
     | Str s -> write_string buf s
     | Arr xs ->
       Buffer.add_char buf '[';
@@ -250,13 +276,14 @@ module Json = struct
 
   (* Every exporter in the repo stamps its top-level object through
      here, so "which schema am I parsing" is answerable from the
-     document alone and the version lives in exactly one place. *)
+     document alone. The version comes from the {!Schema} registry:
+     an unregistered kind raises, which keeps the table complete. *)
   let schema_version = 1
 
   let versioned ~kind fields =
     Obj
       (("schema", Str kind)
-      :: ("schema_version", Num (float_of_int schema_version))
+      :: ("schema_version", Num (float_of_int (Schema.version_of_exn kind)))
       :: fields)
 end
 
@@ -405,6 +432,16 @@ let create ~warmup =
 let[@inline] record_arrival t ~now ~size =
   ignore size;
   if now >= t.warmup then t.offered <- t.offered + 1
+
+(* Read-only probes over the windowed accumulators, for the live
+   metrics layer ({!Metrics}): cumulative values at call time. *)
+let offered t = t.offered
+let delivered t = t.delivered
+let dropped t = t.dropped
+let delivered_bytes t = t.fsums.(0)
+let counters t = List.rev t.counters  (* interning order *)
+let counter_site c = c.c_site
+let counter_hits c = c.c_hits
 
 let drop_counter t site =
   match List.find_opt (fun c -> c.c_site = site) t.counters with

@@ -39,15 +39,27 @@ module Json : sig
   (** Shortest decimal string that [float_of_string] maps back to the
       same float. *)
 
+  val write_string : Buffer.t -> string -> unit
+  (** Append one JSON string literal (quotes and escaping included) —
+      the exact bytes {!to_string} emits for [Str]. For streaming
+      serializers that bypass the {!t} tree. *)
+
+  val write_num : Buffer.t -> float -> unit
+  (** Append one JSON number — the exact bytes {!to_string} emits for
+      [Num] (non-finite values become [null]). *)
+
   val schema_version : int
   (** Version stamped by {!versioned} into every JSON document the repo
       emits. Bump when any exported schema changes shape. *)
 
   val versioned : kind:string -> (string * t) list -> t
   (** [versioned ~kind fields] is [Obj fields] prefixed with
-      ["schema": kind] and ["schema_version": schema_version] — the
-      shared header used by every exporter ([measurement], [explain],
-      [search_log], trace metadata, faults report). *)
+      ["schema": kind] and ["schema_version": v] where [v] comes from
+      the {!Schema} registry — the shared header used by every
+      exporter ([measurement], [explain], [search_log], trace
+      metadata, faults report, metrics stream). Raises
+      [Invalid_argument] when [kind] is not registered in
+      {!Schema.table}. *)
 end
 
 (** Bounded ring-buffer time series: appends are O(1), memory is fixed,
@@ -139,6 +151,22 @@ val drop_counter : t -> drop_site -> counter
 
 val record_drop_counted : t -> born:float -> counter -> unit
 (** Same accounting and warmup window as {!record_drop}. *)
+
+(** {2 Read-only probes}
+
+    Cumulative windowed accounts at call time, consumed by the live
+    metrics layer ({!Metrics}). Reading them never changes results. *)
+
+val offered : t -> int
+val delivered : t -> int
+val dropped : t -> int
+val delivered_bytes : t -> float
+
+val counters : t -> counter list
+(** Every interned drop counter, in interning order. *)
+
+val counter_site : counter -> drop_site
+val counter_hits : counter -> int
 
 (** Slot indices into the per-flight scratch array consumed by
     {!record_completion_fs} (and filled along the packet walk): the

@@ -2,8 +2,8 @@
    [Lognic_check.Golden] into the directory given as argv(1).  Run once
    against a known-good engine and commit the output; the test suite
    then asserts byte-equality on every run. *)
-let write dir name contents =
-  let path = Filename.concat dir (name ^ ".json") in
+let write ?(ext = ".json") dir name contents =
+  let path = Filename.concat dir (name ^ ext) in
   let oc = open_out_bin path in
   output_string oc contents;
   output_char oc '\n';
@@ -18,4 +18,8 @@ let () =
     (Lognic_check.Golden.scenarios ());
   List.iter
     (fun (name, render) -> write dir name (render ()))
-    (Lognic_check.Golden.contention_scenarios ())
+    (Lognic_check.Golden.contention_scenarios ());
+  List.iter
+    (fun (name, render) ->
+      write ~ext:".ndjson" dir name (String.trim (render ())))
+    (Lognic_check.Golden.metrics_scenarios ())

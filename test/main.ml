@@ -11,6 +11,7 @@ let () =
       ("check", Test_check.suite);
       ("golden", Test_golden.suite);
       ("observability", Test_observability.suite);
+      ("metrics", Test_metrics.suite);
       ("parallel", Test_parallel.suite);
       ("faults", Test_faults.suite);
       ("devices", Test_devices.suite);

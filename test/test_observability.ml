@@ -219,6 +219,93 @@ let search_log_matches_stats () =
       (S.Telemetry.Json.member "best_curve" json <> None)
   | Error e -> Alcotest.failf "search log JSON does not parse: %s" e
 
+(* Series overload behaviour: the ring buffer is bounded, keeps the
+   newest samples in order, and its CSV export stays well-formed after
+   wrapping. *)
+let series_wraparound () =
+  let s =
+    S.Telemetry.Series.create ~capacity:8 ~label:"depth" ~interval:1. ()
+  in
+  for i = 0 to 19 do
+    S.Telemetry.Series.add s ~time:(float_of_int i)
+      ~value:(float_of_int (i * i))
+  done;
+  Alcotest.(check int) "capacity" 8 (S.Telemetry.Series.capacity s);
+  Alcotest.(check int) "length clamps at capacity" 8
+    (S.Telemetry.Series.length s);
+  let a = S.Telemetry.Series.to_array s in
+  Alcotest.(check int) "array length" 8 (Array.length a);
+  Array.iteri
+    (fun i (time, value) ->
+      (* newest 8 of 20 samples: times 12..19, chronological *)
+      check_close "wrapped time" (float_of_int (i + 12)) time;
+      check_close "wrapped value" (float_of_int ((i + 12) * (i + 12))) value)
+    a
+
+let series_csv_after_wrap () =
+  let s = S.Telemetry.Series.create ~capacity:4 ~label:"q" ~interval:1. () in
+  for i = 0 to 9 do
+    S.Telemetry.Series.add s ~time:(float_of_int i) ~value:(float_of_int i)
+  done;
+  let csv = S.Telemetry.Series.to_csv s in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)
+  in
+  (match lines with
+  | header :: rows ->
+    Alcotest.(check string) "header names the label" "time,q" header;
+    Alcotest.(check int) "one row per retained sample" 4 (List.length rows);
+    Alcotest.(check bool) "first retained row is the oldest survivor" true
+      (contains_substring (List.hd rows) "6")
+  | [] -> Alcotest.fail "empty CSV");
+  check_raises_invalid "non-positive capacity" (fun () ->
+      S.Telemetry.Series.create ~capacity:0 ~label:"q" ~interval:1. ())
+
+(* Read-only probes under overload: a run that drops packets (full
+   queues, saturated media) re-measured with a metrics registry whose
+   callback aggressively reads cumulative state mid-run must still
+   produce byte-identical measurement JSON. *)
+let probes_read_only_under_overload () =
+  let g = pipeline ~queue:4 ~ip_rate:(1. *. U.gbps) () in
+  let traffic = T.make ~rate:(8. *. U.gbps) ~packet_size:1500. in
+  let overload = { traced_config with trace = None } in
+  let dump config =
+    S.Telemetry.Json.to_string
+      (S.Netsim.measurement_to_json
+         (S.Netsim.run_single ~config g ~hw ~traffic))
+  in
+  let reads = ref 0 in
+  let metrics =
+    Some
+      {
+        S.Metrics.default_config with
+        interval = 5e-4;
+        slo = [ S.Metrics.Slo.parse_exn "*.utilization>0.5" ];
+        on_snapshot =
+          Some
+            (fun snap ->
+              (* exercise every read-only export mid-run *)
+              incr reads;
+              ignore (S.Metrics.snapshot_to_string snap));
+      }
+  in
+  let bare = dump overload in
+  let probed = dump { overload with metrics } in
+  (match S.Telemetry.Json.of_string bare with
+  | Ok json -> (
+    match
+      Option.bind
+        (S.Telemetry.Json.member "summary" json)
+        (S.Telemetry.Json.member "dropped_packets")
+    with
+    | Some (S.Telemetry.Json.Num n) ->
+      Alcotest.(check bool) "overload run drops packets" true (n > 0.)
+    | _ -> Alcotest.fail "no summary.dropped_packets in measurement JSON")
+  | Error e -> Alcotest.failf "measurement JSON does not parse: %s" e);
+  Alcotest.(check bool) "callback ran" true (!reads > 10);
+  Alcotest.(check string)
+    "measurement JSON identical with probes reading mid-run" bare probed
+
 let quantity_parse_exn_names_input () =
   check_raises_invalid "bad quantity" (fun () ->
       Lognic_dsl.Quantity.parse_exn "25Gbs");
@@ -240,6 +327,10 @@ let suite =
     slow "explain: agrees on interface-bound graph"
       explain_agrees_when_interface_bound;
     slow "explain: rows ranked and joined" explain_rows_ranked_and_joined;
+    quick "series: ring buffer wraparound" series_wraparound;
+    quick "series: CSV after wrap" series_csv_after_wrap;
+    slow "metrics: probes read-only under overload"
+      probes_read_only_under_overload;
     quick "search log: matches optimizer stats" search_log_matches_stats;
     quick "quantity: parse_exn raises Invalid_argument"
       quantity_parse_exn_names_input;
