@@ -73,6 +73,16 @@ let jobs_arg =
 
 let apply_jobs jobs = Option.iter Lognic_numerics.Parallel.set_default_jobs jobs
 
+(* Colon-spec flags all parse through the shared grammar engine, with
+   the DSL's quantity parser plugged in for unit-suffixed fields. *)
+
+module Spec = Lognic_sim.Spec
+
+let parse_specs grammar specs =
+  Result.map_error
+    (fun e -> `Msg e)
+    (Spec.parse_all ~quantity:Lognic_dsl.Quantity.parse grammar specs)
+
 
 (* estimate *)
 
@@ -177,12 +187,8 @@ let simulate_cmd =
     let ( let* ) = Result.bind in
     let* doc = load_document graph_path in
     let config =
-      {
-        Lognic_sim.Netsim.default_config with
-        duration;
-        warmup = duration /. 10.;
-        seed;
-      }
+      Lognic_sim.Netsim.Config.(
+        default |> with_horizon duration |> with_seed seed)
     in
     (* a graph carrying `class` lines simulates the whole mix unless the
        command line pins a single class *)
@@ -256,13 +262,9 @@ let check_cmd =
         Ok [ (traffic, 1.) ]
     in
     let config =
-      {
-        Lognic_sim.Netsim.default_config with
-        duration;
-        warmup = duration /. 10.;
-        seed;
-        check_invariants = true;
-      }
+      Lognic_sim.Netsim.Config.(
+        default |> with_horizon duration |> with_seed seed
+        |> with_invariants true)
     in
     let m = Lognic_sim.Netsim.run ~config doc.graph ~hw:(hardware_of doc) ~mix in
     match m.invariants with
@@ -390,17 +392,13 @@ let report_cmd =
       if reservoir < 1 then Error (`Msg "--reservoir must be >= 1") else Ok ()
     in
     let config =
-      {
-        Lognic_sim.Netsim.default_config with
-        duration;
-        warmup = duration /. 10.;
-        seed;
-        sample_interval = Some dt;
-        trace =
-          Option.map
-            (fun _ -> { Lognic_sim.Trace.reservoir })
-            trace_events;
-      }
+      let open Lognic_sim.Netsim.Config in
+      let base =
+        default |> with_horizon duration |> with_seed seed |> with_sampling dt
+      in
+      match trace_events with
+      | Some _ -> with_trace { Lognic_sim.Trace.reservoir } base
+      | None -> base
     in
     let* mix =
       match (doc.mix, rate, packet) with
@@ -555,7 +553,7 @@ let watch_cmd =
           let* rules = acc in
           match M.Slo.parse rule with
           | Ok r -> Ok (r :: rules)
-          | Error e -> Error (`Msg ("--slo " ^ e)))
+          | Error e -> Error (`Msg (Spec.error ~flag:"slo" ~src:rule e)))
         (Ok []) slo_rules
       |> Result.map List.rev
     in
@@ -629,15 +627,10 @@ let watch_cmd =
     in
     let profile = profile || profile_json <> None in
     let config =
-      {
-        Lognic_sim.Netsim.default_config with
-        duration;
-        warmup = duration /. 10.;
-        seed;
-        metrics =
-          Some
-            { M.interval = dt; slo; profile; on_snapshot = Some on_snapshot };
-      }
+      Lognic_sim.Netsim.Config.(
+        default |> with_horizon duration |> with_seed seed
+        |> with_metrics
+             { M.interval = dt; slo; profile; on_snapshot = Some on_snapshot })
     in
     let m = Lognic_sim.Netsim.run ~config doc.graph ~hw:(hardware_of doc) ~mix in
     Option.iter Out_channel.close stream_oc;
@@ -724,12 +717,8 @@ let explain_cmd =
     let ( let* ) = Result.bind in
     let* doc = load_document graph_path in
     let config =
-      {
-        Lognic_sim.Netsim.default_config with
-        duration;
-        warmup = duration /. 10.;
-        seed;
-      }
+      Lognic_sim.Netsim.Config.(
+        default |> with_horizon duration |> with_seed seed)
     in
     (* a graph carrying `class` lines explains the whole mix (per-class
        residual rows) unless the command line pins a single class *)
@@ -775,6 +764,107 @@ let explain_cmd =
           depths).")
     term
 
+(* tenants *)
+
+let tenants_cmd =
+  let tenant_grammar =
+    Spec.(grammar ~flag:"tenant"
+            [
+              field "NAME" Str; field "WEIGHT" Int;
+              field ~optional:true "SHARE" Float;
+              field ~optional:true "SLO" Float;
+            ])
+  in
+  let tenant_arg =
+    let doc =
+      "Declare tenant (VF) $(i,NAME) with stage-1 WRR scheduler weight \
+       $(i,WEIGHT), an optional relative offered-traffic share $(i,SHARE) \
+       (normalized across the set; default 1) and an optional p99 latency \
+       SLO $(i,SLO) in seconds (repeatable)."
+    in
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "tenant" ] ~docv:"NAME:WEIGHT[:SHARE[:SLO]]" ~doc)
+  in
+  let population_arg =
+    let doc =
+      "Shorthand for $(i,N) equal-weight, equal-share tenants named \
+       vf0000.. — the scale-test population. Exclusive with --tenant."
+    in
+    Arg.(value & opt (some int) None & info [ "tenants" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Also write the full tenant report as JSON (schema \
+               \"tenants\") to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+  in
+  let run graph_path rate packet queue_model duration seed tenant_specs
+      population json =
+    let ( let* ) = Result.bind in
+    let module T = Lognic_sim.Tenant in
+    let* doc = load_document graph_path in
+    let* traffic = resolve_traffic doc rate packet in
+    let* tenants =
+      match (tenant_specs, population) with
+      | [], None ->
+        Error
+          (`Msg "no tenants: pass --tenant (repeatable) or --tenants N")
+      | _ :: _, Some _ ->
+        Error (`Msg "--tenant and --tenants are exclusive")
+      | [], Some n -> (
+        match T.uniform n with
+        | s -> Ok s
+        | exception Invalid_argument m -> Error (`Msg m))
+      | specs, None -> (
+        let* parsed = parse_specs tenant_grammar specs in
+        match
+          T.set
+            (List.map
+               (fun v ->
+                 T.spec
+                   ~weight:(Spec.get_int v 1)
+                   ?share:(Spec.find_float v 2)
+                   ?slo_p99:(Spec.find_float v 3)
+                   (Spec.get_str v 0))
+               parsed)
+        with
+        | s -> Ok s
+        | exception Invalid_argument m -> Error (`Msg m))
+    in
+    let config =
+      Lognic_sim.Netsim.Config.(
+        default |> with_horizon duration |> with_seed seed)
+    in
+    let report =
+      Lognic_sim.Explain.run_tenants ~config ~queue_model doc.graph
+        ~hw:(hardware_of doc) ~traffic ~tenants
+    in
+    Fmt.pr "%a@." Lognic_sim.Explain.pp_tenants report;
+    Option.iter
+      (fun path ->
+        write_json path (Lognic_sim.Explain.tenants_to_json report);
+        Fmt.pr "tenants report written to %s@." path)
+      json;
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ graph_arg $ rate_arg $ packet_arg $ queue_model_arg
+       $ duration_arg $ seed_arg $ tenant_arg $ population_arg $ json_arg))
+  in
+  Cmd.v
+    (Cmd.info "tenants"
+       ~doc:
+         "Share the NIC between SR-IOV tenants: run one simulation under \
+          the two-stage weighted-round-robin arbiter with per-VF \
+          attribution, join it against the weighted multi-class M/M/c/N \
+          decomposition at the model's bottleneck, and report per-tenant \
+          throughput/latency residuals, SLO verdicts and \
+          fairness/isolation indices.")
+    term
+
 (* contention *)
 
 let contention_cmd =
@@ -812,30 +902,17 @@ let contention_cmd =
     let doc = "Also write the full contention report as JSON to $(docv)." in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
   in
-  let quantity_field name s =
-    match Lognic_dsl.Quantity.parse s with
-    | Ok v -> Ok v
-    | Error e -> Error (`Msg (Printf.sprintf "%s: %s" name e))
+  let resource_grammar =
+    Spec.(grammar ~flag:"resource"
+            [ field "NAME" Str; field "CAPACITY" Quantity ])
   in
-  let int_field name s =
-    match int_of_string_opt s with
-    | Some v -> Ok v
-    | None -> Error (`Msg (Printf.sprintf "%s: not an integer: %S" name s))
+  let demand_grammar =
+    Spec.(grammar ~flag:"class-demand"
+            [ field "CLASS" Int; field "RESOURCE" Str; field "VALUE" Quantity ])
   in
-  let parse_specs name specs parse =
-    let ( let* ) = Result.bind in
-    List.fold_left
-      (fun acc spec ->
-        let* acc = acc in
-        let* v =
-          match parse (String.split_on_char ':' spec) with
-          | Ok v -> Ok v
-          | Error (`Msg m) ->
-            Error (`Msg (Printf.sprintf "--%s %s: %s" name spec m))
-        in
-        Ok (v :: acc))
-      (Ok []) specs
-    |> Result.map List.rev
+  let interference_grammar =
+    Spec.(grammar ~flag:"interference"
+            [ field "VICTIM" Int; field "AGGRESSOR" Int; field "M" Quantity ])
   in
   let run graph_path rate packet queue_model duration seed resources demands
       interferences json =
@@ -850,28 +927,21 @@ let contention_cmd =
     in
     let n = List.length mix in
     let* resources =
-      parse_specs "resource" resources (function
-        | [ name; cap ] ->
-          let* cap = quantity_field "CAPACITY" cap in
-          Ok (name, cap)
-        | _ -> Error (`Msg "expected NAME:CAPACITY"))
+      parse_specs resource_grammar resources
+      |> Result.map
+           (List.map (fun v -> (Spec.get_str v 0, Spec.get_float v 1)))
     in
     let* demands =
-      parse_specs "class-demand" demands (function
-        | [ cls; resource; value ] ->
-          let* cls = int_field "CLASS" cls in
-          let* value = quantity_field "VALUE" value in
-          Ok (cls, resource, value)
-        | _ -> Error (`Msg "expected CLASS:RESOURCE:VALUE"))
+      parse_specs demand_grammar demands
+      |> Result.map
+           (List.map (fun v ->
+                (Spec.get_int v 0, Spec.get_str v 1, Spec.get_float v 2)))
     in
     let* interferences =
-      parse_specs "interference" interferences (function
-        | [ victim; aggressor; m ] ->
-          let* victim = int_field "VICTIM" victim in
-          let* aggressor = int_field "AGGRESSOR" aggressor in
-          let* m = quantity_field "M" m in
-          Ok (victim, aggressor, m)
-        | _ -> Error (`Msg "expected VICTIM:AGGRESSOR:M"))
+      parse_specs interference_grammar interferences
+      |> Result.map
+           (List.map (fun v ->
+                (Spec.get_int v 0, Spec.get_int v 1, Spec.get_float v 2)))
     in
     let* () =
       let bad =
@@ -917,12 +987,8 @@ let contention_cmd =
           (Lognic.Extensions.contention ~demands:demand_vectors ~interference)
     in
     let config =
-      {
-        Lognic_sim.Netsim.default_config with
-        duration;
-        warmup = duration /. 10.;
-        seed;
-      }
+      Lognic_sim.Netsim.Config.(
+        default |> with_horizon duration |> with_seed seed)
     in
     let* report =
       match
@@ -1009,32 +1075,47 @@ let faults_cmd =
     let doc = "Also write the full faults report as JSON to $(docv)." in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
   in
-  let float_field name s =
-    match float_of_string_opt s with
-    | Some v -> Ok v
-    | None -> Error (`Msg (Printf.sprintf "%s: not a number: %S" name s))
-  in
-  let int_field name s =
-    match int_of_string_opt s with
-    | Some v -> Ok v
-    | None -> Error (`Msg (Printf.sprintf "%s: not an integer: %S" name s))
-  in
-  let parse_specs name specs parse =
+  (* The fault constructors validate their arguments (ordering, ranges)
+     with Invalid_argument; surface those through the same quoted-source
+     error shape as the field-level parse. *)
+  let parse_faults grammar specs mk =
     let ( let* ) = Result.bind in
+    let* parsed = parse_specs grammar specs in
     List.fold_left
-      (fun acc spec ->
+      (fun acc (src, v) ->
         let* acc = acc in
-        let* ev =
-          match parse (String.split_on_char ':' spec) with
-          | exception Invalid_argument m ->
-            Error (`Msg (Printf.sprintf "--%s %s: %s" name spec m))
-          | Ok ev -> Ok ev
-          | Error (`Msg m) ->
-            Error (`Msg (Printf.sprintf "--%s %s: %s" name spec m))
-        in
-        Ok (ev :: acc))
-      (Ok []) specs
+        match mk v with
+        | ev -> Ok (ev :: acc)
+        | exception Invalid_argument m ->
+          Error (`Msg (Spec.error ~flag:(Spec.flag grammar) ~src m)))
+      (Ok [])
+      (List.combine specs parsed)
     |> Result.map List.rev
+  in
+  let engine_down_grammar =
+    Spec.(grammar ~flag:"engine-down"
+            [
+              field "VERTEX" Str; field "N" Int; field "START" Float;
+              field "STOP" Float;
+            ])
+  in
+  let degrade_grammar =
+    Spec.(grammar ~flag:"degrade"
+            [
+              field "MEDIUM" Str; field "FACTOR" Float; field "START" Float;
+              field "STOP" Float;
+            ])
+  in
+  let queue_shrink_grammar =
+    Spec.(grammar ~flag:"queue-shrink"
+            [
+              field "VERTEX" Str; field "CAP" Int; field "START" Float;
+              field "STOP" Float;
+            ])
+  in
+  let drop_burst_grammar =
+    Spec.(grammar ~flag:"drop-burst"
+            [ field "P" Float; field "START" Float; field "STOP" Float ])
   in
   let run graph_path rate packet queue_model duration seed engine_downs
       degrades queue_shrinks drop_bursts runs jobs json =
@@ -1043,52 +1124,34 @@ let faults_cmd =
     let* doc = load_document graph_path in
     let* traffic = resolve_traffic doc rate packet in
     let* engine_downs =
-      parse_specs "engine-down" engine_downs (function
-        | [ vertex; n; start; stop ] ->
-          let* n = int_field "N" n in
-          let* start = float_field "START" start in
-          let* stop = float_field "STOP" stop in
-          Ok (F.engine_down ~vertex ~engines:n ~start ~stop)
-        | _ -> Error (`Msg "expected VERTEX:N:START:STOP"))
+      parse_faults engine_down_grammar engine_downs (fun v ->
+          F.engine_down ~vertex:(Spec.get_str v 0) ~engines:(Spec.get_int v 1)
+            ~start:(Spec.get_float v 2) ~stop:(Spec.get_float v 3))
     in
     let* degrades =
-      parse_specs "degrade" degrades (function
-        | [ medium; factor; start; stop ] ->
-          let* factor = float_field "FACTOR" factor in
-          let* start = float_field "START" start in
-          let* stop = float_field "STOP" stop in
-          Ok (F.medium_degraded ~medium ~factor ~start ~stop)
-        | _ -> Error (`Msg "expected MEDIUM:FACTOR:START:STOP"))
+      parse_faults degrade_grammar degrades (fun v ->
+          F.medium_degraded ~medium:(Spec.get_str v 0)
+            ~factor:(Spec.get_float v 1) ~start:(Spec.get_float v 2)
+            ~stop:(Spec.get_float v 3))
     in
     let* queue_shrinks =
-      parse_specs "queue-shrink" queue_shrinks (function
-        | [ vertex; cap; start; stop ] ->
-          let* capacity = int_field "CAP" cap in
-          let* start = float_field "START" start in
-          let* stop = float_field "STOP" stop in
-          Ok (F.queue_shrunk ~vertex ~capacity ~start ~stop)
-        | _ -> Error (`Msg "expected VERTEX:CAP:START:STOP"))
+      parse_faults queue_shrink_grammar queue_shrinks (fun v ->
+          F.queue_shrunk ~vertex:(Spec.get_str v 0)
+            ~capacity:(Spec.get_int v 1) ~start:(Spec.get_float v 2)
+            ~stop:(Spec.get_float v 3))
     in
     let* drop_bursts =
-      parse_specs "drop-burst" drop_bursts (function
-        | [ p; start; stop ] ->
-          let* probability = float_field "P" p in
-          let* start = float_field "START" start in
-          let* stop = float_field "STOP" stop in
-          Ok (F.drop_burst ~probability ~start ~stop)
-        | _ -> Error (`Msg "expected P:START:STOP"))
+      parse_faults drop_burst_grammar drop_bursts (fun v ->
+          F.drop_burst ~probability:(Spec.get_float v 0)
+            ~start:(Spec.get_float v 1) ~stop:(Spec.get_float v 2))
     in
     let plan = engine_downs @ degrades @ queue_shrinks @ drop_bursts in
     let* () =
       if runs < 1 then Error (`Msg "--runs must be >= 1") else Ok ()
     in
     let config =
-      {
-        Lognic_sim.Netsim.default_config with
-        duration;
-        warmup = duration /. 10.;
-        seed;
-      }
+      Lognic_sim.Netsim.Config.(
+        default |> with_horizon duration |> with_seed seed)
     in
     let* report =
       match
@@ -1190,19 +1253,21 @@ let optimize_cmd =
           Ok (Lognic.Optimizer.Out_split id :: acc))
         (Ok []) splits
     in
+    let queue_grammar =
+      Spec.(grammar ~flag:"queue"
+              [ field "NAME" Str; field "LO" Int; field "HI" Int ])
+    in
+    let* queue_specs = parse_specs queue_grammar queues in
     let* queue_knobs =
       List.fold_left
-        (fun acc spec ->
+        (fun acc v ->
           let* acc = acc in
-          match String.split_on_char ':' spec with
-          | [ name; lo; hi ] -> (
-            let* id = resolve name in
-            match (int_of_string_opt lo, int_of_string_opt hi) with
-            | Some lo, Some hi ->
-              Ok (Lognic.Optimizer.Queue_capacity (id, lo, hi) :: acc)
-            | _ -> Error (`Msg (Printf.sprintf "bad queue range in %S" spec)))
-          | _ -> Error (`Msg (Printf.sprintf "expected NAME:LO:HI, got %S" spec)))
-        (Ok []) queues
+          let* id = resolve (Spec.get_str v 0) in
+          Ok
+            (Lognic.Optimizer.Queue_capacity
+               (id, Spec.get_int v 1, Spec.get_int v 2)
+            :: acc))
+        (Ok []) queue_specs
     in
     let knobs = split_knobs @ queue_knobs in
     let* () =
@@ -1370,8 +1435,8 @@ let () =
     Cmd.group info
       [
         estimate_cmd; sweep_cmd; simulate_cmd; check_cmd; report_cmd; watch_cmd;
-        explain_cmd; contention_cmd; faults_cmd; validate_cmd; optimize_cmd;
-        sensitivity_cmd; roofline_cmd; params_cmd; figures_cmd;
+        explain_cmd; tenants_cmd; contention_cmd; faults_cmd; validate_cmd;
+        optimize_cmd; sensitivity_cmd; roofline_cmd; params_cmd; figures_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -256,7 +256,7 @@ let ext_tail ?(speed = Full) ppf =
          let m =
            Lognic_sim.Netsim.run_single
              ~config:
-               { Lognic_sim.Netsim.default_config with duration; warmup = duration /. 10. }
+               Lognic_sim.Netsim.Config.(default |> with_horizon duration)
              g ~hw:validation_hw ~traffic
          in
          (load, q, m.summary))
@@ -383,7 +383,7 @@ let ext_observability ?(speed = Full) ppf =
          let m =
            Lognic_sim.Netsim.run_single
              ~config:
-               { Lognic_sim.Netsim.default_config with duration; warmup = duration /. 10. }
+               Lognic_sim.Netsim.Config.(default |> with_horizon duration)
              g ~hw:validation_hw ~traffic
          in
          (load, m))
@@ -392,12 +392,8 @@ let ext_observability ?(speed = Full) ppf =
   let m =
     Lognic_sim.Netsim.run_single
       ~config:
-        {
-          Lognic_sim.Netsim.default_config with
-          duration;
-          warmup = duration /. 10.;
-          sample_interval = Some (duration /. 100.);
-        }
+        Lognic_sim.Netsim.Config.(
+          default |> with_horizon duration |> with_sampling (duration /. 100.))
       g ~hw:validation_hw
       ~traffic:(Lognic.Traffic.make ~rate:(1.5 *. 4. *. U.gbps) ~packet_size:U.mtu)
   in

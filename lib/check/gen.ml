@@ -231,6 +231,32 @@ let fault_plan ~duration st =
         ~stop:(duration /. 2.);
     ]
 
+(* ---- tenants --------------------------------------------------------- *)
+
+let tenant_names =
+  [| "alpha"; "bravo"; "charlie"; "delta"; "echo"; "foxtrot"; "golf"; "hotel" |]
+
+(* 2-6 distinct tenants with small random weights/shares and an
+   occasional SLO, returned in a {e random} order — never name-sorted —
+   so order-invariance properties exercise the canonicalization in
+   [Tenant.set] rather than a pre-sorted fixed point. Shares come from
+   the short-decimal pool for the same bit-exactness reason as every
+   other float here. *)
+let tenant_specs st =
+  let keyed =
+    Array.map (fun name -> (QGen.int_range 0 1_000_000 st, name)) tenant_names
+  in
+  Array.sort compare keyed;
+  let n = QGen.int_range 2 6 st in
+  List.init n (fun i ->
+      let _, name = keyed.(i) in
+      let weight = QGen.int_range 1 8 st in
+      let share = QGen.oneofl [ 0.5; 1.; 2.; 4. ] st in
+      let slo_p99 =
+        if QGen.bool st then Some (QGen.oneofl [ 1e-3; 1e-2 ] st) else None
+      in
+      Lognic_sim.Tenant.spec ~weight ~share ?slo_p99 name)
+
 (* ---- DSL documents --------------------------------------------------- *)
 
 let document st =

@@ -23,15 +23,15 @@ module U = Lognic.Units
 let config ?(seed = 7) ?(duration = 2e-3) ?sample_interval
     ?(service_dist = Sim.Ip_node.Exponential)
     ?(arrival = Sim.Traffic_gen.Poisson) () =
-  {
-    Sim.Netsim.default_config with
-    seed;
-    duration;
-    warmup = duration /. 10.;
-    service_dist;
-    arrival;
-    sample_interval;
-  }
+  let c =
+    Sim.Netsim.Config.(
+      default |> with_seed seed |> with_horizon duration
+      |> with_service_dist service_dist
+      |> with_arrival arrival)
+  in
+  match sample_interval with
+  | None -> c
+  | Some dt -> Sim.Netsim.Config.with_sampling dt c
 
 let md5_graph () =
   D.Liquidio.inline_accel_graph ~spec:D.Accel_spec.md5 ~packet_size:U.mtu ()
@@ -104,7 +104,6 @@ let metrics_scenarios () =
       fun () ->
         let buf = Buffer.create 65536 in
         let metrics =
-          Some
             {
               Sim.Metrics.default_config with
               interval = 1e-4;
@@ -120,11 +119,41 @@ let metrics_scenarios () =
                     Buffer.add_char buf '\n');
             }
         in
-        let config = { (config ~seed:21 ()) with Sim.Netsim.metrics } in
+        let config = Sim.Netsim.Config.with_metrics metrics (config ~seed:21 ()) in
         ignore
           (Sim.Netsim.run_single ~config (md5_graph ())
              ~hw:D.Liquidio.hardware ~traffic:md5_traffic);
         Buffer.contents buf );
+  ]
+
+(* Pinned multi-tenant run: 16 VFs — three differentiated tenants
+   (weights, skewed shares, SLOs) plus a uniform background population —
+   under moderate md5-workload load, captured as the versioned
+   [kind:"tenants"] report JSON.  One fixture pins the hierarchical
+   two-stage arbiter's grant order, the tenant rng stream layout, the
+   per-VF attribution windowing, the fairness indices and the
+   per-tenant analytic decomposition in a single byte comparison. *)
+let tenant_scenarios () =
+  [
+    ( "tenants-md5-16vf",
+      fun () ->
+        let tenants =
+          Sim.Tenant.set
+            (Sim.Tenant.spec ~weight:8 ~share:4. ~slo_p99:1e-3 "gold"
+            :: Sim.Tenant.spec ~weight:4 ~share:2. ~slo_p99:5e-3 "silver"
+            :: Sim.Tenant.spec ~weight:2 "bronze"
+            :: List.init 13 (fun i ->
+                   Sim.Tenant.spec (Printf.sprintf "vf%02d" i)))
+        in
+        let report =
+          Sim.Explain.run_tenants
+            ~config:(config ~seed:13 ())
+            (md5_graph ()) ~hw:D.Liquidio.hardware
+            ~traffic:
+              (T.make ~rate:(D.Liquidio.line_rate /. 2.) ~packet_size:U.mtu)
+            ~tenants
+        in
+        Sim.Telemetry.Json.to_string (Sim.Explain.tenants_to_json report) );
   ]
 
 let contention_scenarios () =

@@ -26,13 +26,10 @@ let arb ?print gen = QCheck.make ?print gen
    time and the sim's mean latency/throughput must agree sharply with
    the no-queueing closed form. *)
 let low_load_config =
-  {
-    Sim.Netsim.default_config with
-    duration = 0.01;
-    warmup = 1e-3;
-    service_dist = Sim.Ip_node.Deterministic;
-    arrival = Sim.Traffic_gen.Paced;
-  }
+  Sim.Netsim.Config.(
+    default |> with_horizon 0.01
+    |> with_service_dist Sim.Ip_node.Deterministic
+    |> with_arrival Sim.Traffic_gen.Paced)
 
 let model_vs_sim_latency ~count =
   QCheck.Test.make ~count ~name:"model-vs-sim: low-load latency agrees"
@@ -76,7 +73,7 @@ let jobs_bit_identical ~count =
     (arb Gen.wild ~print:(fun s -> s.Gen.label))
     (fun sc ->
       let config =
-        { Sim.Netsim.default_config with duration = 2e-3; warmup = 2e-4 }
+        Sim.Netsim.Config.(default |> with_horizon 2e-3)
       in
       let spec =
         Sim.Netsim.Run.make ~config sc.Gen.graph ~hw:sc.Gen.hw ~mix:sc.Gen.mix
@@ -158,12 +155,8 @@ let littles_law_vs_sim ~count =
         Lognic.Traffic.make ~rate:(rho *. throughput) ~packet_size:size
       in
       let config =
-        {
-          Sim.Netsim.default_config with
-          duration = 0.02;
-          warmup = 2e-3;
-          sample_interval = Some 1e-5;
-        }
+        Sim.Netsim.Config.(
+          default |> with_horizon 0.02 |> with_sampling 1e-5)
       in
       let m = Sim.Netsim.execute (Sim.Netsim.Run.single ~config graph ~hw ~traffic) in
       let summary = m.Sim.Netsim.summary in
@@ -203,7 +196,7 @@ let mm1n_vs_sim_sojourn ~count =
         Lognic.Traffic.make ~rate:(rho *. throughput) ~packet_size:size
       in
       let config =
-        { Sim.Netsim.default_config with duration = 0.02; warmup = 2e-3 }
+        Sim.Netsim.Config.(default |> with_horizon 0.02)
       in
       let m = Sim.Netsim.execute (Sim.Netsim.Run.single ~config graph ~hw ~traffic) in
       let mu = throughput /. size in
@@ -219,7 +212,7 @@ let run_wrapper_equivalence ~count =
     (arb Gen.wild ~print:(fun s -> s.Gen.label))
     (fun sc ->
       let config =
-        { Sim.Netsim.default_config with duration = 2e-3; warmup = 2e-4 }
+        Sim.Netsim.Config.(default |> with_horizon 2e-3)
       in
       let via_wrapper =
         Sim.Netsim.run ~config sc.Gen.graph ~hw:sc.Gen.hw ~mix:sc.Gen.mix
@@ -251,14 +244,10 @@ let invariants_hold_everywhere ~count =
          Printf.sprintf "%s (%d fault(s))" s.Gen.label (List.length faults)))
     (fun (sc, (arrival, service_dist), faults) ->
       let config =
-        {
-          Sim.Netsim.default_config with
-          duration = 2e-3;
-          warmup = 2e-4;
-          arrival;
-          service_dist;
-          check_invariants = true;
-        }
+        Sim.Netsim.Config.(
+          default |> with_horizon 2e-3 |> with_arrival arrival
+          |> with_service_dist service_dist
+          |> with_invariants true)
       in
       let spec =
         Sim.Netsim.Run.make ~config ~faults sc.Gen.graph ~hw:sc.Gen.hw
@@ -366,7 +355,7 @@ let mix_identical_classes_collapse ~count =
       (* sim side: identical event stream, so the stripped measurement
          JSON is byte-identical *)
       let config =
-        { Sim.Netsim.default_config with duration = 2e-3; warmup = 2e-4 }
+        Sim.Netsim.Config.(default |> with_horizon 2e-3)
       in
       let json mix =
         Sim.Telemetry.Json.to_string
@@ -482,6 +471,170 @@ let mix_low_load_latency ~count =
                ~what:(Printf.sprintf "class %d mean latency" klass)
                lat.Lognic.Latency.mean sim_mean)
         model.Lognic.Extensions.classes per_class)
+
+(* ---- multi-tenant SR-IOV --------------------------------------------- *)
+
+module T = Sim.Tenant
+
+let tenant_print specs =
+  String.concat ","
+    (List.map
+       (fun (s : T.spec) ->
+         Printf.sprintf "%s:%d:%g%s" s.T.name s.T.weight s.T.share
+           (match s.T.slo_p99 with
+           | None -> ""
+           | Some x -> Printf.sprintf ":%g" x))
+       specs)
+
+let scenario_and_tenants =
+  arb
+    (QCheck.Gen.pair Gen.wild Gen.tenant_specs)
+    ~print:(fun (sc, specs) -> sc.Gen.label ^ " [" ^ tenant_print specs ^ "]")
+
+let tenant_config tset =
+  Sim.Netsim.Config.(
+    default |> with_horizon ~warmup:2e-4 2e-3 |> with_tenants tset)
+
+let tenant_measure sc config =
+  Sim.Netsim.execute
+    (Sim.Netsim.Run.make ~config sc.Gen.graph ~hw:sc.Gen.hw ~mix:sc.Gen.mix)
+
+let measurement_json m =
+  Sim.Telemetry.Json.to_string (Sim.Netsim.measurement_to_json m)
+
+let tenants_json m =
+  match m.Sim.Netsim.tenants with
+  | None -> "ABSENT"
+  | Some stats -> Sim.Telemetry.Json.to_string (T.stats_to_json stats)
+
+(* [Tenant.set] canonicalizes by name, so two permutations of the same
+   tenant list must configure byte-identical runs — measurement JSON
+   and per-tenant stats JSON both. *)
+let tenant_order_invariant ~count =
+  QCheck.Test.make ~count ~name:"tenants: spec order never changes results"
+    scenario_and_tenants
+    (fun (sc, specs) ->
+      let run specs =
+        let m = tenant_measure sc (tenant_config (T.set specs)) in
+        (measurement_json m, tenants_json m)
+      in
+      run specs = run (List.rev specs)
+      || QCheck.Test.fail_reportf "permuted tenant specs changed the run")
+
+(* One tenant means no arbitration decisions to make: the run must be
+   byte-identical to the untenanted baseline (the tenanted scheduler
+   and the tenant rng split both switch on at two tenants). *)
+let tenant_single_identity ~count =
+  QCheck.Test.make ~count
+    ~name:"tenants: single tenant is byte-identical to untenanted"
+    scenario_and_tenants
+    (fun (sc, specs) ->
+      let solo = tenant_config (T.set [ List.hd specs ]) in
+      let bare = Sim.Netsim.Config.(default |> with_horizon ~warmup:2e-4 2e-3) in
+      measurement_json (tenant_measure sc solo)
+      = measurement_json (tenant_measure sc bare)
+      || QCheck.Test.fail_reportf
+           "single-tenant measurement JSON diverged from the untenanted run")
+
+(* Saturate one node with equal offered shares and random weights:
+   every tenant stays backlogged, so the stage-1 WRR must deliver
+   packets in proportion to weight, and the weighted max-min index must
+   sit near 1. Delivery is counted by birth time, so the window must
+   dwarf the slowest tenant's queue sojourn (its last-born in-window
+   packets complete after the horizon otherwise): 16 queued packets at
+   the minimum weighted rate ≈ 0.8 ms against a 19 ms window keeps
+   that truncation bias under the tolerance. *)
+let tenant_wrr_fairness ~count =
+  QCheck.Test.make ~count
+    ~name:"tenants: saturated WRR delivers weight-proportional shares"
+    (arb Gen.tenant_specs ~print:tenant_print)
+    (fun specs ->
+      let specs =
+        List.map (fun (s : T.spec) -> T.spec ~weight:s.T.weight s.T.name) specs
+      in
+      let tset = T.set specs in
+      let graph =
+        Gen.single_node_graph ~parallelism:1 ~queue_capacity:16 ~throughput:1e9
+      in
+      let hw = Lognic.Params.hardware ~bw_interface:1e12 ~bw_memory:1e12 in
+      let traffic = Lognic.Traffic.make ~rate:3e9 ~packet_size:1000. in
+      let config =
+        Sim.Netsim.Config.(
+          default |> with_horizon ~warmup:1e-3 2e-2 |> with_tenants tset)
+      in
+      let m = Sim.Netsim.run_single ~config graph ~hw ~traffic in
+      match m.Sim.Netsim.tenants with
+      | None -> QCheck.Test.fail_reportf "tenanted run reported no tenant stats"
+      | Some stats ->
+        let per_weight =
+          Array.map
+            (fun (r : T.row) ->
+              float_of_int r.T.r_delivered /. float_of_int r.T.r_weight)
+            stats.T.rows
+        in
+        let mx = Array.fold_left Float.max 0. per_weight in
+        let mn = Array.fold_left Float.min infinity per_weight in
+        let spread = (mx -. mn) /. mx in
+        let maxmin = stats.T.t_fairness.T.maxmin_ratio in
+        (spread <= 0.15 && maxmin >= 0.85)
+        || QCheck.Test.fail_reportf
+             "unfair at saturation: weight-normalized delivery spread %.1f%%, \
+              max-min ratio %.3f"
+             (spread *. 100.) maxmin)
+
+(* The tenanted scheduler and attribution must preserve the determinism
+   contract that domain-parallel replication relies on. *)
+let tenant_jobs_bit_identical ~count =
+  QCheck.Test.make ~count
+    ~name:"tenants: --jobs 1 and --jobs 4 are bit-identical"
+    scenario_and_tenants
+    (fun (sc, specs) ->
+      let spec =
+        Sim.Netsim.Run.make
+          ~config:(tenant_config (T.set specs))
+          sc.Gen.graph ~hw:sc.Gen.hw ~mix:sc.Gen.mix
+      in
+      let a = Sim.Parallel.execute_replicated ~jobs:1 ~runs:3 spec in
+      let b = Sim.Parallel.execute_replicated ~jobs:4 ~runs:3 spec in
+      a = b
+      || QCheck.Test.fail_reportf
+           "tenanted replicated results diverge across jobs")
+
+(* ---- colon-spec grammar round trip ----------------------------------- *)
+
+(* [Spec.render] documents itself as the inverse of [Spec.parse]; check
+   it over the tenant grammar's shape (required Str/Int plus optional
+   Float tail) with every optional-suffix length. *)
+let spec_round_trip ~count =
+  let module Sp = Sim.Spec in
+  let grammar =
+    Sp.grammar ~flag:"tenant"
+      [
+        Sp.field "NAME" Sp.Str;
+        Sp.field "WEIGHT" Sp.Int;
+        Sp.field ~optional:true "SHARE" Sp.Float;
+        Sp.field ~optional:true "SLO" Sp.Float;
+      ]
+  in
+  let values_gen st =
+    let name = QCheck.Gen.oneofl (Array.to_list Gen.tenant_names) st in
+    let weight = QCheck.Gen.int_range 1 99 st in
+    let fl () = QCheck.Gen.oneofl [ 0.5; 1.; 2.; 4.; 0.125; 1e-3 ] st in
+    match QCheck.Gen.int_range 0 2 st with
+    | 0 -> [| Sp.S name; Sp.I weight |]
+    | 1 -> [| Sp.S name; Sp.I weight; Sp.F (fl ()) |]
+    | _ -> [| Sp.S name; Sp.I weight; Sp.F (fl ()); Sp.F (fl ()) |]
+  in
+  QCheck.Test.make ~count ~name:"spec: render . parse = id"
+    (arb values_gen ~print:(fun v -> Sp.render grammar v))
+    (fun v ->
+      let s = Sp.render grammar v in
+      match Sp.parse grammar s with
+      | Error e -> QCheck.Test.fail_reportf "rendered spec %S rejected: %s" s e
+      | Ok v' ->
+        v = v'
+        || QCheck.Test.fail_reportf "round trip changed %S to %S" s
+             (Sp.render grammar v'))
 
 (* ---- suite ----------------------------------------------------------- *)
 
@@ -608,4 +761,9 @@ let suite ?(scale = 1.) () =
     mix_permutation_invariant ~count:(n 100);
     contention_monotonic ~count:(n 100);
     mix_low_load_latency ~count:(n 6);
+    tenant_order_invariant ~count:(n 6);
+    tenant_single_identity ~count:(n 6);
+    tenant_wrr_fairness ~count:(n 6);
+    tenant_jobs_bit_identical ~count:(n 4);
+    spec_round_trip ~count:(n 300);
   ]

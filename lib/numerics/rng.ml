@@ -17,5 +17,7 @@ let[@inline] int t bound =
   assert (bound > 0);
   Random.State.int t bound
 
+let[@inline] bits t = Random.State.bits t
+
 let bool t = Random.State.bool t
 let copy t = Random.State.copy t

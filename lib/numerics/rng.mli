@@ -23,6 +23,11 @@ val int : t -> int -> int
 (** [int t bound] draws uniformly from [\[0, bound)]. [bound] must be
     positive. *)
 
+val bits : t -> int
+(** [bits t] draws 30 uniform bits — the allocation-free draw for hot
+    paths where [float]'s boxed intermediate would show up in the
+    per-event allocation budget. *)
+
 val bool : t -> bool
 
 val copy : t -> t

@@ -1,0 +1,64 @@
+(** Weighted multi-class M/M/c/N service — the analytic counterpart of
+    the simulator's hierarchical (tenant → queue) weighted-round-robin
+    dispatcher.
+
+    A WRR scheduler over a shared engine pool gives each backlogged
+    class a service share proportional to its weight, while classes
+    that demand less than their entitlement return the surplus to the
+    others (it is work conserving). The classical fluid limit of that
+    discipline is {e weighted max-min fairness}: allocations are
+    computed by water-filling ({!weighted_shares}).
+
+    For per-class queueing we use the standard reduced-service-rate
+    decomposition: class [i] with allocated capacity fraction [phi_i]
+    of a [c]-server pool behaves as its own M/M/c/N system whose
+    per-server rate is [phi_i * mu] ({!evaluate}). This is exact for
+    the fluid share and a first-order approximation for the queueing
+    terms — the same compromise LogNIC's Eq 12 makes when collapsing an
+    IP's queues into one virtual shared queue. *)
+
+val weighted_shares :
+  capacity:float -> weights:float array -> demands:float array -> float array
+(** [weighted_shares ~capacity ~weights ~demands] is the weighted
+    max-min fair allocation of [capacity] across the classes:
+    repeatedly grant every unsatisfied class its weight-proportional
+    share of the remaining capacity, cap classes at their demand, and
+    redistribute the surplus. Any capacity left once every demand is
+    met (the underloaded case) is handed back in weight proportion, so
+    each class sees its guaranteed share {e plus} its share of the idle
+    headroom — the work-conserving WRR behaviour.
+
+    The result sums to [min capacity (sum demands)] plus the
+    distributed headroom, and every class receives at least
+    [min demand (capacity * w_i / sum w)] (its guarantee). Raises
+    [Invalid_argument] on mismatched lengths, an empty class set, a
+    non-positive capacity or weight, or a negative demand. *)
+
+(** Per-class steady-state results of the reduced-rate decomposition. *)
+type class_result = {
+  share : float;
+      (** allocated capacity fraction [phi_i] of the pool (sums to ≤ 1,
+          = 1 when any class is backlogged) *)
+  rho : float;  (** class utilization of its allocation, λ_i/(φ_i·c·μ) *)
+  blocking : float;  (** P(arrival finds the class's system full) *)
+  sojourn : float;  (** mean time in system W_i, seconds *)
+  waiting : float;  (** mean queueing delay Q_i = W_i − 1/(φ_i·μ) *)
+}
+
+val evaluate :
+  lambda:float array ->
+  mu:float ->
+  servers:int ->
+  capacity:int ->
+  weights:float array ->
+  class_result array
+(** [evaluate ~lambda ~mu ~servers ~capacity ~weights] decomposes a
+    [servers]-engine pool (per-server rate [mu], at most [capacity]
+    requests in system per class) shared under WRR [weights] among
+    classes with Poisson arrival rates [lambda]: shares come from
+    {!weighted_shares} over the per-class demands [λ_i/(c·μ)], and each
+    class is then evaluated as M/M/c/N with per-server rate
+    [share_i · mu]. A class with [λ_i = 0] reports its idle share,
+    zero blocking and the pure service time. Raises [Invalid_argument]
+    on mismatched array lengths, an empty class set, non-positive
+    [mu]/[servers]/[capacity]/weights, or a negative rate. *)

@@ -571,3 +571,244 @@ let pp_mix ppf t =
     t.mix_rows
 
 let mix_to_text t = Format.asprintf "%a" pp_mix t
+
+(* ---- tenants -------------------------------------------------------- *)
+
+type tenant_row = {
+  tn_name : string;
+  tn_weight : int;
+  tn_share : float;
+  tn_model_throughput : float;
+  tn_sim_throughput : float;
+  tn_throughput_error : float;
+  tn_model_latency : float;
+  tn_sim_latency : float option;
+  tn_latency_error : float option;
+  tn_model_blocking : float option;
+  tn_slo_p99 : float option;
+  tn_slo_ok : bool option;
+}
+
+type tenant_report = {
+  tr_stats : Tenant.stats;
+  tr_measurement : Netsim.measurement;
+  tr_rows : tenant_row list;
+  tr_model_bottleneck : string;
+  tr_differentiated : bool;
+  tr_model_throughput : float;
+  tr_sim_throughput : float;
+  tr_throughput_error : float;
+  tr_model_latency : float;
+  tr_sim_latency : float;
+  tr_latency_error : float;
+  tr_fairness : Tenant.fairness;
+}
+
+let run_tenants ?config ?queue_model g ~hw ~traffic ~tenants =
+  let model = Lognic.Estimate.run ?queue_model g ~hw ~traffic in
+  let config = Option.value config ~default:Netsim.default_config in
+  let config = { config with Netsim.tenants = Some tenants } in
+  let measurement = Netsim.run_single ~config g ~hw ~traffic in
+  let stats =
+    match measurement.Netsim.tenants with
+    | Some s -> s
+    | None -> assert false (* config carried the tenant set *)
+  in
+  let tp = model.Lognic.Estimate.throughput in
+  let lat = model.Lognic.Estimate.latency in
+  let attained = tp.Lognic.Throughput.attained in
+  let agg_latency = lat.Lognic.Latency.mean in
+  let shares = Tenant.shares tenants in
+  let weights = Array.map float_of_int (Tenant.weights tenants) in
+  let n = Tenant.count tenants in
+  (* The per-tenant analytic decomposition needs a vertex to decompose:
+     when the model's bottleneck is an IP vertex, the shared engine
+     pool there is evaluated as a weighted multi-class M/M/c/N
+     ({!Lognic_queueing.Wmmcn}) with each tenant's arrival stream; any
+     other bound (interface / memory / link / offered-load) serves
+     tenants indistinguishably, so the model predicts no per-tenant
+     differentiation and every tenant gets the aggregate prediction
+     scaled by its share. *)
+  let per_tenant =
+    match tp.Lognic.Throughput.bottleneck with
+    | Lognic.Throughput.Vertex_bound vid ->
+      let v = G.vertex g vid in
+      let cap =
+        match List.assoc_opt vid tp.Lognic.Throughput.vertex_caps with
+        | Some c -> c
+        | None -> 0.
+      in
+      if cap <= 0. || cap = infinity then None
+      else begin
+        let size = traffic.Lognic.Traffic.packet_size in
+        let servers = v.G.service.G.parallelism in
+        let mu = cap /. (float_of_int servers *. size) in
+        let lambda_total = traffic.Lognic.Traffic.rate /. size in
+        let lambda = Array.map (fun s -> s *. lambda_total) shares in
+        let capacity = servers + v.G.service.G.queue_capacity in
+        let results =
+          Lognic_queueing.Wmmcn.evaluate ~lambda ~mu ~servers ~capacity
+            ~weights
+        in
+        (* the aggregate model's wait at that same vertex, replaced by
+           the tenant-specific Wmmcn wait in the per-tenant latency *)
+        let agg_wait =
+          match
+            List.find_opt
+              (fun (t : Lognic.Latency.vertex_terms) -> t.vid = vid)
+              lat.Lognic.Latency.per_vertex
+          with
+          | Some t -> t.Lognic.Latency.queueing
+          | None -> 0.
+        in
+        Some
+          (Array.init n (fun i ->
+               let r = results.(i) in
+               let throughput =
+                 lambda.(i) *. (1. -. r.Lognic_queueing.Wmmcn.blocking) *. size
+               in
+               let latency =
+                 Float.max 0.
+                   (agg_latency -. agg_wait
+                   +. r.Lognic_queueing.Wmmcn.waiting)
+               in
+               (throughput, latency, Some r.Lognic_queueing.Wmmcn.blocking)))
+      end
+    | _ -> None
+  in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i (r : Tenant.row) ->
+           let model_throughput, model_latency, model_blocking =
+             match per_tenant with
+             | Some a -> a.(i)
+             | None -> (shares.(i) *. attained, agg_latency, None)
+           in
+           let sim_latency =
+             if r.Tenant.r_delivered > 0 then Some r.Tenant.r_mean_latency
+             else None
+           in
+           {
+             tn_name = r.Tenant.r_name;
+             tn_weight = r.Tenant.r_weight;
+             tn_share = r.Tenant.r_share;
+             tn_model_throughput = model_throughput;
+             tn_sim_throughput = r.Tenant.r_throughput;
+             tn_throughput_error =
+               relative_error ~model:model_throughput
+                 ~sim:r.Tenant.r_throughput;
+             tn_model_latency = model_latency;
+             tn_sim_latency = sim_latency;
+             tn_latency_error =
+               Option.map
+                 (fun sim -> relative_error ~model:model_latency ~sim)
+                 sim_latency;
+             tn_model_blocking = model_blocking;
+             tn_slo_p99 = r.Tenant.r_slo_p99;
+             tn_slo_ok = r.Tenant.r_slo_ok;
+           })
+         stats.Tenant.rows)
+  in
+  let sim_throughput = measurement.Netsim.summary.Telemetry.throughput in
+  let sim_latency = measurement.Netsim.summary.Telemetry.mean_latency in
+  {
+    tr_stats = stats;
+    tr_measurement = measurement;
+    tr_rows = rows;
+    tr_model_bottleneck = bound_name g tp.Lognic.Throughput.bottleneck;
+    tr_differentiated = per_tenant <> None;
+    tr_model_throughput = attained;
+    tr_sim_throughput = sim_throughput;
+    tr_throughput_error = relative_error ~model:attained ~sim:sim_throughput;
+    tr_model_latency = agg_latency;
+    tr_sim_latency = sim_latency;
+    tr_latency_error = relative_error ~model:agg_latency ~sim:sim_latency;
+    tr_fairness = stats.Tenant.t_fairness;
+  }
+
+let opt_bool = function None -> J.Null | Some b -> J.Bool b
+
+let tenant_row_to_json r =
+  J.Obj
+    [
+      ("name", J.Str r.tn_name);
+      ("weight", J.Num (float_of_int r.tn_weight));
+      ("share", J.Num r.tn_share);
+      ("model_throughput", J.Num r.tn_model_throughput);
+      ("sim_throughput", J.Num r.tn_sim_throughput);
+      ("throughput_error", J.Num r.tn_throughput_error);
+      ("model_latency", J.Num r.tn_model_latency);
+      ("sim_latency", opt_float r.tn_sim_latency);
+      ("latency_error", opt_float r.tn_latency_error);
+      ("model_blocking", opt_float r.tn_model_blocking);
+      ("slo_p99", opt_float r.tn_slo_p99);
+      ("slo_ok", opt_bool r.tn_slo_ok);
+    ]
+
+let tenants_to_json t =
+  J.versioned ~kind:"tenants"
+    [
+      ( "model",
+        J.Obj
+          [
+            ("throughput", J.Num t.tr_model_throughput);
+            ("latency", J.Num t.tr_model_latency);
+            ("bottleneck", J.Str t.tr_model_bottleneck);
+            ("differentiated", J.Bool t.tr_differentiated);
+          ] );
+      ( "sim",
+        J.Obj
+          [
+            ("throughput", J.Num t.tr_sim_throughput);
+            ("latency", J.Num t.tr_sim_latency);
+          ] );
+      ("throughput_error", J.Num t.tr_throughput_error);
+      ("latency_error", J.Num t.tr_latency_error);
+      ("tenants", J.Arr (List.map tenant_row_to_json t.tr_rows));
+      ("sim_detail", Tenant.stats_to_json t.tr_stats);
+    ]
+
+let tenants_to_string t = J.to_string (tenants_to_json t)
+
+let pp_tenants ppf t =
+  let pct x = 100. *. x in
+  Format.fprintf ppf "tenants: model vs simulation (%d tenants)@\n"
+    (List.length t.tr_rows);
+  Format.fprintf ppf
+    "  throughput  model %.4g B/s   sim %.4g B/s   error %.1f%%@\n"
+    t.tr_model_throughput t.tr_sim_throughput (pct t.tr_throughput_error);
+  Format.fprintf ppf
+    "  latency     model %.4g s     sim %.4g s     error %.1f%%@\n"
+    t.tr_model_latency t.tr_sim_latency (pct t.tr_latency_error);
+  Format.fprintf ppf "  bottleneck  %s (per-tenant model: %s)@\n"
+    t.tr_model_bottleneck
+    (if t.tr_differentiated then "weighted M/M/c/N" else "undifferentiated");
+  Format.fprintf ppf
+    "  fairness    maxmin %.3f   jain %.3f   interference %.2f@\n"
+    t.tr_fairness.Tenant.maxmin_ratio t.tr_fairness.Tenant.jain
+    t.tr_fairness.Tenant.interference;
+  Format.fprintf ppf "  %-12s %3s %6s %12s %12s %6s %10s %10s %6s %5s@\n"
+    "tenant" "w" "share" "model-tput" "sim-tput" "t-err" "model-lat"
+    "sim-lat" "l-err" "slo";
+  List.iter
+    (fun r ->
+      let opt = function None -> "-" | Some x -> Printf.sprintf "%.3g" x in
+      let opt_pct = function
+        | None -> "-"
+        | Some x -> Printf.sprintf "%.0f%%" (pct x)
+      in
+      let slo =
+        match r.tn_slo_ok with
+        | None -> "-"
+        | Some true -> "ok"
+        | Some false -> "MISS"
+      in
+      Format.fprintf ppf
+        "  %-12s %3d %6.3f %12.4g %12.4g %5.0f%% %10.3g %10s %6s %5s@\n"
+        r.tn_name r.tn_weight r.tn_share r.tn_model_throughput
+        r.tn_sim_throughput (pct r.tn_throughput_error) r.tn_model_latency
+        (opt r.tn_sim_latency) (opt_pct r.tn_latency_error) slo)
+    t.tr_rows
+
+let tenants_to_text t = Format.asprintf "%a" pp_tenants t

@@ -137,3 +137,73 @@ val mix_to_json : mix_report -> Telemetry.Json.t
 val mix_to_string : mix_report -> string
 val pp_mix : Format.formatter -> mix_report -> unit
 val mix_to_text : mix_report -> string
+
+(** {2 Multi-tenant runs}
+
+    One tenanted simulation joined against the weighted multi-class
+    analytic decomposition ({!Lognic_queueing.Wmmcn}) — what
+    [lognic tenants] prints. *)
+
+type tenant_row = {
+  tn_name : string;
+  tn_weight : int;
+  tn_share : float;  (** configured normalized offered-traffic share *)
+  tn_model_throughput : float;
+      (** carried bytes/s the analytic decomposition predicts for this
+          tenant ([share × attained] when undifferentiated) *)
+  tn_sim_throughput : float;
+  tn_throughput_error : float;
+  tn_model_latency : float;
+      (** aggregate model latency with the bottleneck vertex's wait
+          replaced by this tenant's weighted-M/M/c/N wait (equal to the
+          aggregate when undifferentiated) *)
+  tn_sim_latency : float option;
+      (** [None] when the simulator delivered none of this tenant's
+          packets *)
+  tn_latency_error : float option;
+  tn_model_blocking : float option;
+      (** this tenant's M/M/c/N blocking probability; [None] when the
+          bottleneck is not an IP vertex *)
+  tn_slo_p99 : float option;
+  tn_slo_ok : bool option;  (** the simulator's verdict ({!Tenant.row}) *)
+}
+
+type tenant_report = {
+  tr_stats : Tenant.stats;  (** the simulator's per-tenant attribution *)
+  tr_measurement : Netsim.measurement;
+  tr_rows : tenant_row list;  (** canonical (name-sorted) tenant order *)
+  tr_model_bottleneck : string;
+  tr_differentiated : bool;
+      (** [true] iff the bottleneck is an IP vertex, where the shared
+          engine pool admits the per-tenant weighted-M/M/c/N
+          decomposition; other bounds serve tenants indistinguishably *)
+  tr_model_throughput : float;
+  tr_sim_throughput : float;
+  tr_throughput_error : float;
+  tr_model_latency : float;
+  tr_sim_latency : float;
+  tr_latency_error : float;
+  tr_fairness : Tenant.fairness;
+}
+
+val run_tenants :
+  ?config:Netsim.config ->
+  ?queue_model:Lognic.Latency.queue_model ->
+  Lognic.Graph.t ->
+  hw:Lognic.Params.hardware ->
+  traffic:Lognic.Traffic.t ->
+  tenants:Tenant.set ->
+  tenant_report
+(** Run one simulation with [config.tenants = Some tenants] (any
+    [tenants] already in [config] is replaced) and join the per-VF
+    attribution against the analytic per-tenant decomposition at the
+    model's bottleneck. *)
+
+val tenants_to_json : tenant_report -> Telemetry.Json.t
+(** Versioned [kind:"tenants"] JSON: the model/sim aggregate join, one
+    row per tenant, and the full simulator detail
+    ({!Tenant.stats_to_json}) under [sim_detail]. *)
+
+val tenants_to_string : tenant_report -> string
+val pp_tenants : Format.formatter -> tenant_report -> unit
+val tenants_to_text : tenant_report -> string

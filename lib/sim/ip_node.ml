@@ -18,13 +18,20 @@ type ring = {
 
 let noop () = ()
 
-let ring_create () =
+(* [slots] must be a power of two (the head/tail arithmetic masks with
+   [cap - 1]); rings double on demand, so the initial size only sets
+   the resident footprint. A single-queue node gets 16 slots up front;
+   grouped nodes get 4 per queue — per-tenant queues hold a couple of
+   entries outside bursts, and at hundreds of VFs a generous ring per
+   queue turns the arbiter's scattered per-tenant accesses into a
+   cache-miss tax on every grant. *)
+let ring_create slots =
   {
-    r_work = Array.make 16 0.;
-    r_sub = Array.make 16 0.;
-    r_tally = Array.make 16 None;
-    r_span = Array.make 16 None;
-    r_k = Array.make 16 noop;
+    r_work = Array.make slots 0.;
+    r_sub = Array.make slots 0.;
+    r_tally = Array.make slots None;
+    r_span = Array.make slots None;
+    r_k = Array.make slots noop;
     r_head = 0;
     r_len = 0;
   }
@@ -71,6 +78,44 @@ type t = {
   drops_per_queue : int array;
   pattern : int array;  (* expanded WRR schedule over queue indices *)
   mutable cursor : int;  (* next position in [pattern] *)
+  (* Hierarchical (group → queue) scheduling state, the SR-IOV two-stage
+     arbiter: queue [g·queues_per_group + c] is group [g]'s class-[c]
+     queue. Stage 1 is packet-granular weighted round robin over the
+     intrusive doubly-linked ring of {e active} groups (groups with at
+     least one queued request): the current group serves up to
+     [grp_weight] requests per visit ([grp_credit] counts down), then
+     the ring advances. Stage 2 is the per-group expanded-pattern WRR
+     over that group's class queues. Both stages are int-array state
+     sized at construction, so dispatching with thousands of groups
+     costs O(1) per grant and allocates nothing. [groups = 0] means
+     flat mode: none of these fields are consulted, and the flat hot
+     path pays one integer compare per dispatch/submit. *)
+  groups : int;
+  queues_per_group : int;
+  queue_group : int array;
+      (* queue index → owning group, precomputed so the per-submit and
+         per-grant paths never pay an integer division *)
+  fast_grant : bool;
+      (* Whether a submit that finds the node idle (nothing queued, an
+         engine free) may start service directly, skipping the queue
+         push/pop and scheduler bookkeeping. Only set when the bypass
+         is {e exactly} equivalent to enqueue-then-grant: single-queue
+         and one-queue nodes (the cursor walk can't be observed), and
+         hierarchical nodes with one class queue per group, where
+         activating a group and immediately granting its only request
+         returns the active ring to empty, leaves the stage-2 cursor
+         untouched, and strands a credit value that the next
+         activation overwrites — no reachable state differs. Flat
+         multi-queue WRR stays ineligible: its cursor advances per
+         grant, observably. *)
+  grp_weight : int array;
+  grp_credit : int array;
+  grp_queued : int array;
+  grp_next : int array;
+  grp_prev : int array;
+  mutable grp_cur : int;  (* current active group; -1 when ring empty *)
+  grp_pat : int array array;  (* per-group expanded class-WRR pattern *)
+  grp_cursor : int array;
   mutable offline : int;
       (* engines held down by fault injection; in-flight services finish
          even when their engine goes offline mid-service *)
@@ -127,7 +172,17 @@ let validate_common ~engines ~rate_per_engine ~capacity =
   if capacity < 1 then invalid_arg "Ip_node.create: queue_capacity must be >= 1"
 
 let make engine ~rng ~label ~engines ~rate_per_engine ~entries_per_queue
-    ~weights ~single_queue ~service_dist ~track_lanes =
+    ~weights ~single_queue ~service_dist ~track_lanes ~hier =
+  let groups, queues_per_group =
+    match hier with
+    | None -> (0, 0)
+    | Some (gw, cw) -> (Array.length gw, Array.length cw.(0))
+  in
+  let nqueues =
+    match hier with
+    | None -> Array.length weights
+    | Some _ -> groups * queues_per_group
+  in
   let t =
     {
       engine;
@@ -138,11 +193,33 @@ let make engine ~rng ~label ~engines ~rate_per_engine ~entries_per_queue
       entries_per_queue;
       single_queue;
       service_dist;
-      queues = Array.init (Array.length weights) (fun _ -> ring_create ());
+      queues =
+        (let slots = match hier with None -> 16 | Some _ -> 4 in
+         Array.init nqueues (fun _ -> ring_create slots));
       queued_total = 0;
-      drops_per_queue = Array.make (Array.length weights) 0;
+      drops_per_queue = Array.make nqueues 0;
       pattern = expand_pattern weights;
       cursor = 0;
+      groups;
+      queues_per_group;
+      queue_group =
+        (match hier with
+        | None -> [||]
+        | Some _ -> Array.init nqueues (fun q -> q / queues_per_group));
+      fast_grant =
+        single_queue || nqueues = 1
+        || (groups > 0 && queues_per_group = 1);
+      grp_weight = (match hier with None -> [||] | Some (gw, _) -> Array.copy gw);
+      grp_credit = Array.make (max 1 groups) 0;
+      grp_queued = Array.make (max 1 groups) 0;
+      grp_next = Array.make (max 1 groups) (-1);
+      grp_prev = Array.make (max 1 groups) (-1);
+      grp_cur = -1;
+      grp_pat =
+        (match hier with
+        | None -> [||]
+        | Some (_, cw) -> Array.map expand_pattern cw);
+      grp_cursor = Array.make (max 1 groups) 0;
       offline = 0;
       capacity_override = None;
       busy_engines = 0;
@@ -172,7 +249,7 @@ let create ?(track_lanes = false) engine ~rng ~label ~engines ~rate_per_engine
   validate_common ~engines ~rate_per_engine ~capacity:queue_capacity;
   make engine ~rng ~label ~engines ~rate_per_engine
     ~entries_per_queue:queue_capacity ~weights:[| 1 |] ~single_queue:true
-    ~service_dist ~track_lanes
+    ~service_dist ~track_lanes ~hier:None
 
 let create_multiqueue ?(track_lanes = false) engine ~rng ~label ~engines
     ~rate_per_engine ~entries_per_queue ~weights ~service_dist =
@@ -182,7 +259,30 @@ let create_multiqueue ?(track_lanes = false) engine ~rng ~label ~engines
   if Array.exists (fun w -> w < 1) weights then
     invalid_arg "Ip_node.create_multiqueue: weights must be >= 1";
   make engine ~rng ~label ~engines ~rate_per_engine ~entries_per_queue ~weights
-    ~single_queue:false ~service_dist ~track_lanes
+    ~single_queue:false ~service_dist ~track_lanes ~hier:None
+
+let create_hierarchical ?(track_lanes = false) engine ~rng ~label ~engines
+    ~rate_per_engine ~entries_per_queue ~group_weights ~class_weights
+    ~service_dist =
+  validate_common ~engines ~rate_per_engine ~capacity:entries_per_queue;
+  let groups = Array.length group_weights in
+  if groups = 0 then invalid_arg "Ip_node.create_hierarchical: no groups";
+  if Array.exists (fun w -> w < 1) group_weights then
+    invalid_arg "Ip_node.create_hierarchical: group weights must be >= 1";
+  if Array.length class_weights <> groups then
+    invalid_arg "Ip_node.create_hierarchical: one class-weight row per group";
+  let qpg = Array.length class_weights.(0) in
+  if qpg = 0 then invalid_arg "Ip_node.create_hierarchical: no class queues";
+  Array.iter
+    (fun row ->
+      if Array.length row <> qpg then
+        invalid_arg "Ip_node.create_hierarchical: ragged class-weight rows";
+      if Array.exists (fun w -> w < 1) row then
+        invalid_arg "Ip_node.create_hierarchical: class weights must be >= 1")
+    class_weights;
+  make engine ~rng ~label ~engines ~rate_per_engine ~entries_per_queue
+    ~weights:[| 1 |] ~single_queue:false ~service_dist ~track_lanes
+    ~hier:(Some (group_weights, class_weights))
 
 let label t = t.label
 let engines t = t.engines
@@ -273,8 +373,117 @@ let release_lane t lane =
    replaces allocated once per service start. *)
 let rec wrr_pick t n =
   let q = t.pattern.(t.cursor) in
-  t.cursor <- (t.cursor + 1) mod n;
+  let nxt = t.cursor + 1 in
+  t.cursor <- (if nxt = n then 0 else nxt);
   if t.queues.(q).r_len = 0 then wrr_pick t n else q
+
+(* Stage 1 of the hierarchical arbiter: the current group keeps the
+   grant while it has credit; at zero the ring advances and the next
+   group's credit is refilled to its weight. The caller guarantees the
+   active ring is non-empty ([queued_total > 0] implies some group has
+   queued work, and only groups with queued work are on the ring). *)
+let[@inline] hier_group t =
+  let g = t.grp_cur in
+  if t.grp_credit.(g) > 0 then g
+  else begin
+    let nxt = t.grp_next.(g) in
+    t.grp_cur <- nxt;
+    t.grp_credit.(nxt) <- t.grp_weight.(nxt);
+    nxt
+  end
+
+(* Stage 2: per-group class WRR with the same empty-skip walk as
+   [wrr_pick]; [grp_queued.(g) > 0] guarantees a hit within one cycle. *)
+let rec grp_queue t g pat n =
+  let cur = t.grp_cursor.(g) in
+  let c = pat.(cur) in
+  let nxt = cur + 1 in
+  t.grp_cursor.(g) <- (if nxt = n then 0 else nxt);
+  let q = (g * t.queues_per_group) + c in
+  if t.queues.(q).r_len = 0 then grp_queue t g pat n else q
+
+let[@inline] hier_pick t =
+  let g = hier_group t in
+  (* single-class groups (one queue each, the common case when the
+     traffic has one class) need no stage-2 walk at all *)
+  if t.queues_per_group = 1 then g
+  else
+    let pat = t.grp_pat.(g) in
+    grp_queue t g pat (Array.length pat)
+
+(* Group activation: splice an idle group in just before the current
+   one — i.e. at the end of the current round — with a fresh credit
+   grant, so a newly-backlogged tenant waits at most one full round. *)
+let[@inline] hier_enqueued t q =
+  let g = t.queue_group.(q) in
+  let was = t.grp_queued.(g) in
+  t.grp_queued.(g) <- was + 1;
+  if was = 0 then
+    if t.grp_cur < 0 then begin
+      t.grp_cur <- g;
+      t.grp_next.(g) <- g;
+      t.grp_prev.(g) <- g;
+      t.grp_credit.(g) <- t.grp_weight.(g)
+    end
+    else begin
+      let cur = t.grp_cur in
+      let prev = t.grp_prev.(cur) in
+      t.grp_next.(prev) <- g;
+      t.grp_prev.(g) <- prev;
+      t.grp_next.(g) <- cur;
+      t.grp_prev.(cur) <- g;
+      t.grp_credit.(g) <- t.grp_weight.(g)
+    end
+
+(* Grant accounting + deactivation. A group that drains mid-grant
+   leaves the ring immediately (it must not be picked with empty
+   queues); if it held the grant, the grant passes on with a refill. *)
+let[@inline] hier_dequeued t q =
+  let g = t.queue_group.(q) in
+  t.grp_credit.(g) <- t.grp_credit.(g) - 1;
+  let left = t.grp_queued.(g) - 1 in
+  t.grp_queued.(g) <- left;
+  if left = 0 then begin
+    let nxt = t.grp_next.(g) in
+    if nxt = g then t.grp_cur <- -1
+    else begin
+      let prev = t.grp_prev.(g) in
+      t.grp_next.(prev) <- nxt;
+      t.grp_prev.(nxt) <- prev;
+      if t.grp_cur = g then begin
+        t.grp_cur <- nxt;
+        t.grp_credit.(nxt) <- t.grp_weight.(nxt)
+      end
+    end
+  end
+
+(* Service start, shared by the drain loop and the idle-node fast
+   grant in [submit_at]: engine accounting, busy-time and in-flight
+   bookkeeping, telemetry tallies and the pooled completion slot. *)
+let[@inline] start_service t ~work ~submitted ~tally ~span k =
+  t.busy_engines <- t.busy_engines + 1;
+  let now = Engine.now t.engine in
+  let duration = service_time t work in
+  let finish = now +. duration in
+  t.fb.(0) <- t.fb.(0) +. duration;
+  t.ifl.(t.ifl_len) <- finish;
+  t.ifl_len <- t.ifl_len + 1;
+  let lane = claim_lane t in
+  (match tally with
+  | Some a ->
+    a.(Telemetry.slot_queueing) <-
+      a.(Telemetry.slot_queueing) +. (now -. submitted);
+    a.(Telemetry.slot_service) <- a.(Telemetry.slot_service) +. duration
+  | None -> ());
+  (match span with
+  | Some f -> f ~lane ~queued:(now -. submitted) ~service:duration
+  | None -> ());
+  let slot = t.sv_free.(t.sv_free_top - 1) in
+  t.sv_free_top <- t.sv_free_top - 1;
+  t.sv_finish.(slot) <- finish;
+  t.sv_lane.(slot) <- lane;
+  t.sv_k.(slot) <- k;
+  Engine.schedule_after t.engine ~delay:duration t.sv_fire.(slot)
 
 (* One-pass arbitration: while an engine is free and work is queued,
    pull via the WRR pattern and start service — submit, completion and
@@ -285,7 +494,10 @@ let rec wrr_pick t n =
    capacity at a time). *)
 let rec dispatch_loop t =
   if t.busy_engines < t.engines - t.offline && t.queued_total > 0 then begin
-    let q = wrr_pick t (Array.length t.pattern) in
+    let q =
+      if t.groups = 0 then wrr_pick t (Array.length t.pattern)
+      else hier_pick t
+    in
     let r = t.queues.(q) in
     let cap = Array.length r.r_k in
     let head = r.r_head in
@@ -300,30 +512,8 @@ let rec dispatch_loop t =
     r.r_head <- (head + 1) land (cap - 1);
     r.r_len <- r.r_len - 1;
     t.queued_total <- t.queued_total - 1;
-    (* start service (old [start_service], operation order preserved) *)
-    t.busy_engines <- t.busy_engines + 1;
-    let now = Engine.now t.engine in
-    let duration = service_time t work in
-    let finish = now +. duration in
-    t.fb.(0) <- t.fb.(0) +. duration;
-    t.ifl.(t.ifl_len) <- finish;
-    t.ifl_len <- t.ifl_len + 1;
-    let lane = claim_lane t in
-    (match tally with
-    | Some a ->
-      a.(Telemetry.slot_queueing) <-
-        a.(Telemetry.slot_queueing) +. (now -. submitted);
-      a.(Telemetry.slot_service) <- a.(Telemetry.slot_service) +. duration
-    | None -> ());
-    (match span with
-    | Some f -> f ~lane ~queued:(now -. submitted) ~service:duration
-    | None -> ());
-    let slot = t.sv_free.(t.sv_free_top - 1) in
-    t.sv_free_top <- t.sv_free_top - 1;
-    t.sv_finish.(slot) <- finish;
-    t.sv_lane.(slot) <- lane;
-    t.sv_k.(slot) <- k;
-    Engine.schedule_after t.engine ~delay:duration t.sv_fire.(slot);
+    if t.groups > 0 then hier_dequeued t q;
+    start_service t ~work ~submitted ~tally ~span k;
     dispatch_loop t
   end
 
@@ -386,6 +576,14 @@ let create_multiqueue ?track_lanes engine ~rng ~label ~engines ~rate_per_engine
     (create_multiqueue ?track_lanes engine ~rng ~label ~engines
        ~rate_per_engine ~entries_per_queue ~weights ~service_dist)
 
+let create_hierarchical ?track_lanes engine ~rng ~label ~engines
+    ~rate_per_engine ~entries_per_queue ~group_weights ~class_weights
+    ~service_dist =
+  make_fires
+    (create_hierarchical ?track_lanes engine ~rng ~label ~engines
+       ~rate_per_engine ~entries_per_queue ~group_weights ~class_weights
+       ~service_dist)
+
 let offline t = t.offline
 let set_profile t p = t.prof <- p
 
@@ -412,7 +610,7 @@ let effective_capacity t =
   | None -> t.entries_per_queue
   | Some c -> min c t.entries_per_queue
 
-let[@inline] submit ?(queue = 0) ?tally ?span t ~work k =
+let[@inline] submit_at ?tally ?span t ~queue ~work k =
   if queue < 0 || queue >= Array.length t.queues then
     invalid_arg "Ip_node.submit: bad queue index";
   if work < 0. then invalid_arg "Ip_node.submit: negative work";
@@ -429,6 +627,26 @@ let[@inline] submit ?(queue = 0) ?tally ?span t ~work k =
     | None -> ());
     (match span with Some f -> f ~lane:0 ~queued:0. ~service:0. | None -> ());
     k ();
+    true
+  end
+  else if
+    (* Idle-node fast grant: nothing queued and an engine free means
+       the arbiter would hand this request the very next grant, so
+       eligible nodes ([fast_grant]) start service directly — no ring
+       push/pop, no scheduler bookkeeping. The M/M/n/N capacity check
+       still applies to single-queue nodes (capacity counts in-service
+       requests, so an idle queue can still be full). *)
+    t.fast_grant && t.queued_total = 0
+    && t.busy_engines < t.engines - t.offline
+    && ((not t.single_queue) || in_system t < effective_capacity t)
+  then begin
+    (match t.prof with
+    | None ->
+      start_service t ~work ~submitted:(Engine.now t.engine) ~tally ~span k
+    | Some p ->
+      let prev = Profile.enter p Profile.phase_node in
+      start_service t ~work ~submitted:(Engine.now t.engine) ~tally ~span k;
+      Profile.leave p prev);
     true
   end
   else begin
@@ -454,7 +672,11 @@ let[@inline] submit ?(queue = 0) ?tally ?span t ~work k =
       r.r_k.(i) <- k;
       r.r_len <- r.r_len + 1;
       t.queued_total <- t.queued_total + 1;
+      if t.groups > 0 then hier_enqueued t queue;
       dispatch t;
       true
     end
   end
+
+let[@inline] submit ?(queue = 0) ?tally ?span t ~work k =
+  submit_at ?tally ?span t ~queue ~work k

@@ -53,6 +53,37 @@ val create_multiqueue :
     charged to any queue). Raises [Invalid_argument] on an empty or
     non-positive weight array. *)
 
+val create_hierarchical :
+  ?track_lanes:bool ->
+  Engine.t ->
+  rng:Lognic_numerics.Rng.t ->
+  label:string ->
+  engines:int ->
+  rate_per_engine:float ->
+  entries_per_queue:int ->
+  group_weights:int array ->
+  class_weights:int array array ->
+  service_dist:service_dist ->
+  t
+(** The SR-IOV two-stage arbiter (OS4C-style): one queue {e group} per
+    tenant/VF and one queue per traffic class within each group — queue
+    [g·classes + c] is group [g]'s class-[c] queue, where [classes] is
+    the (uniform) row length of [class_weights]. Stage 1 is
+    packet-granular weighted round robin over the groups that currently
+    have queued work: the serving group keeps the grant for up to
+    [group_weights.(g)] requests per visit, then the grant rotates
+    (groups activate at the end of the current round, deactivate the
+    moment they drain). Stage 2 picks within the granted group by an
+    expanded-pattern class WRR over [class_weights.(g)], skipping empty
+    class queues. Both stages are O(1) per grant with state sized once
+    at construction, so thousands of groups dispatch without scaling
+    cost or allocation.
+
+    Capacity follows the multiqueue convention: each of the
+    [groups·classes] queues holds at most [entries_per_queue] waiting
+    requests. Raises [Invalid_argument] on empty/ragged weight arrays
+    or any weight < 1. *)
+
 val label : t -> string
 
 val engines : t -> int
@@ -90,6 +121,18 @@ val submit :
     preserving FIFO order (no overtaking) and subject to the capacity
     check. Raises [Invalid_argument] on a bad queue index or negative
     work. *)
+
+val submit_at :
+  ?tally:float array ->
+  ?span:(lane:int -> queued:float -> service:float -> unit) ->
+  t ->
+  queue:int ->
+  work:float ->
+  (unit -> unit) ->
+  bool
+(** {!submit} with the queue index as a required argument — the hot-path
+    entry for multiqueue/hierarchical callers, which avoids boxing the
+    index in an option at every call. *)
 
 val in_system : t -> int
 val queue_length : t -> int -> int

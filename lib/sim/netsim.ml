@@ -12,6 +12,7 @@ type config = {
   trace : Trace.config option;
   check_invariants : bool;
   metrics : Metrics.config option;
+  tenants : Tenant.set option;
 }
 
 let default_config =
@@ -26,7 +27,35 @@ let default_config =
     trace = None;
     check_invariants = false;
     metrics = None;
+    tenants = None;
   }
+
+(* The builder is the supported way to assemble a config; the record
+   stays public (and byte-compatible) for existing literal-update code,
+   but new fields only ever grow the builder surface. Setters take the
+   config last so they chain: [Config.(default |> with_seed 7 |> ...)]. *)
+module Config = struct
+  type t = config
+
+  let default = default_config
+  let with_seed seed c = { c with seed }
+  let with_duration duration c = { c with duration }
+  let with_warmup warmup c = { c with warmup }
+
+  let with_horizon ?warmup duration c =
+    let warmup = match warmup with Some w -> w | None -> duration /. 10. in
+    { c with duration; warmup }
+
+  let with_service_dist service_dist c = { c with service_dist }
+  let with_arrival arrival c = { c with arrival }
+  let with_sampling ?(capacity = default.series_capacity) interval c =
+    { c with sample_interval = Some interval; series_capacity = capacity }
+  let with_trace trace c = { c with trace = Some trace }
+  let with_invariants check_invariants c = { c with check_invariants }
+  let with_metrics metrics c = { c with metrics = Some metrics }
+  let with_tenants tenants c = { c with tenants = Some tenants }
+  let without_tenants c = { c with tenants = None }
+end
 
 module Run = struct
   type t = {
@@ -49,6 +78,9 @@ module Run = struct
   let with_hw t hw = { t with hw }
   let with_seed t seed = { t with config = { t.config with seed } }
   let with_duration t duration = { t with config = { t.config with duration } }
+
+  let with_tenants t tenants =
+    { t with config = { t.config with tenants = Some tenants } }
 end
 
 type vertex_stats = {
@@ -98,6 +130,7 @@ type measurement = {
   trace : Trace.t option;
   invariants : Invariants.report option;
   metrics : Metrics.t option;
+  tenants : Tenant.stats option;
 }
 
 (* An interned drop counter plus its rendered site name, resolved once
@@ -125,7 +158,11 @@ type vertex_rt = {
   v_is_egress : bool;
   v_work_factor : float;  (* size multiplier: inflow / p(v) *)
   v_overhead : float;
-  v_queue_capacity : int;
+  v_cap_limit : float;
+      (* in-system bound for the queue-capacity invariant: the
+         configured capacity for single-queue nodes, and
+         queues × capacity + engines under the tenanted multiqueue
+         convention (waiting-only per-queue capacity) *)
   v_node : Ip_node.t option;
   v_drop : dropper;  (* meaningful only when [v_node] is [Some] *)
   v_out : int array;  (* edge_rt indices, in {!G.out_edges} order *)
@@ -144,6 +181,7 @@ type flight = {
   fs : float array;
   mutable fl_id : int;
   mutable fl_klass : int;
+  mutable fl_tenant : int;  (* owning tenant id; 0 when untenanted *)
   mutable fl_vertex : G.vertex_id;  (* vertex being visited *)
   mutable fl_edge : int;  (* edge_rt index being traversed *)
   mutable fl_tr : Trace.record option;
@@ -220,6 +258,22 @@ let execute_with ?engine:reused (spec : Run.t) =
   | Error errors ->
     invalid_arg ("Netsim.run: invalid graph: " ^ String.concat "; " errors));
   let have_faults = not (Faults.is_empty faults) in
+  (* ---- tenants ------------------------------------------------------ *)
+  let tenant_set = config.tenants in
+  let ntenants =
+    match tenant_set with None -> 0 | Some s -> Tenant.count s
+  in
+  (* A single tenant schedules exactly like an untenanted run — the
+     hierarchical arbiter would be a one-group ring with one weight-1
+     grant per packet — so tenanted node construction (and the tenant
+     rng split below) switch on only at two tenants or more. That keeps
+     single-tenant measurement JSON byte-identical to the untenanted
+     baseline while still attributing every packet to the tenant. *)
+  let tenanted_sched = ntenants >= 2 in
+  let nclasses = max 1 (List.length spec.Run.mix) in
+  (* queue-index stride for tenanted submission; 0 selects the
+     untenanted queue-0 path (one int compare per arrival) *)
+  let tenant_classes = if tenanted_sched then nclasses else 0 in
   (* The checker is allocated only on request; every hook below matches
      on it first, so the disabled path costs one pointer compare per
      hook site (gated by bench/main.exe --invariant-overhead). *)
@@ -270,11 +324,23 @@ let execute_with ?engine:reused (spec : Run.t) =
           v.service.partition *. v.service.accel *. v.service.throughput
         in
         let node =
-          Ip_node.create ~track_lanes:tracing engine ~rng:(N.Rng.split rng)
-            ~label:v.label ~engines:d
-            ~rate_per_engine:(aggregate /. float_of_int d)
-            ~queue_capacity:v.service.queue_capacity
-            ~service_dist:config.service_dist
+          match tenant_set with
+          | Some tset when tenanted_sched ->
+            (* One queue group per tenant/VF, one queue per traffic
+               class within it — the SR-IOV two-stage arbiter. *)
+            Ip_node.create_hierarchical ~track_lanes:tracing engine
+              ~rng:(N.Rng.split rng) ~label:v.label ~engines:d
+              ~rate_per_engine:(aggregate /. float_of_int d)
+              ~entries_per_queue:v.service.queue_capacity
+              ~group_weights:(Tenant.weights tset)
+              ~class_weights:(Tenant.class_weight_rows tset ~classes:nclasses)
+              ~service_dist:config.service_dist
+          | _ ->
+            Ip_node.create ~track_lanes:tracing engine ~rng:(N.Rng.split rng)
+              ~label:v.label ~engines:d
+              ~rate_per_engine:(aggregate /. float_of_int d)
+              ~queue_capacity:v.service.queue_capacity
+              ~service_dist:config.service_dist
         in
         Hashtbl.replace nodes v.id node
       end)
@@ -285,6 +351,29 @@ let execute_with ?engine:reused (spec : Run.t) =
      runs), and a non-empty plan perturbs at most which packets the
      trace reservoir samples — never a measured quantity. *)
   let faults_rng = if have_faults then Some (N.Rng.split rng) else None in
+  (* The tenant rng follows the same discipline as the fault rng: split
+     only when arrivals actually need a tenant draw (>= 2 tenants), so
+     untenanted and single-tenant runs leave every stream exactly where
+     the pre-tenant code put it. Split before the trace rng, which must
+     stay last. *)
+  let tenant_rng = if tenanted_sched then Some (N.Rng.split rng) else None in
+  (* The accumulator exists whenever tenants are configured — a
+     single-tenant run still reports per-tenant stats — and its pooled
+     arrays make every record a plain store (nothing per-tenant on the
+     hot path). *)
+  let tenant_acc =
+    match tenant_set with
+    | None -> None
+    | Some tset -> Some (Tenant.acc tset ~warmup:config.warmup)
+  in
+  let draw_tenant =
+    match (tenant_rng, tenant_set) with
+    | Some trng, Some tset ->
+      (* bits draw + integer-lattice search: the whole per-arrival
+         tenant decision allocates nothing *)
+      fun () -> Tenant.index_of_bits tset (N.Rng.bits trng)
+    | _ -> fun () -> 0
+  in
   (* The trace rng is split last — after every stream the untraced run
      splits — and only when tracing is on, so enabling tracing perturbs
      no other stochastic stream and measurements stay bit-identical. *)
@@ -462,7 +551,12 @@ let execute_with ?engine:reused (spec : Run.t) =
           v_is_egress = v.kind = G.Egress;
           v_work_factor = work_factor id;
           v_overhead = v.service.overhead;
-          v_queue_capacity = v.service.queue_capacity;
+          v_cap_limit =
+            (let cap = v.service.queue_capacity in
+             if tenanted_sched && Hashtbl.mem nodes id then
+               float_of_int
+                 ((ntenants * nclasses * cap) + v.service.parallelism)
+             else float_of_int cap);
           v_node = Hashtbl.find_opt nodes id;
           v_drop =
             (if Hashtbl.mem nodes id then
@@ -562,6 +656,19 @@ let execute_with ?engine:reused (spec : Run.t) =
           Metrics.register m ~entity ~name:"utilization" Metrics.Rate
             (fun () -> Medium.busy_within md ~until:(Engine.now engine)))
         media;
+      (* Live fairness gauges over the tenant population; registered
+         after every per-entity instrument so untenanted runs keep
+         their historical instrument order (and NDJSON fixtures). *)
+      (match tenant_acc with
+      | None -> ()
+      | Some a ->
+        let fairness () = Tenant.live_fairness a ~horizon:(Engine.now engine) in
+        Metrics.register m ~entity:"tenants" ~name:"maxmin_share" Metrics.Gauge
+          (fun () -> (fairness ()).Tenant.maxmin_ratio);
+        Metrics.register m ~entity:"tenants" ~name:"jain" Metrics.Gauge
+          (fun () -> (fairness ()).Tenant.jain);
+        Metrics.register m ~entity:"tenants" ~name:"interference" Metrics.Gauge
+          (fun () -> (fairness ()).Tenant.interference));
       (* Attach the optional self-profiler to every phase source; it
          reads only the host's wall clock, never the simulation. *)
       (match Metrics.profiler m with
@@ -596,8 +703,13 @@ let execute_with ?engine:reused (spec : Run.t) =
     | Some node ->
       let work = fl.fs.(Telemetry.slot_size) *. vr.v_work_factor in
       if
-        Ip_node.submit node ?span:fl.fl_span_node ?tally:fl.fl_tally ~work
-          fl.fl_on_served
+        (if tenant_classes = 0 then
+           Ip_node.submit node ?span:fl.fl_span_node ?tally:fl.fl_tally ~work
+             fl.fl_on_served
+         else
+           Ip_node.submit_at node ?tally:fl.fl_tally ?span:fl.fl_span_node
+             ~queue:((fl.fl_tenant * tenant_classes) + fl.fl_klass)
+             ~work fl.fl_on_served)
       then begin
         match checker with
         | Some inv ->
@@ -608,8 +720,7 @@ let execute_with ?engine:reused (spec : Run.t) =
              recycled here — only the node is consulted.) *)
           let time = Engine.now engine in
           Invariants.check_bound inv ~law:"queue-capacity" ~entity:vr.v_label
-            ~time
-            ~limit:(float_of_int vr.v_queue_capacity)
+            ~time ~limit:vr.v_cap_limit
             ~actual:(float_of_int (Ip_node.in_system node))
             "in-system requests must not exceed the queue capacity";
           Invariants.check_bound inv ~law:"engine-count" ~entity:vr.v_label
@@ -664,6 +775,9 @@ let execute_with ?engine:reused (spec : Run.t) =
             ~to_slot:Telemetry.slot_now
       | None -> ());
       Telemetry.record_completion_fs telemetry ~fs:fl.fs ~klass:fl.fl_klass;
+      (match tenant_acc with
+      | Some a -> Tenant.record_completion a ~tenant:fl.fl_tenant ~fs:fl.fs
+      | None -> ());
       release_flight fl
     end
     else if vr.v_out_total <= 0. then
@@ -752,6 +866,11 @@ let execute_with ?engine:reused (spec : Run.t) =
     end;
     Telemetry.record_drop_counted telemetry ~born:fl.fs.(Telemetry.slot_born)
       d.dk;
+    (match tenant_acc with
+    | Some a ->
+      Tenant.record_drop a ~tenant:fl.fl_tenant
+        ~born:fl.fs.(Telemetry.slot_born)
+    | None -> ());
     release_flight fl
   and release_flight fl =
     fl.fl_tr <- None;
@@ -765,6 +884,7 @@ let execute_with ?engine:reused (spec : Run.t) =
         fs;
         fl_id = 0;
         fl_klass = 0;
+        fl_tenant = 0;
         fl_vertex = 0;
         fl_edge = 0;
         fl_tr = None;
@@ -843,6 +963,13 @@ let execute_with ?engine:reused (spec : Run.t) =
     | Some inv -> Invariants.packet_injected inv ~id ~time:now
     | None -> ());
     Telemetry.record_arrival telemetry ~now ~size;
+    (* The tenant is drawn before the burst-shed check so even packets
+       shed at ingress attribute their drop to an owner — per-tenant
+       counts sum exactly to the aggregate telemetry accounts. *)
+    let tid = draw_tenant () in
+    (match tenant_acc with
+    | Some a -> Tenant.record_offered a ~tenant:tid ~now ~size
+    | None -> ());
     if have_faults then begin
       let b = bin_of now in
       bin_offered.(b) <- bin_offered.(b) + 1
@@ -873,7 +1000,10 @@ let execute_with ?engine:reused (spec : Run.t) =
         let b = bin_of now in
         bin_dropped.(b) <- bin_dropped.(b) + 1
       end;
-      Telemetry.record_drop_counted telemetry ~born:now burst_drop.dk
+      Telemetry.record_drop_counted telemetry ~born:now burst_drop.dk;
+      (match tenant_acc with
+      | Some a -> Tenant.record_drop a ~tenant:tid ~born:now
+      | None -> ())
     end
     else begin
       let entry =
@@ -890,6 +1020,7 @@ let execute_with ?engine:reused (spec : Run.t) =
       fs.(Telemetry.slot_size) <- size;
       fl.fl_id <- id;
       fl.fl_klass <- klass;
+      fl.fl_tenant <- tid;
       fl.fl_vertex <- entry;
       fl.fl_tr <- tr;
       (* Install span sinks per packet: an unsampled flight carries
@@ -1168,6 +1299,10 @@ let execute_with ?engine:reused (spec : Run.t) =
     trace;
     invariants;
     metrics;
+    tenants =
+      Option.map
+        (fun a -> Tenant.summarize a ~horizon:config.duration)
+        tenant_acc;
   }
 
 let execute spec = execute_with spec

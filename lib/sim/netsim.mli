@@ -65,9 +65,57 @@ type config = {
           split, so enabling metrics never changes simulation results
           or measurement JSON (enforced by
           [bench/main.exe --metrics-overhead]). *)
+  tenants : Tenant.set option;
+      (** when [Some], run multi-tenant: every arrival is attributed to
+          a tenant drawn by the set's offered-traffic shares, per-VF
+          telemetry accumulates into {!measurement.tenants}, and — at
+          two tenants or more — every finite-throughput vertex swaps
+          its queue for the SR-IOV two-stage arbiter
+          ({!Ip_node.create_hierarchical}: one queue group per tenant,
+          one queue per traffic class, packet-granular WRR across
+          groups by tenant weight). A {e single}-tenant set keeps the
+          untenanted scheduler and rng streams, so its measurement JSON
+          is byte-identical to [tenants = None] (enforced by
+          [bench/main.exe --tenant-overhead]); with [>= 2] tenants the
+          tenant rng is split after the fault rng and before the trace
+          rng. Default [None]. *)
 }
 
 val default_config : config
+
+(** The supported way to assemble a {!config}: start from
+    {!Config.default} and chain setters, e.g.
+    [Config.(default |> with_horizon 0.5 |> with_seed 7)]. The record
+    stays public for existing literal-update code, but new knobs land
+    here. Setters take the config {e last} so they pipeline. *)
+module Config : sig
+  type t = config
+
+  val default : t
+  (** = {!default_config}. *)
+
+  val with_seed : int -> t -> t
+  val with_duration : float -> t -> t
+  val with_warmup : float -> t -> t
+
+  val with_horizon : ?warmup:float -> float -> t -> t
+  (** [with_horizon d] sets [duration = d] and [warmup] to the
+      conventional 10% of it (override with [?warmup]) — the common
+      way a run's time axis is configured. *)
+
+  val with_service_dist : Ip_node.service_dist -> t -> t
+  val with_arrival : Traffic_gen.arrival -> t -> t
+
+  val with_sampling : ?capacity:int -> float -> t -> t
+  (** Enable periodic series sampling at the given interval;
+      [capacity] overrides [series_capacity] (default keeps it). *)
+
+  val with_trace : Trace.config -> t -> t
+  val with_invariants : bool -> t -> t
+  val with_metrics : Metrics.config -> t -> t
+  val with_tenants : Tenant.set -> t -> t
+  val without_tenants : t -> t
+end
 
 (** The unified run specification: everything one simulation needs, as
     one value. Build with {!Run.make}/{!Run.single}, refine with the
@@ -107,6 +155,7 @@ module Run : sig
   val with_hw : t -> Lognic.Params.hardware -> t
   val with_seed : t -> int -> t
   val with_duration : t -> float -> t
+  val with_tenants : t -> Tenant.set -> t
 end
 
 type vertex_stats = {
@@ -195,6 +244,14 @@ type measurement = {
           [config.metrics.on_snapshot] during the run). Like [trace],
           deliberately absent from {!measurement_to_json} so
           measurement JSON is byte-identical with metrics on or off. *)
+  tenants : Tenant.stats option;
+      (** per-tenant attribution and fairness indices, present iff
+          [config.tenants] was set; export with
+          {!Explain.tenants_to_json} (or embed via
+          {!Tenant.stats_to_json}). Per-tenant offered / delivered /
+          dropped counts sum exactly to the aggregate
+          warmup-windowed telemetry. Like [trace], deliberately absent
+          from {!measurement_to_json}. *)
 }
 
 val execute_with : ?engine:Engine.t -> Run.t -> measurement
@@ -219,9 +276,14 @@ val execute : Run.t -> measurement
     no per-packet accounting is added — enforced by the bench gate).
     With any plan, results are bit-identical at every [--jobs]: the
     fault rng is its own stream, split after the per-node rngs and
-    before the trace rng, and is drawn only while a [Drop_burst] is
-    active — so a non-empty plan can perturb at most which packets the
-    optional trace reservoir samples, never a measured quantity. *)
+    before the tenant and trace rngs, and is drawn only while a
+    [Drop_burst] is active — so a non-empty plan can perturb at most
+    which packets the optional trace reservoir samples, never a
+    measured quantity. The rng split order is: generator, router,
+    per-node (graph order), fault (iff a plan), tenant (iff >= 2
+    tenants), trace (iff tracing) — each optional stream splits only
+    when its feature is on, so switching a feature off restores the
+    exact streams of a run that never had it. *)
 
 val run :
   ?config:config ->

@@ -19,6 +19,7 @@ let table =
     ("alerts", 1);  (* Metrics.alerts_to_json *)
     ("profile", 1);  (* Metrics.profile_to_json *)
     ("engine_bench", 1);  (* bench/main.exe --events-per-sec --json *)
+    ("tenants", 1);  (* Explain.tenants_to_json (lognic tenants --json) *)
   ]
 
 let version_of kind = List.assoc_opt kind table

@@ -20,6 +20,9 @@ let () =
     (fun (name, render) -> write dir name (render ()))
     (Lognic_check.Golden.contention_scenarios ());
   List.iter
+    (fun (name, render) -> write dir name (render ()))
+    (Lognic_check.Golden.tenant_scenarios ());
+  List.iter
     (fun (name, render) ->
       write ~ext:".ndjson" dir name (String.trim (render ())))
     (Lognic_check.Golden.metrics_scenarios ())

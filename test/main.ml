@@ -10,6 +10,7 @@ let () =
       ("invariants", Test_invariants.suite);
       ("check", Test_check.suite);
       ("golden", Test_golden.suite);
+      ("tenants", Test_tenants.suite);
       ("observability", Test_observability.suite);
       ("metrics", Test_metrics.suite);
       ("parallel", Test_parallel.suite);

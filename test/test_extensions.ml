@@ -302,7 +302,7 @@ let rate_limiter_end_to_end_in_sim () =
   let m =
     Lognic_sim.Netsim.run_single
       ~config:
-        { Lognic_sim.Netsim.default_config with duration = 0.1; warmup = 0.02 }
+        Lognic_sim.Netsim.Config.(default |> with_horizon ~warmup:0.02 0.1)
       g' ~hw ~traffic
   in
   check_within ~pct:6. "sim goodput at the limiter's rate" (1. *. U.gbps)

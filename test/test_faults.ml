@@ -32,7 +32,7 @@ let pipeline () =
 let hw = Lognic.Params.hardware ~bw_interface:(50. *. U.gbps) ~bw_memory:(60. *. U.gbps)
 let traffic = T.make ~rate:(2. *. U.gbps) ~packet_size:1500.
 let mix = [ (traffic, 1.) ]
-let config = { S.Netsim.default_config with duration = 0.02; warmup = 0.002 }
+let config = S.Netsim.Config.(default |> with_horizon 0.02)
 
 (* --- smart constructors ------------------------------------------- *)
 

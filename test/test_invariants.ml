@@ -28,7 +28,8 @@ let pipeline ?(queue = 32) ?(ip_rate = 4. *. U.gbps) () =
   g
 
 let config check_invariants =
-  { S.Netsim.default_config with duration = 2e-3; warmup = 2e-4; check_invariants }
+  S.Netsim.Config.(
+    default |> with_horizon 2e-3 |> with_invariants check_invariants)
 
 let traffic = T.make ~rate:(3. *. U.gbps) ~packet_size:1500.
 

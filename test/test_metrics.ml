@@ -272,8 +272,7 @@ let hw =
 
 let traffic = T.make ~rate:(3. *. U.gbps) ~packet_size:1500.
 
-let base_config =
-  { S.Netsim.default_config with duration = 5e-3; warmup = 5e-4 }
+let base_config = S.Netsim.Config.(default |> with_horizon 5e-3)
 
 let measurement_json config =
   J.to_string
@@ -283,16 +282,17 @@ let measurement_json config =
 let metrics_bit_identical () =
   let snaps = ref 0 in
   let metrics =
-    Some
-      {
-        M.default_config with
-        interval = 2e-4;
-        slo = [ M.Slo.parse_exn "*.utilization>0.5" ];
-        on_snapshot = Some (fun _ -> incr snaps);
-      }
+    {
+      M.default_config with
+      interval = 2e-4;
+      slo = [ M.Slo.parse_exn "*.utilization>0.5" ];
+      on_snapshot = Some (fun _ -> incr snaps);
+    }
   in
   let bare = measurement_json base_config in
-  let streamed = measurement_json { base_config with metrics } in
+  let streamed =
+    measurement_json (S.Netsim.Config.with_metrics metrics base_config)
+  in
   Alcotest.(check string)
     "measurement JSON identical with metrics on/off" bare streamed;
   (* 5 ms horizon / 200 µs interval, plus the final flush tick *)
@@ -304,8 +304,11 @@ let metrics_bit_identical () =
 (* Metrics compose with the parallel driver: replication stats stay
    bit-identical at any jobs count with a registry attached. *)
 let metrics_jobs_invariant () =
-  let metrics = Some { M.default_config with interval = 2e-4 } in
-  let config = { base_config with metrics } in
+  let config =
+    S.Netsim.Config.with_metrics
+      { M.default_config with interval = 2e-4 }
+      base_config
+  in
   let run jobs =
     S.Parallel.run_replicated ~jobs ~config ~runs:3 (pipeline ()) ~hw
       ~mix:[ (traffic, 1.) ]
@@ -333,17 +336,16 @@ let streaming_serializer_byte_identical () =
       (M.snapshot_to_string snap)
   in
   let metrics =
-    Some
-      {
-        M.default_config with
-        interval = 2e-4;
-        slo = [ M.Slo.parse_exn "*.utilization>0.5" ];
-        on_snapshot = Some check_snap;
-      }
+    {
+      M.default_config with
+      interval = 2e-4;
+      slo = [ M.Slo.parse_exn "*.utilization>0.5" ];
+      on_snapshot = Some check_snap;
+    }
   in
   ignore
     (S.Netsim.run_single
-       ~config:{ base_config with metrics }
+       ~config:(S.Netsim.Config.with_metrics metrics base_config)
        (pipeline ()) ~hw ~traffic);
   Alcotest.(check bool) "checked real snapshots" true (!checked > 10);
   check_snap

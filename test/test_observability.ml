@@ -29,12 +29,8 @@ let pipeline ?(queue = 32) ?(ip_rate = 4. *. U.gbps) ?(alpha = 1.) () =
   g
 
 let traced_config =
-  {
-    S.Netsim.default_config with
-    duration = 0.02;
-    warmup = 0.002;
-    trace = Some { S.Trace.reservoir = 32 };
-  }
+  S.Netsim.Config.(
+    default |> with_horizon 0.02 |> with_trace { S.Trace.reservoir = 32 })
 
 let traffic = T.make ~rate:(3. *. U.gbps) ~packet_size:1500.
 
@@ -276,21 +272,20 @@ let probes_read_only_under_overload () =
   in
   let reads = ref 0 in
   let metrics =
-    Some
-      {
-        S.Metrics.default_config with
-        interval = 5e-4;
-        slo = [ S.Metrics.Slo.parse_exn "*.utilization>0.5" ];
-        on_snapshot =
-          Some
-            (fun snap ->
-              (* exercise every read-only export mid-run *)
-              incr reads;
-              ignore (S.Metrics.snapshot_to_string snap));
-      }
+    {
+      S.Metrics.default_config with
+      interval = 5e-4;
+      slo = [ S.Metrics.Slo.parse_exn "*.utilization>0.5" ];
+      on_snapshot =
+        Some
+          (fun snap ->
+            (* exercise every read-only export mid-run *)
+            incr reads;
+            ignore (S.Metrics.snapshot_to_string snap));
+    }
   in
   let bare = dump overload in
-  let probed = dump { overload with metrics } in
+  let probed = dump (S.Netsim.Config.with_metrics metrics overload) in
   (match S.Telemetry.Json.of_string bare with
   | Ok json -> (
     match

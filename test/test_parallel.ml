@@ -78,7 +78,7 @@ let hw = Lognic.Params.hardware ~bw_interface:(50. *. U.gbps) ~bw_memory:(60. *.
 let replicated_bit_identical () =
   let g = pipeline () in
   let mix = [ (T.make ~rate:(2. *. U.gbps) ~packet_size:1500., 1.) ] in
-  let config = { S.Netsim.default_config with duration = 0.02; warmup = 0.002 } in
+  let config = S.Netsim.Config.(default |> with_horizon 0.02) in
   let sequential = S.Netsim.run_replicated ~config ~runs:4 g ~hw ~mix in
   List.iter
     (fun jobs ->

@@ -469,7 +469,7 @@ let netsim_seed_matters () =
   let traffic = T.make ~rate:(2. *. U.gbps) ~packet_size:1500. in
   let with_seed seed =
     (S.Netsim.run_single
-       ~config:{ S.Netsim.default_config with seed }
+       ~config:S.Netsim.Config.(default |> with_seed seed)
        g ~hw ~traffic)
       .summary.S.Telemetry.mean_latency
   in
@@ -483,7 +483,7 @@ let netsim_matches_model_throughput () =
       let model = Lognic.Latency.evaluate g ~hw ~traffic in
       let m =
         S.Netsim.run_single
-          ~config:{ S.Netsim.default_config with duration = 0.3; warmup = 0.05 }
+          ~config:S.Netsim.Config.(default |> with_horizon ~warmup:0.05 0.3)
           g ~hw ~traffic
       in
       check_within ~pct:3.
@@ -499,7 +499,7 @@ let netsim_matches_model_latency () =
       let model = Lognic.Latency.evaluate g ~hw ~traffic in
       let m =
         S.Netsim.run_single
-          ~config:{ S.Netsim.default_config with duration = 0.3; warmup = 0.05 }
+          ~config:S.Netsim.Config.(default |> with_horizon ~warmup:0.05 0.3)
           g ~hw ~traffic
       in
       check_within ~pct:6.
@@ -523,7 +523,7 @@ let netsim_multiengine_matches_mmcn () =
   let traffic = T.make ~rate:(3.4 *. U.gbps) ~packet_size:1500. in
   let m =
     S.Netsim.run_single
-      ~config:{ S.Netsim.default_config with duration = 0.3; warmup = 0.05 }
+      ~config:S.Netsim.Config.(default |> with_horizon ~warmup:0.05 0.3)
       g ~hw ~traffic
   in
   let mmcn = Lognic.Latency.evaluate ~model:Lognic.Latency.Mmcn_model g ~hw ~traffic in
@@ -593,7 +593,7 @@ let netsim_utilization_matches_model () =
       let traffic = T.make ~rate:(load *. 4. *. U.gbps) ~packet_size:1500. in
       let m =
         S.Netsim.run_single
-          ~config:{ S.Netsim.default_config with duration = 0.2; warmup = 0.02 }
+          ~config:S.Netsim.Config.(default |> with_horizon 0.2)
           g ~hw ~traffic
       in
       let ip_stats =
@@ -619,7 +619,7 @@ let netsim_medium_sheds_load () =
   let traffic = T.make ~rate:(5. *. U.gbps) ~packet_size:1500. in
   let m =
     S.Netsim.run_single
-      ~config:{ S.Netsim.default_config with duration = 0.2; warmup = 0.05 }
+      ~config:S.Netsim.Config.(default |> with_horizon ~warmup:0.05 0.2)
       g ~hw:tight_hw ~traffic
   in
   (* two alpha=1 edges share the 1G interface. The analytic ceiling is
@@ -642,7 +642,7 @@ let netsim_replicated () =
   let traffic = T.make ~rate:(2. *. U.gbps) ~packet_size:1500. in
   let r =
     S.Netsim.run_replicated
-      ~config:{ S.Netsim.default_config with duration = 0.05; warmup = 0.005 }
+      ~config:S.Netsim.Config.(default |> with_horizon 0.05)
       ~runs:4 g ~hw ~mix:[ (traffic, 1.) ]
   in
   Alcotest.(check int) "runs" 4 r.S.Netsim.runs;
@@ -718,9 +718,7 @@ let netsim_sampling () =
   let g = pipeline () in
   let traffic = T.make ~rate:(2. *. U.gbps) ~packet_size:1500. in
   let dt = 1e-3 in
-  let config =
-    { S.Netsim.default_config with sample_interval = Some dt }
-  in
+  let config = S.Netsim.Config.(default |> with_sampling dt) in
   let m = S.Netsim.run_single ~config g ~hw ~traffic in
   Alcotest.(check bool) "series present" true (List.length m.series > 0);
   (* per node: depth + busy; per medium: backlog *)
@@ -761,7 +759,7 @@ let netsim_replicated_entities () =
   let traffic = T.make ~rate:(2. *. U.gbps) ~packet_size:1500. in
   let r =
     S.Netsim.run_replicated
-      ~config:{ S.Netsim.default_config with duration = 0.05; warmup = 0.005 }
+      ~config:S.Netsim.Config.(default |> with_horizon 0.05)
       ~runs:3 g ~hw ~mix:[ (traffic, 1.) ]
   in
   Alcotest.(check bool) "per-entity stats present" true
@@ -809,7 +807,7 @@ let properties =
         let m =
           S.Netsim.run_single
             ~config:
-              { S.Netsim.default_config with duration = 0.02; warmup = 0.002; seed }
+              S.Netsim.Config.(default |> with_horizon 0.02 |> with_seed seed)
             g ~hw ~traffic
         in
         m.summary.S.Telemetry.throughput <= rate *. 1.1);

@@ -107,7 +107,7 @@ let tail_matches_simulator () =
       let tail = Lognic.Tail.overall (Lognic.Tail.evaluate g ~hw ~traffic) in
       let m =
         S.Netsim.run_single
-          ~config:{ S.Netsim.default_config with duration = 0.5; warmup = 0.05 }
+          ~config:S.Netsim.Config.(default |> with_horizon 0.5)
           g ~hw ~traffic
       in
       check_within ~pct:10.
@@ -187,12 +187,9 @@ let bursty_preserves_mean_rate () =
   let m =
     S.Netsim.run_single
       ~config:
-        {
-          S.Netsim.default_config with
-          duration = 1.0;
-          warmup = 0.1;
-          arrival = S.Traffic_gen.Bursty { burstiness = 3.; mean_on = 5e-4 };
-        }
+        S.Netsim.Config.(
+          default |> with_horizon 1.0
+          |> with_arrival (S.Traffic_gen.Bursty { burstiness = 3.; mean_on = 5e-4 }))
       g ~hw ~traffic
   in
   (* the IP has 10x headroom, so nothing drops and goodput = offered *)
@@ -205,7 +202,7 @@ let bursty_fattens_tails () =
   let traffic = T.make ~rate:(2.4 *. U.gbps) ~packet_size:1500. in
   let run arrival =
     (S.Netsim.run_single
-       ~config:{ S.Netsim.default_config with duration = 0.4; warmup = 0.05; arrival }
+       ~config:S.Netsim.Config.(default |> with_horizon ~warmup:0.05 0.4 |> with_arrival arrival)
        g ~hw ~traffic)
       .summary
   in
@@ -223,10 +220,9 @@ let bursty_validation () =
   check_raises_invalid "burstiness <= 1" (fun () ->
       S.Netsim.run_single
         ~config:
-          {
-            S.Netsim.default_config with
-            arrival = S.Traffic_gen.Bursty { burstiness = 1.; mean_on = 1e-3 };
-          }
+          S.Netsim.Config.(
+            default
+            |> with_arrival (S.Traffic_gen.Bursty { burstiness = 1.; mean_on = 1e-3 }))
         g ~hw ~traffic)
 
 (* Multi-queue WRR Ip_node *)
