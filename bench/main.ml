@@ -35,6 +35,7 @@ type cli = {
   contention_overhead : bool;
   metrics_overhead : bool;
   tenant_overhead : bool;
+  flowcache_overhead : bool;
   events_per_sec : bool;
   jobs : int option;
   json : string option;
@@ -45,7 +46,7 @@ let usage_line =
   "usage: main.exe [--quick] [--bench-only|--figures-only] \
    [--trace-overhead] [--fault-overhead] [--invariant-overhead] \
    [--contention-overhead] [--metrics-overhead] [--tenant-overhead] \
-   [--events-per-sec] [--jobs N] [--json PATH] [FIG...]"
+   [--flowcache-overhead] [--events-per-sec] [--jobs N] [--json PATH] [FIG...]"
 
 let help () =
   print_endline usage_line;
@@ -77,6 +78,9 @@ let help () =
     \  --tenant-overhead      tenants-off (and single-tenant) runs\n\
     \                         byte-identical; 16-VF arbitration <= 5%;\n\
     \                         steady-state words/event flat at 2000 VFs\n\
+    \  --flowcache-overhead   flow-cache-off runs byte-identical; the\n\
+    \                         1M-flow steady state allocates no words\n\
+    \                         per event beyond the flow draw\n\
     \  --events-per-sec       engine-reuse byte-identical; events/sec\n\
     \                         floor and words/event ceiling\n";
   exit 0
@@ -102,6 +106,8 @@ let cli =
       walk { acc with metrics_overhead = true } rest
     | "--tenant-overhead" :: rest ->
       walk { acc with tenant_overhead = true } rest
+    | "--flowcache-overhead" :: rest ->
+      walk { acc with flowcache_overhead = true } rest
     | "--events-per-sec" :: rest -> walk { acc with events_per_sec = true } rest
     | "--jobs" :: v :: rest -> (
       match int_of_string_opt v with
@@ -122,6 +128,7 @@ let cli =
       contention_overhead = false;
       metrics_overhead = false;
       tenant_overhead = false;
+      flowcache_overhead = false;
       events_per_sec = false;
       jobs = None;
       json = None;
@@ -784,6 +791,83 @@ let tenant_overhead_gate () =
        which covers the per-arrival tenant draw only)"
       delta
 
+(* --- flow-cache gate (--flowcache-overhead) ---
+
+   The state-dependent-split machinery at production rule scale. Two
+   checks. First, identity (exit 4): a config that round-trips through
+   [with_flow_cache]/[without_flow_cache] must run byte-identical to
+   the untouched default — the flow rng only splits when a cache is
+   configured, so a disabled run must leave every stream (and every
+   byte of measurement JSON) exactly as a build without the feature
+   would. Second, scale (exit 3): with a 1,000,000-flow Zipf
+   population and production-sized tables (8192-entry EMC, 65536-entry
+   megaflow) the steady-state minor-heap allocation rate — measured as
+   a finite difference between a 2x and a 1x horizon, which cancels
+   the O(flows) sampler/table setup — must not exceed the plain rate
+   by more than the per-arrival flow draw: the alias lookup and both
+   fixed-capacity LRUs are int-array machines that allocate nothing
+   per packet. *)
+
+let flowcache_overhead_gate () =
+  let module NS = Lognic_sim.Netsim in
+  let module App = Lognic_apps.Flow_cache in
+  let spec_1m = Lognic.Flowcache.spec ~flows:1_000_000 () in
+  let fc_graph = App.graph App.default in
+  let traffic = App.traffic App.default in
+  let base d = NS.Config.(default |> with_horizon ~warmup:2e-4 d) in
+  let run config =
+    NS.run_single ~config fc_graph ~hw:App.hardware ~traffic
+  in
+  let json m =
+    Lognic_sim.Telemetry.Json.to_string (NS.measurement_to_json m)
+  in
+  let plain_json = json (run (base 1e-2)) in
+  let round_trip =
+    NS.Config.(base 1e-2 |> with_flow_cache spec_1m |> without_flow_cache)
+  in
+  if json (run round_trip) <> plain_json then
+    fail_identity
+      "flow-cache round-tripped config is not byte-identical to the plain \
+       run — clearing the cache left residue in the rng stream layout";
+  Fmt.pr
+    "flow-cache-off identity: OK (round-tripped config matches, %d bytes of \
+     measurement JSON)@."
+    (String.length plain_json);
+  (* steady-state allocation: finite-difference words/event so the
+     1M-entry sampler and table setup cancels between horizons *)
+  let engine = Lognic_sim.Engine.create () in
+  let measure config =
+    let spec =
+      NS.Run.single ~config fc_graph ~hw:App.hardware ~traffic
+    in
+    ignore (NS.execute_with ~engine spec);
+    let w0 = Gc.minor_words () in
+    ignore (NS.execute_with ~engine spec);
+    (Gc.minor_words () -. w0, Lognic_sim.Engine.executed engine)
+  in
+  let steady with_cache =
+    let config d =
+      if with_cache then NS.Config.with_flow_cache spec_1m (base d)
+      else base d
+    in
+    let w1, e1 = measure (config 1e-2) in
+    let w2, e2 = measure (config 2e-2) in
+    (w2 -. w1) /. float_of_int (e2 - e1)
+  in
+  let wpe_plain = steady false in
+  let wpe_cached = steady true in
+  let delta = wpe_cached -. wpe_plain in
+  Fmt.pr
+    "steady-state allocation: plain %.3f words/event, 1M-flow cache %.3f \
+     words/event (delta %+.3f)@."
+    wpe_plain wpe_cached delta;
+  if delta > 2.0 then
+    fail_budget
+      "1M-flow steady state allocates %.3f words/event above the plain rate \
+       — per-flow or per-packet allocation crept into the lookup hot loop \
+       (budget 2.0, which covers the per-arrival flow draw only)"
+      delta
+
 (* --- events/sec headline gate (--events-per-sec) ---
 
    The engine-throughput headline: simulated events executed per
@@ -960,7 +1044,7 @@ let () =
   if
     cli.trace_overhead || cli.fault_overhead || cli.invariant_overhead
     || cli.contention_overhead || cli.metrics_overhead || cli.tenant_overhead
-    || cli.events_per_sec
+    || cli.flowcache_overhead || cli.events_per_sec
   then begin
     if cli.trace_overhead then trace_overhead_gate ();
     if cli.fault_overhead then fault_overhead_gate ();
@@ -968,6 +1052,7 @@ let () =
     if cli.contention_overhead then contention_overhead_gate ();
     if cli.metrics_overhead then metrics_overhead_gate ();
     if cli.tenant_overhead then tenant_overhead_gate ();
+    if cli.flowcache_overhead then flowcache_overhead_gate ();
     if cli.events_per_sec then events_per_sec_gate ();
     exit 0
   end;

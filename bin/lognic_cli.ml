@@ -865,6 +865,98 @@ let tenants_cmd =
           fairness/isolation indices.")
     term
 
+(* flowcache *)
+
+let flowcache_cmd =
+  let flows_arg =
+    let doc =
+      "Flow population size (accepts SI suffixes, e.g. 1M). The Zipf \
+       popularity distribution is drawn over this many flows."
+    in
+    Arg.(value & opt quantity_conv 1e6 & info [ "flows" ] ~docv:"N" ~doc)
+  in
+  let zipf_arg =
+    let doc = "Zipf skew s >= 0 of the flow popularity (0 = uniform)." in
+    Arg.(value & opt float 1.0 & info [ "zipf" ] ~docv:"S" ~doc)
+  in
+  let emc_arg =
+    let doc = "Exact-match cache capacity in entries (e.g. 8K)." in
+    Arg.(value & opt quantity_conv 8192. & info [ "emc" ] ~docv:"ENTRIES" ~doc)
+  in
+  let megaflow_arg =
+    let doc = "Megaflow-table capacity in entries (e.g. 64K)." in
+    Arg.(
+      value & opt quantity_conv 65536. & info [ "megaflow" ] ~docv:"ENTRIES" ~doc)
+  in
+  let ttl_arg =
+    let doc =
+      "Optional idle timeout in seconds (the OVS flow idle-timeout \
+       analogue); entries idle longer count as misses and the model's hit \
+       ratios become genuinely rate-dependent."
+    in
+    Arg.(value & opt (some float) None & info [ "ttl" ] ~docv:"SECONDS" ~doc)
+  in
+  let load_arg =
+    let doc = "Offered load as a fraction of the 25 GbE line rate." in
+    Arg.(value & opt float 0.5 & info [ "load" ] ~docv:"FRACTION" ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Also write the full flow-cache report as JSON (schema \"flowcache\") \
+       to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+  in
+  let run flows zipf emc megaflow ttl load packet queue_model duration seed
+      json =
+    let module App = Lognic_apps.Flow_cache in
+    let module FC = Lognic.Flowcache in
+    match
+      let cfg =
+        match packet with
+        | None -> App.default
+        | Some packet_size -> { App.default with App.packet_size }
+      in
+      let spec =
+        FC.spec ?ttl ~zipf ~emc_entries:(int_of_float emc)
+          ~megaflow_entries:(int_of_float megaflow) ~flows:(int_of_float flows)
+          ()
+      in
+      let config =
+        Lognic_sim.Netsim.Config.(
+          default |> with_horizon duration |> with_seed seed)
+      in
+      Lognic_sim.Explain.run_flowcache ~config ~queue_model spec
+        (App.graph cfg) ~hw:App.hardware ~traffic:(App.traffic ~load cfg)
+    with
+    | report ->
+      Fmt.pr "%a@." Lognic_sim.Explain.pp_flowcache report;
+      Option.iter
+        (fun path ->
+          write_json path (Lognic_sim.Explain.flowcache_to_json report);
+          Fmt.pr "flowcache report written to %s@." path)
+        json;
+      Ok ()
+    | exception Invalid_argument m -> Error (`Msg m)
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ flows_arg $ zipf_arg $ emc_arg $ megaflow_arg $ ttl_arg
+       $ load_arg $ packet_arg $ queue_model_arg $ duration_arg $ seed_arg
+       $ json_arg))
+  in
+  Cmd.v
+    (Cmd.info "flowcache"
+       ~doc:
+         "Evaluate the flow-cache offload scenario with state-dependent \
+          (feedback) splits: solve the EMC/megaflow hit ratios to a damped \
+          fixed point under Che's LRU approximation, simulate the converged \
+          datapath with per-packet cache lookups over a Zipf flow \
+          population, and join the two — hit ratios, per-class (hot/warm/\
+          cold) tail latency, and aggregate residuals.")
+    term
+
 (* contention *)
 
 let contention_cmd =
@@ -1435,7 +1527,8 @@ let () =
     Cmd.group info
       [
         estimate_cmd; sweep_cmd; simulate_cmd; check_cmd; report_cmd; watch_cmd;
-        explain_cmd; tenants_cmd; contention_cmd; faults_cmd; validate_cmd;
+        explain_cmd; tenants_cmd; flowcache_cmd; contention_cmd; faults_cmd;
+        validate_cmd;
         optimize_cmd; sensitivity_cmd; roofline_cmd; params_cmd; figures_cmd;
       ]
   in

@@ -156,6 +156,34 @@ let tenant_scenarios () =
         Sim.Telemetry.Json.to_string (Sim.Explain.tenants_to_json report) );
   ]
 
+(* Pinned flow-cache run: an OVS-style EMC → megaflow → slow-path
+   datapath over a 4096-flow Zipf(1.1) population with tables small
+   enough (256/1024 entries) to reach cache steady state inside the
+   window, captured as the versioned [kind:"flowcache"] report JSON.
+   One fixture pins the alias-method flow sampler, the fixed-capacity
+   LRU eviction order, the flow rng stream layout, the per-class
+   latency histograms and the model's fixed-point join in a single
+   byte comparison. *)
+let flowcache_scenarios () =
+  [
+    ( "flowcache-zipf",
+      fun () ->
+        let spec =
+          Lognic.Flowcache.spec ~zipf:1.1 ~emc_entries:256
+            ~megaflow_entries:1024 ~flows:4096 ()
+        in
+        let app = Lognic_apps.Flow_cache.default in
+        let report =
+          Sim.Explain.run_flowcache
+            ~config:(config ~seed:17 ~duration:5e-3 ())
+            spec
+            (Lognic_apps.Flow_cache.graph app)
+            ~hw:Lognic_apps.Flow_cache.hardware
+            ~traffic:(Lognic_apps.Flow_cache.traffic app)
+        in
+        Sim.Telemetry.Json.to_string (Sim.Explain.flowcache_to_json report) );
+  ]
+
 let contention_scenarios () =
   [
     ( "contended-two-class",

@@ -274,6 +274,85 @@ let invariants_hold_everywhere ~count =
       && (json checked = json plain
          || QCheck.Test.fail_reportf "checking changed the measurement JSON"))
 
+(* ---- routing residual mass ------------------------------------------- *)
+
+(* Audit property for the per-packet routing draw: fraction vectors
+   whose cumulative float sums misbehave — subnormals next to 1.0,
+   zero branches, sums that need rounding — must never let a draw fall
+   off the end of the cumulative table. Every packet keeps a real
+   route (all conservation laws hold with the checker on) and no NaN
+   leaks into the measurement. *)
+let pathological_fractions =
+  [
+    [ 1e-300; 1e-300; 1.0 ];
+    [ 1.0; 1e-300 ];
+    [ 0.; 1e-300; 1.0 ];
+    [ 0.1; 0.1; 0.1 ];
+    [ 1e-17; 1.0; 1e-17 ];
+    [ 0.3; 0.3; 0.4 ];
+    [ 4e-324; 1.0 ];
+  ]
+
+let routing_residual_mass ~count =
+  QCheck.Test.make ~count
+    ~name:"netsim: routing draw never falls off the cumulative table"
+    (arb
+       (QCheck.Gen.pair
+          (QCheck.Gen.oneofl pathological_fractions)
+          (QCheck.Gen.int_range 1 1000))
+       ~print:(fun (fs, seed) ->
+         Printf.sprintf "seed %d [%s]" seed
+           (String.concat "; " (List.map (Printf.sprintf "%h") fs))))
+    (fun (fractions, seed) ->
+      let svc t = G.service ~throughput:t () in
+      let g = G.empty in
+      let g, i = G.add_vertex ~kind:G.Ingress ~label:"in" ~service:(svc 25e9) g in
+      let g, e = G.add_vertex ~kind:G.Egress ~label:"out" ~service:(svc 25e9) g in
+      let g, _ =
+        List.fold_left
+          (fun (g, k) delta ->
+            let g, v =
+              G.add_vertex ~kind:G.Ip
+                ~label:(Printf.sprintf "branch%d" k)
+                ~service:(svc 5e9) g
+            in
+            let g = G.add_edge ~delta ~src:i ~dst:v g in
+            (G.add_edge ~src:v ~dst:e g, k + 1))
+          (g, 0) fractions
+      in
+      let hw = Lognic.Params.hardware ~bw_interface:1e12 ~bw_memory:1e12 in
+      let traffic = Lognic.Traffic.make ~rate:1e9 ~packet_size:1000. in
+      let config =
+        Sim.Netsim.Config.(
+          default |> with_seed seed |> with_horizon 2e-3
+          |> with_invariants true)
+      in
+      let m = Sim.Netsim.execute (Sim.Netsim.Run.single ~config g ~hw ~traffic) in
+      let invariants_ok =
+        match m.Sim.Netsim.invariants with
+        | None -> QCheck.Test.fail_reportf "checker was on but report is missing"
+        | Some report ->
+          Sim.Invariants.ok report
+          ||
+          let v = List.hd report.Sim.Invariants.violations in
+          QCheck.Test.fail_reportf "%d violation(s), first: %s"
+            report.Sim.Invariants.total_violations
+            (Format.asprintf "%a" Sim.Invariants.pp_violation v)
+      in
+      let rec all_finite = function
+        | Sim.Telemetry.Json.Num x -> Float.is_finite x
+        | Sim.Telemetry.Json.Obj kvs ->
+          List.for_all (fun (_, v) -> all_finite v) kvs
+        | Sim.Telemetry.Json.Arr vs -> List.for_all all_finite vs
+        | _ -> true
+      in
+      invariants_ok
+      && (m.Sim.Netsim.summary.Sim.Telemetry.delivered_packets > 0
+         || QCheck.Test.fail_reportf "no packet survived the split")
+      && (all_finite (Sim.Netsim.measurement_to_json m)
+         || QCheck.Test.fail_reportf
+              "non-finite number leaked into the measurement JSON"))
+
 (* ---- traffic mixes and contention ------------------------------------ *)
 
 let same_bits a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
@@ -600,6 +679,142 @@ let tenant_jobs_bit_identical ~count =
       || QCheck.Test.fail_reportf
            "tenanted replicated results diverge across jobs")
 
+(* ---- flow-cache feedback splits -------------------------------------- *)
+
+module FC = Lognic.Flowcache
+module FApp = Lognic_apps.Flow_cache
+
+(* Small cache/population sizes: the sim's cold-start fill time scales
+   with table capacity, so tiny tables reach steady state within the
+   short horizons a property suite can afford. *)
+let fc_spec_gen st =
+  let flows = QCheck.Gen.int_range 512 4096 st in
+  let zipf = QCheck.Gen.float_range 0.2 1.3 st in
+  let emc = QCheck.Gen.int_range 16 128 st in
+  let megaflow = QCheck.Gen.int_range 128 1024 st in
+  let ttl =
+    if QCheck.Gen.bool st then Some (QCheck.Gen.float_range 1e-5 1e-2 st)
+    else None
+  in
+  FC.spec ?ttl ~zipf ~emc_entries:emc ~megaflow_entries:megaflow ~flows ()
+
+let fc_spec_print (s : FC.spec) =
+  Printf.sprintf "flows=%d zipf=%g emc=%d mega=%d ttl=%s" s.FC.flows s.FC.zipf
+    s.FC.emc_entries s.FC.megaflow_entries
+    (match s.FC.ttl with None -> "-" | Some t -> Printf.sprintf "%g" t)
+
+(* The damped fixed point must land on the same hit ratios from any
+   interior starting guess — if two starts disagree, the "solution" is
+   an artifact of the seed, not a fixed point. *)
+let flowcache_fixed_point_converges ~count =
+  QCheck.Test.make ~count
+    ~name:"flowcache: fixed point converges from any start"
+    (arb
+       (QCheck.Gen.pair fc_spec_gen
+          (QCheck.Gen.pair
+             (QCheck.Gen.float_range 0.01 0.99)
+             (QCheck.Gen.float_range 0.01 0.99)))
+       ~print:(fun (s, (a, b)) ->
+         Printf.sprintf "%s init=[%g;%g]" (fc_spec_print s) a b))
+    (fun (spec, (i0, i1)) ->
+      let g = FApp.graph FApp.default in
+      let hw = FApp.hardware and traffic = FApp.traffic FApp.default in
+      let r = FC.evaluate ~init:[| i0; i1 |] spec g ~hw ~traffic in
+      let r' = FC.evaluate spec g ~hw ~traffic in
+      (r.FC.converged
+      || QCheck.Test.fail_reportf "no convergence from init [%g; %g]" i0 i1)
+      && (r'.FC.converged
+         || QCheck.Test.fail_reportf "no convergence from the default init")
+      && r.FC.emc_hit_ratio >= 0.
+      && r.FC.emc_hit_ratio <= 1.
+      && r.FC.megaflow_hit_ratio >= 0.
+      && r.FC.megaflow_hit_ratio <= 1.
+      && fail_close ~tol:1e-6 ~what:"emc hit ratio (init independence)"
+           r'.FC.emc_hit_ratio r.FC.emc_hit_ratio
+      && fail_close ~tol:1e-6 ~what:"megaflow hit ratio (init independence)"
+           r'.FC.megaflow_hit_ratio r.FC.megaflow_hit_ratio)
+
+(* Without a TTL the hit ratios are rate-independent, so the feedback
+   machinery must collapse to a plain static split: rewriting the graph
+   once with the converged ratios and running the ordinary estimator
+   reproduces the fixed point's report bit for bit. *)
+let flowcache_collapse_static ~count =
+  QCheck.Test.make ~count
+    ~name:"flowcache: no-TTL fixed point = static split, bit for bit"
+    (arb fc_spec_gen ~print:fc_spec_print)
+    (fun spec ->
+      let spec = { spec with FC.ttl = None } in
+      let g = FApp.graph FApp.default in
+      let hw = FApp.hardware and traffic = FApp.traffic FApp.default in
+      let r = FC.evaluate spec g ~hw ~traffic in
+      let static =
+        let v label =
+          match G.find_vertex g ~label with
+          | Some v -> v.G.id
+          | None -> QCheck.Test.fail_reportf "scenario lost vertex %S" label
+        in
+        let h = r.FC.emc_hit_ratio and hm = r.FC.megaflow_hit_ratio in
+        let g = G.scale_out_split g (v spec.FC.emc_label) [ h; 1. -. h ] in
+        G.scale_out_split g (v spec.FC.megaflow_label) [ hm; 1. -. hm ]
+      in
+      let s = Lognic.Estimate.run static ~hw ~traffic in
+      fail_bits ~what:"attained throughput"
+        s.Lognic.Estimate.throughput.Lognic.Throughput.attained
+        r.FC.throughput.Lognic.Throughput.attained
+      && fail_bits ~what:"capacity"
+           s.Lognic.Estimate.throughput.Lognic.Throughput.capacity
+           r.FC.throughput.Lognic.Throughput.capacity
+      && fail_bits ~what:"mean latency"
+           s.Lognic.Estimate.latency.Lognic.Latency.mean
+           r.FC.latency.Lognic.Latency.mean
+      && fail_bits ~what:"carried rate"
+           s.Lognic.Estimate.latency.Lognic.Latency.carried_rate
+           r.FC.latency.Lognic.Latency.carried_rate)
+
+(* Per-packet lookup-driven routing must preserve the determinism
+   contract domain-parallel replication relies on. *)
+let flowcache_jobs_bit_identical ~count =
+  QCheck.Test.make ~count
+    ~name:"flowcache: --jobs 1 and --jobs 4 are bit-identical"
+    (arb fc_spec_gen ~print:fc_spec_print)
+    (fun spec_fc ->
+      let config =
+        Sim.Netsim.Config.(
+          default |> with_horizon ~warmup:2e-4 2e-3 |> with_flow_cache spec_fc)
+      in
+      let spec =
+        Sim.Netsim.Run.make ~config (FApp.graph FApp.default)
+          ~hw:FApp.hardware
+          ~mix:[ (FApp.traffic FApp.default, 1.) ]
+      in
+      let a = Sim.Parallel.execute_replicated ~jobs:1 ~runs:3 spec in
+      let b = Sim.Parallel.execute_replicated ~jobs:4 ~runs:3 spec in
+      a = b
+      || QCheck.Test.fail_reportf
+           "flow-cache replicated results diverge across jobs")
+
+(* Setting and then clearing the flow cache must leave no residue: the
+   round-tripped config runs byte-identical to the untouched baseline
+   (the flow rng splits only when the cache is configured, so a clean
+   [without_flow_cache] restores every stream). *)
+let flowcache_off_identity ~count =
+  QCheck.Test.make ~count
+    ~name:"flowcache: disabled config is byte-identical to baseline"
+    (arb
+       (QCheck.Gen.pair Gen.wild fc_spec_gen)
+       ~print:(fun (sc, s) -> sc.Gen.label ^ " " ^ fc_spec_print s))
+    (fun (sc, spec_fc) ->
+      let base =
+        Sim.Netsim.Config.(default |> with_horizon ~warmup:2e-4 2e-3)
+      in
+      let round_trip =
+        Sim.Netsim.Config.(base |> with_flow_cache spec_fc |> without_flow_cache)
+      in
+      measurement_json (tenant_measure sc base)
+      = measurement_json (tenant_measure sc round_trip)
+      || QCheck.Test.fail_reportf
+           "flow-cache round-tripped config perturbed the run")
+
 (* ---- colon-spec grammar round trip ----------------------------------- *)
 
 (* [Spec.render] documents itself as the inverse of [Spec.parse]; check
@@ -755,6 +970,7 @@ let suite ?(scale = 1.) () =
     mm1n_vs_sim_sojourn ~count:(n 6);
     run_wrapper_equivalence ~count:(n 10);
     invariants_hold_everywhere ~count:(n 20);
+    routing_residual_mass ~count:(n 20);
     calendar_matches_heap ~count:(n 500);
     mix_single_class_limit ~count:(n 50);
     mix_identical_classes_collapse ~count:(n 6);
@@ -765,5 +981,9 @@ let suite ?(scale = 1.) () =
     tenant_single_identity ~count:(n 6);
     tenant_wrr_fairness ~count:(n 6);
     tenant_jobs_bit_identical ~count:(n 4);
+    flowcache_fixed_point_converges ~count:(n 20);
+    flowcache_collapse_static ~count:(n 20);
+    flowcache_jobs_bit_identical ~count:(n 3);
+    flowcache_off_identity ~count:(n 4);
     spec_round_trip ~count:(n 300);
   ]

@@ -527,3 +527,42 @@ let insert_rate_limiter g ~before ~rate ~queue_capacity =
   in
   let g = Graph.add_edge ~delta:total_delta ~src:limiter ~dst:before g in
   (g, limiter)
+
+(* ---- damped fixed-point iteration ----------------------------------- *)
+
+type fixed_point_result = {
+  value : float array;
+  iterations : int;
+  fp_converged : bool;
+}
+
+let fixed_point ?(damping = 0.5) ?(tol = 1e-9) ?(max_iter = 200) ~update x0 =
+  if (not (Float.is_finite damping)) || damping <= 0. || damping > 1. then
+    invalid_arg "Extensions.fixed_point: damping must be in (0, 1]";
+  if not (Float.is_finite tol && tol > 0.) then
+    invalid_arg "Extensions.fixed_point: tol must be > 0";
+  if max_iter < 1 then
+    invalid_arg "Extensions.fixed_point: max_iter must be >= 1";
+  let n = Array.length x0 in
+  let x = Array.copy x0 in
+  let rec go i =
+    if i >= max_iter then { value = x; iterations = i; fp_converged = false }
+    else begin
+      (* hand [update] its own copy so a mutating callee cannot corrupt
+         the iterate mid-step *)
+      let fx = update (Array.copy x) in
+      if Array.length fx <> n then
+        invalid_arg "Extensions.fixed_point: update changed the dimension";
+      let step = ref 0. in
+      for k = 0 to n - 1 do
+        if not (Float.is_finite fx.(k)) then
+          invalid_arg "Extensions.fixed_point: update produced a non-finite value";
+        let xk = ((1. -. damping) *. x.(k)) +. (damping *. fx.(k)) in
+        step := Float.max !step (Float.abs (xk -. x.(k)));
+        x.(k) <- xk
+      done;
+      if !step <= tol then { value = x; iterations = i + 1; fp_converged = true }
+      else go (i + 1)
+    end
+  in
+  go 0

@@ -143,6 +143,32 @@ val mixed_tail :
     (λ, μ) of every shared vertex threaded through
     {!Tail.evaluate}'s [rates_for] hook. *)
 
+type fixed_point_result = {
+  value : float array;  (** the final (possibly unconverged) iterate *)
+  iterations : int;  (** damped steps actually taken *)
+  fp_converged : bool;
+      (** the sup-norm step fell to [tol] within [max_iter] iterations *)
+}
+
+val fixed_point :
+  ?damping:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  update:(float array -> float array) ->
+  float array ->
+  fixed_point_result
+(** [fixed_point ~update x0] iterates the damped map
+    x ← (1 − d)·x + d·update(x) from [x0] until the sup-norm step is
+    ≤ [tol] (default 1e-9) or [max_iter] (default 200) steps elapse.
+    [damping] d ∈ (0, 1] defaults to 0.5 — a contraction keeps its
+    fixed points under damping and oscillating maps (a cache whose hit
+    ratio rises when its arrival rate falls, and vice versa) are pulled
+    back toward convergence. The state-dependent traffic-split solver
+    ({!Flowcache.evaluate}) iterates split fractions → per-stage rates
+    → steady-state hit ratios through this. Raises [Invalid_argument]
+    on out-of-domain parameters, a dimension change, or a non-finite
+    update component. *)
+
 val insert_rate_limiter :
   Graph.t ->
   before:Graph.vertex_id ->

@@ -120,10 +120,28 @@ let scale_out_split g id fractions =
   let outs = out_edges g id in
   if List.length outs <> List.length fractions then
     invalid_arg "Graph.scale_out_split: length mismatch";
+  (* Degenerate fraction vectors would otherwise reach the division by
+     [total_fraction] below and poison every out-edge with NaN δ/α/β
+     (NaN passes both the [f < 0.] and [total <= 0.] tests). Name the
+     vertex in every rejection so the caller can find the offending
+     split — the feedback-split iteration feeds computed fractions in
+     here, and "zero split" alone does not say where. *)
+  let at () =
+    match List.find_opt (fun v -> v.id = id) g.verts with
+    | Some v -> Printf.sprintf "%S (vertex %d)" v.label id
+    | None -> Printf.sprintf "vertex %d" id
+  in
+  if List.exists (fun f -> not (Float.is_finite f)) fractions then
+    invalid_arg
+      (Printf.sprintf "Graph.scale_out_split: non-finite fraction at %s"
+         (at ()));
   if List.exists (fun f -> f < 0.) fractions then
-    invalid_arg "Graph.scale_out_split: negative fraction";
+    invalid_arg
+      (Printf.sprintf "Graph.scale_out_split: negative fraction at %s" (at ()));
   let total_fraction = List.fold_left ( +. ) 0. fractions in
-  if total_fraction <= 0. then invalid_arg "Graph.scale_out_split: zero split";
+  if total_fraction <= 0. then
+    invalid_arg
+      (Printf.sprintf "Graph.scale_out_split: all-zero fractions at %s" (at ()));
   let total_delta = List.fold_left (fun acc e -> acc +. e.delta) 0. outs in
   let assignments =
     List.map2

@@ -141,7 +141,9 @@ val scale_out_split : t -> vertex_id -> float list -> t
     total but are split according to [fractions] (which are normalized
     first). Each edge's α and β are rescaled proportionally to its new
     δ, preserving the per-edge medium mix. Raises [Invalid_argument] on
-    a length mismatch, negative fractions, or an all-zero list. *)
+    a length mismatch, or — naming the vertex — on negative, NaN,
+    infinite, or all-zero fractions (an all-zero list would otherwise
+    divide by zero and poison every out-edge with NaN δ/α/β). *)
 
 (** {1 Analysis} *)
 

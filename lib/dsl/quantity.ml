@@ -23,6 +23,11 @@ let suffixes =
     ("kops", 1e3);
     ("mops", 1e6);
     ("ops", 1.);
+    (* bare SI count suffixes (flow populations, cache entries); listed
+       last so every unit-bearing suffix above wins the longest match *)
+    ("k", 1e3);
+    ("m", 1e6);
+    ("g", 1e9);
   ]
 
 let parse text =

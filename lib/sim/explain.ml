@@ -812,3 +812,216 @@ let pp_tenants ppf t =
     t.tr_rows
 
 let tenants_to_text t = Format.asprintf "%a" pp_tenants t
+
+(* ---- flow cache ------------------------------------------------------ *)
+
+type flowcache_class_row = {
+  fr_name : string;  (* hot / warm / cold *)
+  fr_model_share : float;
+  fr_sim_share : float;
+  fr_model_mean : float;
+  fr_sim_mean : float option;
+  fr_mean_error : float option;
+  fr_model_p99 : float;
+  fr_sim_p99 : float option;
+}
+
+type flowcache_report = {
+  fc_model : Lognic.Flowcache.result;
+  fc_stats : Flow_cache.stats;
+  fc_measurement : Netsim.measurement;
+  fc_bottleneck : string;
+  fc_model_throughput : float;
+  fc_sim_throughput : float;
+  fc_throughput_error : float;
+  fc_model_latency : float;
+  fc_sim_latency : float;
+  fc_latency_error : float;
+  fc_emc_hit_error : float;
+  fc_mega_hit_error : float;
+  fc_overall_hit_error : float;
+  fc_rows : flowcache_class_row list;
+}
+
+let run_flowcache ?config ?queue_model spec g ~hw ~traffic =
+  let model =
+    Lognic.Estimate.run_flowcache ?queue_model spec g ~hw ~traffic
+  in
+  let config = Option.value config ~default:Netsim.default_config in
+  let config = { config with Netsim.flow_cache = Some spec } in
+  (* Simulate the *converged* graph: per-packet routing at the cache
+     vertices comes from actual lookups either way, but the δs feed the
+     reach probabilities that scale per-packet medium bytes, so media
+     loads line up with the model's fixed point rather than whatever
+     splits the input graph carried. *)
+  let measurement =
+    Netsim.run_single ~config model.Lognic.Flowcache.graph ~hw ~traffic
+  in
+  let stats =
+    match measurement.Netsim.flow_cache with
+    | Some s -> s
+    | None -> assert false (* config carried the flow-cache spec *)
+  in
+  let tp = model.Lognic.Flowcache.throughput in
+  let attained = tp.Lognic.Throughput.attained in
+  let model_latency = model.Lognic.Flowcache.latency.Lognic.Latency.mean in
+  let sim_throughput = measurement.Netsim.summary.Telemetry.throughput in
+  let sim_latency = measurement.Netsim.summary.Telemetry.mean_latency in
+  let sim_row name =
+    Array.to_list stats.Flow_cache.fc_classes
+    |> List.find_opt (fun (r : Flow_cache.class_row) ->
+           r.Flow_cache.c_name = name)
+  in
+  let rows =
+    List.map
+      (fun (c : Lognic.Flowcache.class_report) ->
+        let sim = sim_row c.Lognic.Flowcache.klass in
+        let sim_mean =
+          Option.bind sim (fun (r : Flow_cache.class_row) ->
+              if r.Flow_cache.c_count > 0 then Some r.Flow_cache.c_mean_latency
+              else None)
+        in
+        {
+          fr_name = c.Lognic.Flowcache.klass;
+          fr_model_share = c.Lognic.Flowcache.share;
+          fr_sim_share =
+            (match sim with
+            | Some r -> r.Flow_cache.c_share
+            | None -> 0.);
+          fr_model_mean = c.Lognic.Flowcache.class_mean;
+          fr_sim_mean = sim_mean;
+          fr_mean_error =
+            Option.map
+              (fun sim -> relative_error ~model:c.Lognic.Flowcache.class_mean ~sim)
+              sim_mean;
+          fr_model_p99 = c.Lognic.Flowcache.class_p99;
+          fr_sim_p99 =
+            Option.bind sim (fun (r : Flow_cache.class_row) ->
+                if r.Flow_cache.c_count > 0 then Some r.Flow_cache.c_p99_latency
+                else None);
+        })
+      model.Lognic.Flowcache.classes
+  in
+  (* Hit-ratio agreement is reported as absolute differences: the
+     ratios live in [0, 1] and a relative error at a near-zero miss
+     share would read as alarming when the caches agree to within a
+     fraction of a percent of the traffic. *)
+  let abs_err model sim = Float.abs (model -. sim) in
+  {
+    fc_model = model;
+    fc_stats = stats;
+    fc_measurement = measurement;
+    fc_bottleneck = bound_name g tp.Lognic.Throughput.bottleneck;
+    fc_model_throughput = attained;
+    fc_sim_throughput = sim_throughput;
+    fc_throughput_error = relative_error ~model:attained ~sim:sim_throughput;
+    fc_model_latency = model_latency;
+    fc_sim_latency = sim_latency;
+    fc_latency_error = relative_error ~model:model_latency ~sim:sim_latency;
+    fc_emc_hit_error =
+      abs_err model.Lognic.Flowcache.emc_hit_ratio
+        stats.Flow_cache.fc_emc_hit_ratio;
+    fc_mega_hit_error =
+      abs_err model.Lognic.Flowcache.megaflow_hit_ratio
+        stats.Flow_cache.fc_mega_hit_ratio;
+    fc_overall_hit_error =
+      abs_err model.Lognic.Flowcache.overall_hit_ratio
+        stats.Flow_cache.fc_overall_hit_ratio;
+    fc_rows = rows;
+  }
+
+let flowcache_class_to_json r =
+  J.Obj
+    [
+      ("name", J.Str r.fr_name);
+      ("model_share", J.Num r.fr_model_share);
+      ("sim_share", J.Num r.fr_sim_share);
+      ("model_mean_latency", J.Num r.fr_model_mean);
+      ("sim_mean_latency", opt_float r.fr_sim_mean);
+      ("mean_latency_error", opt_float r.fr_mean_error);
+      ("model_p99_latency", J.Num r.fr_model_p99);
+      ("sim_p99_latency", opt_float r.fr_sim_p99);
+    ]
+
+let flowcache_to_json t =
+  let m = t.fc_model in
+  J.versioned ~kind:"flowcache"
+    [
+      ( "model",
+        J.Obj
+          [
+            ("emc_hit_ratio", J.Num m.Lognic.Flowcache.emc_hit_ratio);
+            ("megaflow_hit_ratio", J.Num m.Lognic.Flowcache.megaflow_hit_ratio);
+            ("overall_hit_ratio", J.Num m.Lognic.Flowcache.overall_hit_ratio);
+            ("iterations", J.Num (float_of_int m.Lognic.Flowcache.iterations));
+            ("converged", J.Bool m.Lognic.Flowcache.converged);
+            ("throughput", J.Num t.fc_model_throughput);
+            ("latency", J.Num t.fc_model_latency);
+            ("bottleneck", J.Str t.fc_bottleneck);
+          ] );
+      ( "sim",
+        J.Obj
+          [
+            ("emc_hit_ratio", J.Num t.fc_stats.Flow_cache.fc_emc_hit_ratio);
+            ("megaflow_hit_ratio", J.Num t.fc_stats.Flow_cache.fc_mega_hit_ratio);
+            ("overall_hit_ratio", J.Num t.fc_stats.Flow_cache.fc_overall_hit_ratio);
+            ("throughput", J.Num t.fc_sim_throughput);
+            ("latency", J.Num t.fc_sim_latency);
+          ] );
+      ("throughput_error", J.Num t.fc_throughput_error);
+      ("latency_error", J.Num t.fc_latency_error);
+      ("emc_hit_error", J.Num t.fc_emc_hit_error);
+      ("megaflow_hit_error", J.Num t.fc_mega_hit_error);
+      ("overall_hit_error", J.Num t.fc_overall_hit_error);
+      ("classes", J.Arr (List.map flowcache_class_to_json t.fc_rows));
+      ("sim_detail", Flow_cache.stats_to_json t.fc_stats);
+    ]
+
+let flowcache_to_string t = J.to_string (flowcache_to_json t)
+
+let pp_flowcache ppf t =
+  let m = t.fc_model in
+  let pct x = 100. *. x in
+  Format.fprintf ppf
+    "flow cache: model vs simulation (%d flows, zipf %.2f, emc %d, megaflow \
+     %d)@\n"
+    t.fc_stats.Flow_cache.fc_flows t.fc_stats.Flow_cache.fc_zipf
+    t.fc_stats.Flow_cache.fc_emc_entries
+    t.fc_stats.Flow_cache.fc_megaflow_entries;
+  Format.fprintf ppf "  fixed point %s in %d iterations@\n"
+    (if m.Lognic.Flowcache.converged then "converged" else "DID NOT converge")
+    m.Lognic.Flowcache.iterations;
+  Format.fprintf ppf
+    "  hit ratios  emc: model %.4f sim %.4f (Δ %.4f)   megaflow|miss: model \
+     %.4f sim %.4f (Δ %.4f)@\n"
+    m.Lognic.Flowcache.emc_hit_ratio t.fc_stats.Flow_cache.fc_emc_hit_ratio
+    t.fc_emc_hit_error m.Lognic.Flowcache.megaflow_hit_ratio
+    t.fc_stats.Flow_cache.fc_mega_hit_ratio t.fc_mega_hit_error;
+  Format.fprintf ppf
+    "  overall     model %.4f sim %.4f (Δ %.4f; 1 - slow-path share)@\n"
+    m.Lognic.Flowcache.overall_hit_ratio
+    t.fc_stats.Flow_cache.fc_overall_hit_ratio t.fc_overall_hit_error;
+  Format.fprintf ppf
+    "  throughput  model %.4g B/s   sim %.4g B/s   error %.1f%%@\n"
+    t.fc_model_throughput t.fc_sim_throughput (pct t.fc_throughput_error);
+  Format.fprintf ppf
+    "  latency     model %.4g s     sim %.4g s     error %.1f%%@\n"
+    t.fc_model_latency t.fc_sim_latency (pct t.fc_latency_error);
+  Format.fprintf ppf "  bottleneck  %s@\n" t.fc_bottleneck;
+  Format.fprintf ppf "  %-6s %11s %9s %11s %9s %6s %11s %9s@\n" "class"
+    "model-share" "sim-share" "model-mean" "sim-mean" "m-err" "model-p99"
+    "sim-p99";
+  List.iter
+    (fun r ->
+      let opt = function None -> "-" | Some x -> Printf.sprintf "%.3g" x in
+      let opt_pct = function
+        | None -> "-"
+        | Some x -> Printf.sprintf "%.0f%%" (pct x)
+      in
+      Format.fprintf ppf
+        "  %-6s %11.4f %9.4f %11.3g %9s %6s %11.3g %9s@\n" r.fr_name
+        r.fr_model_share r.fr_sim_share r.fr_model_mean (opt r.fr_sim_mean)
+        (opt_pct r.fr_mean_error) r.fr_model_p99 (opt r.fr_sim_p99))
+    t.fc_rows
+
+let flowcache_to_text t = Format.asprintf "%a" pp_flowcache t

@@ -207,3 +207,69 @@ val tenants_to_json : tenant_report -> Telemetry.Json.t
 val tenants_to_string : tenant_report -> string
 val pp_tenants : Format.formatter -> tenant_report -> unit
 val tenants_to_text : tenant_report -> string
+
+(** {2 Flow cache}
+
+    The joined model/sim report for the state-dependent (feedback)
+    split scenario: {!Lognic.Flowcache.evaluate}'s fixed point on the
+    model side against a simulation whose per-packet routing at the
+    cache vertices comes from actual EMC/megaflow lookups
+    ({!Flow_cache}). *)
+
+type flowcache_class_row = {
+  fr_name : string;  (** ["hot"], ["warm"] or ["cold"] *)
+  fr_model_share : float;
+  fr_sim_share : float;
+  fr_model_mean : float;
+  fr_sim_mean : float option;
+      (** [None] when the simulator delivered no packets of this class *)
+  fr_mean_error : float option;
+  fr_model_p99 : float;
+  fr_sim_p99 : float option;
+      (** log₂-bucket estimate — good to a factor of 2 *)
+}
+
+type flowcache_report = {
+  fc_model : Lognic.Flowcache.result;
+  fc_stats : Flow_cache.stats;  (** the simulator's per-class attribution *)
+  fc_measurement : Netsim.measurement;
+  fc_bottleneck : string;
+  fc_model_throughput : float;
+  fc_sim_throughput : float;
+  fc_throughput_error : float;
+  fc_model_latency : float;
+  fc_sim_latency : float;
+  fc_latency_error : float;
+  fc_emc_hit_error : float;
+      (** |model − sim| hit-ratio difference (absolute: the ratios live
+          in [0, 1], where a relative error at a near-zero miss share
+          would mislead) *)
+  fc_mega_hit_error : float;
+  fc_overall_hit_error : float;
+  fc_rows : flowcache_class_row list;  (** hot, warm, cold *)
+}
+
+val run_flowcache :
+  ?config:Netsim.config ->
+  ?queue_model:Lognic.Latency.queue_model ->
+  Lognic.Flowcache.spec ->
+  Lognic.Graph.t ->
+  hw:Lognic.Params.hardware ->
+  traffic:Lognic.Traffic.t ->
+  flowcache_report
+(** Solve the model's fixed point, then run one simulation of the
+    {e converged} graph with [config.flow_cache = Some spec] (any spec
+    already in [config] is replaced; the converged δs keep the sim's
+    reach-probability byte scaling consistent with the model), and join
+    the two: hit ratios, aggregate throughput/latency, and per-class
+    rows. Raises like {!Lognic.Flowcache.evaluate} and {!Netsim.execute}. *)
+
+val flowcache_to_json : flowcache_report -> Telemetry.Json.t
+(** Versioned [kind:"flowcache"] JSON: model and sim hit ratios with
+    absolute differences, the aggregate join, one row per class, and
+    the full simulator detail ({!Flow_cache.stats_to_json}) under
+    [sim_detail]. *)
+
+val flowcache_to_string : flowcache_report -> string
+val pp_flowcache : Format.formatter -> flowcache_report -> unit
+val flowcache_to_text : flowcache_report -> string

@@ -13,6 +13,7 @@ type config = {
   check_invariants : bool;
   metrics : Metrics.config option;
   tenants : Tenant.set option;
+  flow_cache : Lognic.Flowcache.spec option;
 }
 
 let default_config =
@@ -28,6 +29,7 @@ let default_config =
     check_invariants = false;
     metrics = None;
     tenants = None;
+    flow_cache = None;
   }
 
 (* The builder is the supported way to assemble a config; the record
@@ -55,6 +57,8 @@ module Config = struct
   let with_metrics metrics c = { c with metrics = Some metrics }
   let with_tenants tenants c = { c with tenants = Some tenants }
   let without_tenants c = { c with tenants = None }
+  let with_flow_cache spec c = { c with flow_cache = Some spec }
+  let without_flow_cache c = { c with flow_cache = None }
 end
 
 module Run = struct
@@ -81,6 +85,9 @@ module Run = struct
 
   let with_tenants t tenants =
     { t with config = { t.config with tenants = Some tenants } }
+
+  let with_flow_cache t spec =
+    { t with config = { t.config with flow_cache = Some spec } }
 end
 
 type vertex_stats = {
@@ -131,6 +138,7 @@ type measurement = {
   invariants : Invariants.report option;
   metrics : Metrics.t option;
   tenants : Tenant.stats option;
+  flow_cache : Flow_cache.stats option;
 }
 
 (* An interned drop counter plus its rendered site name, resolved once
@@ -182,6 +190,8 @@ type flight = {
   mutable fl_id : int;
   mutable fl_klass : int;
   mutable fl_tenant : int;  (* owning tenant id; 0 when untenanted *)
+  mutable fl_flow : int;  (* flow id; meaningful only with a flow cache *)
+  mutable fl_fclass : int;  (* hot/warm/cold (0..2); -1 = unclassified *)
   mutable fl_vertex : G.vertex_id;  (* vertex being visited *)
   mutable fl_edge : int;  (* edge_rt index being traversed *)
   mutable fl_tr : Trace.record option;
@@ -373,6 +383,54 @@ let execute_with ?engine:reused (spec : Run.t) =
          tenant decision allocates nothing *)
       fun () -> Tenant.index_of_bits tset (N.Rng.bits trng)
     | _ -> fun () -> 0
+  in
+  (* ---- flow cache --------------------------------------------------- *)
+  (* The flow rng follows the fault/tenant discipline: split only when
+     the flow cache is enabled, after the tenant rng and before the
+     trace rng (which must stay last) — so flow-cache-off runs leave
+     every stream exactly where the pre-flow-cache code put it
+     (byte-identical measurements, gated by bench/main.exe
+     --flowcache-overhead), and enabled runs draw flow ids from their
+     own stream, bit-identical at any --jobs. *)
+  let flow_state =
+    Option.map
+      (fun spec -> Flow_cache.create ~spec ~warmup:config.warmup)
+      config.flow_cache
+  in
+  let flow_rng =
+    match flow_state with Some _ -> Some (N.Rng.split rng) | None -> None
+  in
+  (* Role of each vertex under state-dependent routing: 1 = EMC,
+     2 = megaflow, 0 = ordinary delta-proportional routing. Cache
+     vertices are resolved by label and must offer exactly the
+     hit/miss out-edge pair (first out-edge added = hit route). *)
+  let fc_role =
+    let roles = Array.make (G.vertex_count g) 0 in
+    (match config.flow_cache with
+    | None -> ()
+    | Some spec ->
+      let resolve role label =
+        match
+          List.find_opt
+            (fun (v : G.vertex) -> v.label = label)
+            (G.vertices g)
+        with
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Netsim.run: flow cache needs a vertex %S" label)
+        | Some v ->
+          let outs = List.length (G.out_edges g v.id) in
+          if outs <> 2 then
+            invalid_arg
+              (Printf.sprintf
+                 "Netsim.run: flow-cache vertex %S needs exactly 2 out-edges \
+                  (hit, miss), has %d"
+                 label outs);
+          roles.(v.id) <- role
+      in
+      resolve 1 spec.Lognic.Flowcache.emc_label;
+      resolve 2 spec.Lognic.Flowcache.megaflow_label);
+    roles
   in
   (* The trace rng is split last — after every stream the untraced run
      splits — and only when tracing is on, so enabling tracing perturbs
@@ -686,7 +744,12 @@ let execute_with ?engine:reused (spec : Run.t) =
           Engine.schedule engine ~at:(time_of (i + 1)) (fun () -> tick (i + 1))
       in
       if dt <= config.duration then
-        Engine.schedule engine ~at:dt (fun () -> tick 1);
+        Engine.schedule engine ~at:dt (fun () -> tick 1)
+      else
+        (* Mirror the series sampler: an interval beyond the horizon
+           still produces one end-of-run snapshot. *)
+        Engine.schedule engine ~at:config.duration (fun () ->
+            ignore (Metrics.tick m ~now:config.duration));
       (Some m, Some hist)
   in
   (* ---- the packet walk --------------------------------------------- *)
@@ -778,6 +841,9 @@ let execute_with ?engine:reused (spec : Run.t) =
       (match tenant_acc with
       | Some a -> Tenant.record_completion a ~tenant:fl.fl_tenant ~fs:fl.fs
       | None -> ());
+      (match flow_state with
+      | Some st -> Flow_cache.record_completion st ~klass:fl.fl_fclass ~fs:fl.fs
+      | None -> ());
       release_flight fl
     end
     else if vr.v_out_total <= 0. then
@@ -785,22 +851,52 @@ let execute_with ?engine:reused (spec : Run.t) =
          only an ingress with zero-delta out-edges can reach here. *)
       release_flight fl
     else begin
-      (* Delta-proportional out-edge choice, same draw and the same
-         accumulation order as the historical list walk. *)
-      let target = N.Rng.float route_rng vr.v_out_total in
-      let outs = vr.v_out in
-      let n = Array.length outs in
-      route_acc.(0) <- 0.;
-      route_i.(0) <- 0;
-      while
-        route_i.(0) < n - 1
-        && (let acc = route_acc.(0) +. ert.(outs.(route_i.(0))).e_delta in
-            route_acc.(0) <- acc;
-            target >= acc)
-      do
-        route_i.(0) <- route_i.(0) + 1
-      done;
-      fl.fl_edge <- outs.(route_i.(0));
+      (match flow_state with
+      | Some st when fc_role.(fl.fl_vertex) <> 0 ->
+        (* State-dependent split: the route out of a cache vertex is
+           decided by an actual lookup on this packet's flow, not by
+           the static deltas (hit = first out-edge, miss = second).
+           The route rng is not consumed here, so its stream stays
+           aligned across runs that only differ in cache geometry. *)
+        let now = Engine.now engine in
+        let hit =
+          if fc_role.(fl.fl_vertex) = 1 then begin
+            let h = Flow_cache.emc_lookup st ~now ~flow:fl.fl_flow in
+            if h then fl.fl_fclass <- 0;
+            h
+          end
+          else begin
+            let h = Flow_cache.mega_lookup st ~now ~flow:fl.fl_flow in
+            fl.fl_fclass <- (if h then 1 else 2);
+            h
+          end
+        in
+        fl.fl_edge <- vr.v_out.(if hit then 0 else 1)
+      | _ ->
+        (* Delta-proportional out-edge choice, same draw and the same
+           accumulation order as the historical list walk. No draw can
+           fall off the end of the cumulative table, by two independent
+           protections: [target < v_out_total] and the scan's running
+           sum add the per-edge deltas in the same left-to-right order,
+           so the final partial sum equals [v_out_total] bit-for-bit
+           even for pathological vectors like [1e-300; 1e-300; 1.0];
+           and the [route_i.(0) < n - 1] bound clamps the index
+           regardless, so the last branch absorbs any residual
+           probability mass. *)
+        let target = N.Rng.float route_rng vr.v_out_total in
+        let outs = vr.v_out in
+        let n = Array.length outs in
+        route_acc.(0) <- 0.;
+        route_i.(0) <- 0;
+        while
+          route_i.(0) < n - 1
+          && (let acc = route_acc.(0) +. ert.(outs.(route_i.(0))).e_delta in
+              route_acc.(0) <- acc;
+              target >= acc)
+        do
+          route_i.(0) <- route_i.(0) + 1
+        done;
+        fl.fl_edge <- outs.(route_i.(0)));
       if vr.v_overhead > 0. then begin
         fl.fs.(Telemetry.slot_overhead) <-
           fl.fs.(Telemetry.slot_overhead) +. vr.v_overhead;
@@ -885,6 +981,8 @@ let execute_with ?engine:reused (spec : Run.t) =
         fl_id = 0;
         fl_klass = 0;
         fl_tenant = 0;
+        fl_flow = -1;
+        fl_fclass = -1;
         fl_vertex = 0;
         fl_edge = 0;
         fl_tr = None;
@@ -1021,6 +1119,19 @@ let execute_with ?engine:reused (spec : Run.t) =
       fl.fl_id <- id;
       fl.fl_klass <- klass;
       fl.fl_tenant <- tid;
+      (* The flow id comes from the dedicated flow rng — one bits draw
+         through the Zipf alias table — and only for packets that enter
+         the datapath, so burst-shed arrivals consume nothing from the
+         stream. A packet that never reaches a cache vertex keeps
+         class -1 (unclassified) and is skipped by the accumulator. *)
+      (match flow_rng with
+      | Some frng ->
+        (match flow_state with
+        | Some st ->
+          fl.fl_flow <- Flow_cache.draw st ~bits:(N.Rng.bits frng);
+          fl.fl_fclass <- -1
+        | None -> ())
+      | None -> ());
       fl.fl_vertex <- entry;
       fl.fl_tr <- tr;
       (* Install span sinks per packet: an unsampled flight carries
@@ -1087,7 +1198,18 @@ let execute_with ?engine:reused (spec : Run.t) =
           Engine.schedule engine ~at:(time_of (i + 1)) (fun () -> sample (i + 1))
       in
       if dt <= config.duration then
-        Engine.schedule engine ~at:dt (fun () -> sample 1);
+        Engine.schedule engine ~at:dt (fun () -> sample 1)
+      else
+        (* An interval beyond the horizon still owes the caller one
+           final sample — an empty series would make report --csv emit
+           a header-only file. Events scheduled at exactly the horizon
+           fire, so the end-of-run state is observable. *)
+        Engine.schedule engine ~at:config.duration (fun () ->
+            List.iter
+              (fun (s, probe) ->
+                Telemetry.Series.add s ~time:config.duration
+                  ~value:(probe ()))
+              probes);
       List.map fst probes
   in
   let gen =
@@ -1303,6 +1425,10 @@ let execute_with ?engine:reused (spec : Run.t) =
       Option.map
         (fun a -> Tenant.summarize a ~horizon:config.duration)
         tenant_acc;
+    flow_cache =
+      Option.map
+        (fun st -> Flow_cache.summarize st ~horizon:config.duration)
+        flow_state;
   }
 
 let execute spec = execute_with spec

@@ -79,6 +79,20 @@ type config = {
           [bench/main.exe --tenant-overhead]); with [>= 2] tenants the
           tenant rng is split after the fault rng and before the trace
           rng. Default [None]. *)
+  flow_cache : Lognic.Flowcache.spec option;
+      (** when [Some], run with state-dependent splits: every arriving
+          packet draws a flow id from the spec's Zipf population (a
+          dedicated flow rng, split after the tenant rng and before the
+          trace rng), and the route out of the vertices labelled
+          [spec.emc_label] / [spec.megaflow_label] is decided by an
+          actual {!Flow_cache} lookup — hit takes the {e first}
+          out-edge, miss the second; the static δs on those edges are
+          ignored. Per-class (hot/warm/cold) telemetry accumulates into
+          {!measurement.flow_cache}. Disabled runs are byte-identical
+          to builds without the feature (enforced by
+          [bench/main.exe --flowcache-overhead]). Both cache vertices
+          must exist with exactly two out-edges, or the run raises
+          [Invalid_argument]. Default [None]. *)
 }
 
 val default_config : config
@@ -115,6 +129,8 @@ module Config : sig
   val with_metrics : Metrics.config -> t -> t
   val with_tenants : Tenant.set -> t -> t
   val without_tenants : t -> t
+  val with_flow_cache : Lognic.Flowcache.spec -> t -> t
+  val without_flow_cache : t -> t
 end
 
 (** The unified run specification: everything one simulation needs, as
@@ -156,6 +172,7 @@ module Run : sig
   val with_seed : t -> int -> t
   val with_duration : t -> float -> t
   val with_tenants : t -> Tenant.set -> t
+  val with_flow_cache : t -> Lognic.Flowcache.spec -> t
 end
 
 type vertex_stats = {
@@ -252,6 +269,12 @@ type measurement = {
           dropped counts sum exactly to the aggregate
           warmup-windowed telemetry. Like [trace], deliberately absent
           from {!measurement_to_json}. *)
+  flow_cache : Flow_cache.stats option;
+      (** measured hit ratios and per-class (hot/warm/cold) latency
+          rows, present iff [config.flow_cache] was set; export with
+          [Explain.flowcache_to_json] (or embed via
+          {!Flow_cache.stats_to_json}). Like [trace], deliberately
+          absent from {!measurement_to_json}. *)
 }
 
 val execute_with : ?engine:Engine.t -> Run.t -> measurement
@@ -281,9 +304,10 @@ val execute : Run.t -> measurement
     which packets the optional trace reservoir samples, never a
     measured quantity. The rng split order is: generator, router,
     per-node (graph order), fault (iff a plan), tenant (iff >= 2
-    tenants), trace (iff tracing) — each optional stream splits only
-    when its feature is on, so switching a feature off restores the
-    exact streams of a run that never had it. *)
+    tenants), flow (iff a flow cache), trace (iff tracing) — each
+    optional stream splits only when its feature is on, so switching a
+    feature off restores the exact streams of a run that never had
+    it. *)
 
 val run :
   ?config:config ->

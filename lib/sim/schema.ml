@@ -20,6 +20,7 @@ let table =
     ("profile", 1);  (* Metrics.profile_to_json *)
     ("engine_bench", 1);  (* bench/main.exe --events-per-sec --json *)
     ("tenants", 1);  (* Explain.tenants_to_json (lognic tenants --json) *)
+    ("flowcache", 1);  (* Explain.flowcache_to_json (lognic flowcache --json) *)
   ]
 
 let version_of kind = List.assoc_opt kind table

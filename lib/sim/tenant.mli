@@ -103,6 +103,25 @@ val record_completion : acc -> tenant:int -> fs:float array -> unit
 (** [fs] is the flight's {!Telemetry.flight_slots} scratch array at
     egress (birth, size, completion time and the four Eq. 2 terms). *)
 
+(** {2 Log₂ latency histogram}
+
+    The flat 64-bucket log₂ histogram behind [r_p99_latency], shared
+    with the per-class accumulator in [Flow_cache]: bucket [k] holds
+    latencies in [2^(k−40), 2^(k−39)) seconds — good to a factor of 2
+    at the tail for one store per completion. *)
+
+val hist_buckets : int
+(** 64. *)
+
+val bucket_of : float -> int
+(** Bucket index for a latency, clamped to [0, hist_buckets). *)
+
+val p99_of_hist : int array -> int -> int -> float -> float
+(** [p99_of_hist hist row delivered lat_max] scans row [row] of a flat
+    [rows × hist_buckets] histogram to the smallest bucket whose
+    cumulative count reaches ⌈0.99·delivered⌉ and returns that bucket's
+    upper bound clamped to [lat_max] (0 when nothing was delivered). *)
+
 (** {2 Summaries} *)
 
 type row = {

@@ -23,6 +23,9 @@ let () =
     (fun (name, render) -> write dir name (render ()))
     (Lognic_check.Golden.tenant_scenarios ());
   List.iter
+    (fun (name, render) -> write dir name (render ()))
+    (Lognic_check.Golden.flowcache_scenarios ());
+  List.iter
     (fun (name, render) ->
       write ~ext:".ndjson" dir name (String.trim (render ())))
     (Lognic_check.Golden.metrics_scenarios ())

@@ -11,6 +11,7 @@ let () =
       ("check", Test_check.suite);
       ("golden", Test_golden.suite);
       ("tenants", Test_tenants.suite);
+      ("flowcache", Test_flowcache.suite);
       ("observability", Test_observability.suite);
       ("metrics", Test_metrics.suite);
       ("parallel", Test_parallel.suite);

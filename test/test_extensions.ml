@@ -622,6 +622,149 @@ let properties =
         s.report.throughput.Lognic.Throughput.attained >= base -. 1e-6);
   ]
 
+(* ---- damped fixed point and feedback splits -------------------------- *)
+
+let fixed_point_basics () =
+  (* affine contraction x -> x/2 + 1 has the fixed point 2 *)
+  let r =
+    E.fixed_point ~update:(fun x -> [| (x.(0) /. 2.) +. 1. |]) [| 0. |]
+  in
+  Alcotest.(check bool) "converged" true r.E.fp_converged;
+  check_close ~tol:1e-6 "fixed point" 2. r.E.value.(0);
+  (* undamped oscillator x -> 1 - x never settles; damping 0.5 lands it
+     on the fixed point 0.5 in one step *)
+  let osc = E.fixed_point ~damping:1. ~max_iter:50 ~update:(fun x -> [| 1. -. x.(0) |]) [| 0. |] in
+  Alcotest.(check bool) "undamped oscillation flagged" false osc.E.fp_converged;
+  let damped = E.fixed_point ~damping:0.5 ~update:(fun x -> [| 1. -. x.(0) |]) [| 0. |] in
+  Alcotest.(check bool) "damping tames the oscillator" true damped.E.fp_converged;
+  check_close ~tol:1e-6 "oscillator fixed point" 0.5 damped.E.value.(0);
+  check_raises_invalid "bad damping" (fun () ->
+      ignore (E.fixed_point ~damping:0. ~update:(fun x -> x) [| 0. |]));
+  check_raises_invalid "bad tol" (fun () ->
+      ignore (E.fixed_point ~tol:0. ~update:(fun x -> x) [| 0. |]));
+  check_raises_invalid "dimension change" (fun () ->
+      ignore (E.fixed_point ~update:(fun _ -> [||]) [| 0. |]));
+  check_raises_invalid "non-finite update" (fun () ->
+      ignore (E.fixed_point ~update:(fun _ -> [| nan |]) [| 0. |]))
+
+module FC = Lognic.Flowcache
+module App = Lognic_apps.Flow_cache
+
+let fc_spec =
+  FC.spec ~flows:4096 ~zipf:1.0 ~emc_entries:256 ~megaflow_entries:1024 ()
+
+let flowcache_che_sanity () =
+  let p = FC.zipf_weights ~flows:1000 ~s:1.0 in
+  check_close ~tol:1e-9 "zipf weights normalized" 1. (Array.fold_left ( +. ) 0. p);
+  Alcotest.(check bool) "zipf descending" true (p.(0) > p.(999));
+  let rates = Array.map (fun pi -> 1e6 *. pi) p in
+  let agg capacity =
+    let h = FC.hit_ratios ~rates ~capacity () in
+    let acc = ref 0. in
+    Array.iteri (fun i pi -> acc := !acc +. (pi *. h.(i))) p;
+    !acc
+  in
+  let small = agg 50 and big = agg 500 in
+  Alcotest.(check bool) "hit ratio rises with capacity" true (big > small);
+  Alcotest.(check bool) "hit ratios in (0,1)" true (small > 0. && big < 1.);
+  (* the whole population fits: everything hits *)
+  check_close ~tol:1e-12 "fits entirely" 1. (agg 2000);
+  (* a TTL strictly caps the characteristic time, so it can only lose
+     hits relative to pure LRU *)
+  let t = FC.che_characteristic_time ~rates ~capacity:500 in
+  Alcotest.(check bool) "characteristic time positive" true (t > 0. && Float.is_finite t);
+  let h_ttl = FC.hit_ratios ~ttl:(t /. 4.) ~rates ~capacity:500 () in
+  let agg_ttl = ref 0. in
+  Array.iteri (fun i pi -> agg_ttl := !agg_ttl +. (pi *. h_ttl.(i))) p;
+  Alcotest.(check bool) "ttl only loses hits" true (!agg_ttl < big)
+
+let flowcache_converges () =
+  let g = App.graph App.default in
+  let traffic = App.traffic App.default in
+  let r = Lognic.Estimate.run_flowcache fc_spec g ~hw:App.hardware ~traffic in
+  Alcotest.(check bool) "converged" true r.FC.converged;
+  Alcotest.(check bool) "emc hit ratio in (0,1)" true
+    (r.FC.emc_hit_ratio > 0. && r.FC.emc_hit_ratio < 1.);
+  Alcotest.(check bool) "megaflow hit ratio in (0,1]" true
+    (r.FC.megaflow_hit_ratio > 0. && r.FC.megaflow_hit_ratio <= 1.);
+  let shares = List.map (fun c -> c.FC.share) r.FC.classes in
+  check_close ~tol:1e-9 "class shares sum to 1" 1. (List.fold_left ( +. ) 0. shares);
+  (match r.FC.classes with
+  | [ hot; warm; cold ] ->
+    Alcotest.(check string) "hot first" "hot" hot.FC.klass;
+    Alcotest.(check string) "warm second" "warm" warm.FC.klass;
+    Alcotest.(check string) "cold third" "cold" cold.FC.klass;
+    check_close ~tol:1e-9 "hot share is the emc hit ratio" r.FC.emc_hit_ratio
+      hot.FC.share;
+    check_close ~tol:1e-9 "overall = 1 - cold share" r.FC.overall_hit_ratio
+      (1. -. cold.FC.share);
+    (* the slow path is strictly costlier than the caches *)
+    Alcotest.(check bool) "cold mean above hot mean" true
+      (cold.FC.class_mean > hot.FC.class_mean);
+    Alcotest.(check bool) "p99 at or above mean per class" true
+      (List.for_all (fun c -> c.FC.class_p99 >= c.FC.class_mean) r.FC.classes)
+  | cs -> Alcotest.failf "expected 3 classes, got %d" (List.length cs));
+  (* convergence is init-independent *)
+  let r' =
+    Lognic.Estimate.run_flowcache ~init:[| 0.05; 0.95 |] fc_spec g
+      ~hw:App.hardware ~traffic
+  in
+  check_close ~tol:1e-6 "init-independent emc hit" r.FC.emc_hit_ratio
+    r'.FC.emc_hit_ratio;
+  check_close ~tol:1e-6 "init-independent megaflow hit" r.FC.megaflow_hit_ratio
+    r'.FC.megaflow_hit_ratio
+
+(* The documented collapse guarantee: the converged report is one plain
+   evaluation of the converged graph, bit for bit. *)
+let flowcache_collapse_bitforbit () =
+  let g = App.graph App.default in
+  let traffic = App.traffic App.default in
+  let r = Lognic.Estimate.run_flowcache fc_spec g ~hw:App.hardware ~traffic in
+  let emc = (Option.get (G.find_vertex g ~label:"emc")).G.id in
+  let mega = (Option.get (G.find_vertex g ~label:"megaflow")).G.id in
+  let static =
+    let g = G.scale_out_split g emc [ r.FC.emc_hit_ratio; 1. -. r.FC.emc_hit_ratio ] in
+    G.scale_out_split g mega
+      [ r.FC.megaflow_hit_ratio; 1. -. r.FC.megaflow_hit_ratio ]
+  in
+  let est = Lognic.Estimate.run static ~hw:App.hardware ~traffic in
+  let bits = Int64.bits_of_float in
+  Alcotest.(check int64) "attained bit-identical"
+    (bits est.Lognic.Estimate.throughput.Lognic.Throughput.attained)
+    (bits r.FC.throughput.Lognic.Throughput.attained);
+  Alcotest.(check int64) "capacity bit-identical"
+    (bits est.Lognic.Estimate.throughput.Lognic.Throughput.capacity)
+    (bits r.FC.throughput.Lognic.Throughput.capacity);
+  Alcotest.(check int64) "mean latency bit-identical"
+    (bits est.Lognic.Estimate.latency.Lognic.Latency.mean)
+    (bits r.FC.latency.Lognic.Latency.mean);
+  Alcotest.(check int64) "carried rate bit-identical"
+    (bits est.Lognic.Estimate.latency.Lognic.Latency.carried_rate)
+    (bits r.FC.latency.Lognic.Latency.carried_rate)
+
+let flowcache_validation () =
+  check_raises_invalid "flows >= 1" (fun () -> ignore (FC.spec ~flows:0 ()));
+  check_raises_invalid "zipf finite" (fun () ->
+      ignore (FC.spec ~flows:10 ~zipf:nan ()));
+  check_raises_invalid "ttl > 0" (fun () ->
+      ignore (FC.spec ~flows:10 ~ttl:0. ()));
+  let g, _ = chain (5. *. U.gbps) in
+  let traffic = T.make ~rate:(2. *. U.gbps) ~packet_size:1500. in
+  (* no vertex labelled "emc" in the plain chain *)
+  check_raises_invalid "missing cache vertex" (fun () ->
+      ignore (Lognic.Estimate.run_flowcache fc_spec g ~hw ~traffic));
+  (* an "emc" vertex without two out-edges is rejected too *)
+  let g2, _ =
+    let g = G.empty in
+    let g, i = G.add_vertex ~kind:G.Ingress ~label:"in" ~service:(svc (40. *. U.gbps)) g in
+    let g, w = G.add_vertex ~kind:G.Ip ~label:"emc" ~service:(svc (5. *. U.gbps)) g in
+    let g, e = G.add_vertex ~kind:G.Egress ~label:"out" ~service:(svc (40. *. U.gbps)) g in
+    let g = G.add_edge ~src:i ~dst:w g in
+    (G.add_edge ~src:w ~dst:e g, w)
+  in
+  check_raises_invalid "cache vertex needs 2 out-edges" (fun () ->
+      ignore (Lognic.Estimate.run_flowcache fc_spec g2 ~hw ~traffic))
+
 let suite =
   [
     quick "consolidate: single tenant" consolidate_single_equals_direct;
@@ -651,5 +794,10 @@ let suite =
     quick "calibrate: saturation and knee" calibrate_saturation_and_knee;
     quick "calibrate: opaque IP round trip" calibrate_opaque_ip_roundtrip;
     quick "calibrate: overhead intercept" calibrate_overhead_intercept;
+    quick "fixed point: basics and validation" fixed_point_basics;
+    quick "flowcache: che solver sanity" flowcache_che_sanity;
+    quick "flowcache: fixed point converges" flowcache_converges;
+    quick "flowcache: collapses to the static split" flowcache_collapse_bitforbit;
+    quick "flowcache: validation" flowcache_validation;
   ]
   @ properties

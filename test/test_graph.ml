@@ -107,6 +107,33 @@ let scale_out_split () =
   check_raises_invalid "all-zero split" (fun () -> G.scale_out_split g i [ 0.; 0. ]);
   check_raises_invalid "negative split" (fun () -> G.scale_out_split g i [ -1.; 2. ])
 
+(* Degenerate fraction vectors must be rejected up front — an all-zero
+   or NaN list would otherwise divide by total_fraction = 0 (or
+   propagate NaN through it) and silently poison every out-edge's
+   δ/α/β. The error must name the vertex so feedback-split callers can
+   locate the offending split. *)
+let scale_out_split_degenerate () =
+  let g, i, _, _, _ = fanout () in
+  let rejects label fractions =
+    match G.scale_out_split g i fractions with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" label
+    | exception Invalid_argument msg ->
+      if not (contains_substring msg "in") then
+        Alcotest.failf "%s: error %S does not name the vertex" label msg
+  in
+  rejects "all-zero" [ 0.; 0. ];
+  rejects "nan fraction" [ Float.nan; 1. ];
+  rejects "all-nan" [ Float.nan; Float.nan ];
+  rejects "infinite fraction" [ infinity; 1. ];
+  rejects "negative infinity" [ neg_infinity; 1. ];
+  (* a single zero inside an otherwise-positive vector stays legal *)
+  let g' = G.scale_out_split g i [ 0.; 1. ] in
+  match (G.edge g' ~src:i ~dst:1, G.edge g' ~src:i ~dst:2) with
+  | Some ex, Some ey ->
+    check_close "zeroed edge" 0. ex.delta;
+    check_close "kept edge gets the whole delta" 1. ey.delta
+  | _ -> Alcotest.fail "edges missing"
+
 let topology () =
   let g, a, b, c = chain () in
   (match G.topological_order g with
@@ -245,6 +272,7 @@ let suite =
     quick "functional mutation" mutation;
     quick "remove edge" remove_edge;
     quick "scale_out_split" scale_out_split;
+    quick "scale_out_split degenerate fractions" scale_out_split_degenerate;
     quick "topological order" topology;
     quick "cycle detection" cycle_detection;
     quick "path enumeration" paths_enumeration;

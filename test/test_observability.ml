@@ -257,6 +257,40 @@ let series_csv_after_wrap () =
   check_raises_invalid "non-positive capacity" (fun () ->
       S.Telemetry.Series.create ~capacity:0 ~label:"q" ~interval:1. ())
 
+(* Degenerate sample intervals: 0 / negative are programming errors;
+   an interval longer than the horizon must still yield one final
+   sample at the horizon — an empty series would make
+   `lognic report --csv` emit a header-only file. *)
+let series_degenerate_intervals () =
+  let run interval =
+    let config =
+      S.Netsim.Config.(
+        default |> with_horizon 0.02 |> with_sampling interval)
+    in
+    S.Netsim.run_single ~config (pipeline ()) ~hw ~traffic
+  in
+  check_raises_invalid "zero interval" (fun () -> ignore (run 0.));
+  check_raises_invalid "negative interval" (fun () -> ignore (run (-1e-3)));
+  let check_single_final_sample name m =
+    Alcotest.(check bool)
+      (name ^ ": run produced series") true (m.S.Netsim.series <> []);
+    List.iter
+      (fun s ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s: series %S has exactly one sample" name
+             (S.Telemetry.Series.label s))
+          1
+          (S.Telemetry.Series.length s);
+        let time, _ = (S.Telemetry.Series.to_array s).(0) in
+        check_close (name ^ ": final sample sits at the horizon") 0.02 time)
+      m.S.Netsim.series
+  in
+  (* interval beyond the horizon: the one-shot fallback fires *)
+  check_single_final_sample "oversized" (run 1.0);
+  (* interval exactly the horizon: the regular grid lands one sample
+     at t = horizon and must not double up with the fallback *)
+  check_single_final_sample "exact horizon" (run 0.02)
+
 (* Read-only probes under overload: a run that drops packets (full
    queues, saturated media) re-measured with a metrics registry whose
    callback aggressively reads cumulative state mid-run must still
@@ -324,6 +358,7 @@ let suite =
     slow "explain: rows ranked and joined" explain_rows_ranked_and_joined;
     quick "series: ring buffer wraparound" series_wraparound;
     quick "series: CSV after wrap" series_csv_after_wrap;
+    quick "series: degenerate sample intervals" series_degenerate_intervals;
     slow "metrics: probes read-only under overload"
       probes_read_only_under_overload;
     quick "search log: matches optimizer stats" search_log_matches_stats;
